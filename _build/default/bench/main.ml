@@ -1,0 +1,283 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation, plus speed micro-benchmarks and methodology ablations.
+
+    Each [table*] / [fig*] function below corresponds to one artefact of
+    the paper (see DESIGN.md's per-experiment index). Output goes to
+    stdout; `dune exec bench/main.exe | tee bench_output.txt` reproduces
+    the full evaluation. The corpus scale is controlled by BHIVE_SCALE
+    (default 100 = 1/100 of the paper's block counts). *)
+
+let fmt = Format.std_formatter
+
+let section name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Format.fprintf fmt "@.(%s finished in %.1fs)@." name (Unix.gettimeofday () -. t0);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Shared state: corpus, datasets, classifier.                         *)
+(* ------------------------------------------------------------------ *)
+
+let config = Corpus.Suite.config_from_env ()
+
+let suite = lazy (Corpus.Suite.generate ~config ())
+
+let classifier = lazy (Classify.Categories.fit (Lazy.force suite))
+
+let dataset (uarch : Uarch.Descriptor.t) =
+  Bhive.Dataset.build uarch (Lazy.force suite)
+
+let datasets =
+  lazy (List.map (fun u -> (u, dataset u)) Uarch.All.all)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1_ablation_suite () =
+  let rows = Bhive.Ablation.suite_ablation (Lazy.force suite) in
+  Bhive.Report.suite_ablation fmt rows
+
+let table2_ablation_block () =
+  let rows = Bhive.Ablation.block_ablation Corpus.Paper_blocks.tensorflow_ablation in
+  Bhive.Report.block_ablation fmt rows
+
+let table3_applications () = Bhive.Report.applications fmt (Lazy.force suite)
+
+let table4_categories () =
+  Bhive.Report.categories fmt (Lazy.force classifier) (Lazy.force suite)
+
+let table5_overall_error () =
+  let evals =
+    List.map
+      (fun ((u : Uarch.Descriptor.t), ds) -> (u.name, Bhive.Validation.evaluate_all ds))
+      (Lazy.force datasets)
+  in
+  Bhive.Report.overall_error fmt evals;
+  evals
+
+let table6_case_study () =
+  let hsw = Uarch.All.haswell in
+  let hsw_ds = List.assoc hsw (Lazy.force datasets) in
+  let models, _ = Bhive.Validation.standard_models hsw_ds in
+  let measure block =
+    match Harness.Profiler.profile Harness.Environment.default hsw block with
+    | Ok p -> p.throughput
+    | Error _ -> nan
+  in
+  let rows =
+    List.map
+      (fun (name, block) ->
+        ( name,
+          block,
+          measure block,
+          List.map (fun (m : Models.Model_intf.t) -> (m.name, m.predict block)) models ))
+      [
+        ("unsigned division (64/32-bit)", Corpus.Paper_blocks.division);
+        ("zero idiom (vxorps xmm2,xmm2,xmm2)", Corpus.Paper_blocks.zero_idiom);
+        ("gzip updcrc inner loop", Corpus.Paper_blocks.gzip_crc);
+      ]
+  in
+  Bhive.Report.case_study fmt rows;
+  (* the mis-scheduling figure: IACA vs llvm-mca schedules on the gzip
+     block *)
+  let block = Corpus.Paper_blocks.gzip_crc in
+  List.iter
+    (fun (m : Models.Model_intf.t) ->
+      match m.schedule with
+      | Some sched when m.name <> "OSACA" ->
+        Bhive.Report.schedule fmt ~model:m.name ~block (sched block)
+      | _ -> ())
+    models
+
+let table7_google () =
+  let hsw = Uarch.All.haswell in
+  let google = Corpus.Suite.generate_google ~config () in
+  let spanner, dremel =
+    List.partition (fun (b : Corpus.Block.t) -> b.app = "spanner") google
+  in
+  (* composition figure, frequency-weighted *)
+  let cls = Lazy.force classifier in
+  Bhive.Report.composition fmt
+    ~title:"Figure: basic block composition of Spanner and Dremel (frequency-weighted)"
+    (Classify.Composition.rows ~weighted:true cls google);
+  (* accuracy table: IACA, llvm-mca, Ithemal (no OSACA, as in the paper) *)
+  let hsw_ds = List.assoc hsw (Lazy.force datasets) in
+  let models, _ = Bhive.Validation.standard_models hsw_ds in
+  let models =
+    List.filter (fun (m : Models.Model_intf.t) -> m.name <> "OSACA") models
+  in
+  let rows =
+    List.map
+      (fun (app, blocks) ->
+        let ds = Bhive.Dataset.build hsw blocks in
+        ( app,
+          List.map (fun m -> Bhive.Validation.evaluate_entries hsw m ds.entries) models ))
+      [ ("Spanner", spanner); ("Dremel", dremel) ]
+  in
+  Bhive.Report.google_numbers fmt rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig_examples () =
+  Bhive.Report.exemplars fmt
+    (Classify.Categories.exemplars (Lazy.force classifier) (Lazy.force suite))
+
+let fig_apps_vs_clusters () =
+  Bhive.Report.composition fmt
+    ~title:"Figure: breakdown of applications by basic block categories"
+    (Classify.Composition.rows (Lazy.force classifier) (Lazy.force suite))
+
+let fig_errors (evals : (string * Bhive.Validation.eval list) list) =
+  let cls = Lazy.force classifier in
+  List.iter
+    (fun (uarch_name, per_model) ->
+      Bhive.Report.per_app_error fmt ~uarch:uarch_name per_model;
+      Bhive.Report.per_category_error fmt ~uarch:uarch_name cls per_model)
+    evals;
+  (* extension: error vs block length on Haswell *)
+  match List.assoc_opt "Haswell" evals with
+  | Some per_model -> Bhive.Report.per_length_error fmt ~uarch:"Haswell" per_model
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Methodology ablations beyond the paper's tables                     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_ablation_unroll () =
+  Bhive.Report.rule fmt "Ablation: unroll-factor sweep on the TensorFlow block (naive strategy)";
+  let block = Corpus.Paper_blocks.tensorflow_ablation in
+  List.iter
+    (fun u ->
+      let env =
+        { Harness.Environment.default with unroll = Harness.Environment.Naive u }
+      in
+      match Harness.Profiler.profile env Uarch.All.haswell block with
+      | Ok p ->
+        Format.fprintf fmt "  u=%-4d tp=%8.2f accepted=%b l1i_misses=%d@." u
+          p.throughput p.accepted p.large.counters.l1i_misses
+      | Error f ->
+        Format.fprintf fmt "  u=%-4d failed: %s@." u
+          (Harness.Profiler.failure_to_string f))
+    [ 4; 8; 16; 32; 64; 100; 200 ]
+
+let bench_ablation_filters () =
+  Bhive.Report.rule fmt "Ablation: clean-timing threshold sweep (accepted fraction of suite sample)";
+  let blocks =
+    List.filteri (fun i _ -> i mod 7 = 0) (Lazy.force suite)
+  in
+  List.iter
+    (fun min_clean ->
+      let env = { Harness.Environment.default with min_clean } in
+      let ok =
+        List.fold_left
+          (fun acc (b : Corpus.Block.t) ->
+            match Harness.Profiler.profile env Uarch.All.haswell b.insts with
+            | Ok p when p.accepted -> acc + 1
+            | _ -> acc)
+          0 blocks
+      in
+      Format.fprintf fmt "  min_clean=%-3d accepted=%.2f%%@." min_clean
+        (100.0 *. float_of_int ok /. float_of_int (List.length blocks)))
+    [ 2; 4; 8; 12; 16 ]
+
+let bench_ablation_noise () =
+  Bhive.Report.rule fmt "Ablation: context-switch rate vs acceptance (suite sample)";
+  let blocks = List.filteri (fun i _ -> i mod 7 = 0) (Lazy.force suite) in
+  List.iter
+    (fun rate ->
+      let env = { Harness.Environment.default with context_switch_rate = rate } in
+      let ok =
+        List.fold_left
+          (fun acc (b : Corpus.Block.t) ->
+            match Harness.Profiler.profile env Uarch.All.haswell b.insts with
+            | Ok p when p.accepted -> acc + 1
+            | _ -> acc)
+          0 blocks
+      in
+      Format.fprintf fmt "  ctx_switch_rate=%.2f accepted=%.2f%%@." rate
+        (100.0 *. float_of_int ok /. float_of_int (List.length blocks)))
+    [ 0.0; 0.08; 0.25; 0.5 ]
+
+let bench_instruction_table () =
+  Bhive.Report.rule fmt
+    "Per-instruction characterisation on Haswell (llvm-exegesis-style)";
+  Exegesis.Characterize.pp_table fmt (Exegesis.Characterize.table Uarch.All.haswell)
+
+let bench_port_mapping () =
+  Bhive.Report.rule fmt
+    "Port-mapping inference on Haswell (Abel-Reineke-style blocker probes)";
+  Exegesis.Portmap.pp_survey fmt
+    (Exegesis.Portmap.survey Uarch.All.haswell Exegesis.Portmap.standard_targets)
+
+(* ------------------------------------------------------------------ *)
+(* Speed micro-benchmarks (Bechamel)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let speed_benchmarks () =
+  Bhive.Report.rule fmt
+    "Speed: profiler vs analyzers on the gzip block (ns per prediction)";
+  let open Bechamel in
+  let block = Corpus.Paper_blocks.gzip_crc in
+  let hsw = Uarch.All.haswell in
+  let iaca = Models.Iaca.create hsw in
+  let mca = Models.Llvm_mca.create hsw in
+  let osaca = Models.Osaca.create hsw in
+  let env = Harness.Environment.default in
+  let tests =
+    Test.make_grouped ~name:"prediction"
+      [
+        Test.make ~name:"bhive-profiler"
+          (Staged.stage (fun () -> ignore (Harness.Profiler.profile env hsw block)));
+        Test.make ~name:"iaca-like"
+          (Staged.stage (fun () -> ignore (iaca.predict block)));
+        Test.make ~name:"llvm-mca-like"
+          (Staged.stage (fun () -> ignore (mca.predict block)));
+        Test.make ~name:"osaca-like"
+          (Staged.stage (fun () -> ignore (osaca.predict block)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.fprintf fmt "  %-24s %12.0f ns/run@." name est
+      | _ -> Format.fprintf fmt "  %-24s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.fprintf fmt "BHive reproduction benchmark harness (scale 1/%d)@."
+    config.scale;
+  section "corpus" (fun () -> ignore (Lazy.force suite));
+  section "table3" table3_applications;
+  section "table1" table1_ablation_suite;
+  section "table2" table2_ablation_block;
+  section "classifier" (fun () -> ignore (Lazy.force classifier));
+  section "table4" table4_categories;
+  section "fig-examples" fig_examples;
+  section "fig-apps-vs-clusters" fig_apps_vs_clusters;
+  let evals = section "table5" table5_overall_error in
+  section "fig-errors" (fun () -> fig_errors evals);
+  section "table6" table6_case_study;
+  section "table7" table7_google;
+  section "instruction-table" bench_instruction_table;
+  section "port-mapping" bench_port_mapping;
+  section "ablation-unroll" bench_ablation_unroll;
+  section "ablation-filters" bench_ablation_filters;
+  section "ablation-noise" bench_ablation_noise;
+  section "speed" speed_benchmarks;
+  Format.fprintf fmt "@.done.@."

@@ -1,0 +1,1 @@
+bin/bhive_classify.ml: Arg Bhive Classify Cmd Cmdliner Corpus Format List Printf Term

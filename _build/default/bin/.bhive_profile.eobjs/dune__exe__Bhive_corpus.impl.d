@@ -1,0 +1,1 @@
+bin/bhive_corpus.ml: Arg Cmd Cmdliner Corpus List Printf Term

@@ -1,0 +1,1 @@
+bin/bhive_corpus.mli:

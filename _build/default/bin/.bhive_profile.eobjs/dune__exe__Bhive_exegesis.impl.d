@@ -1,0 +1,1 @@
+bin/bhive_exegesis.ml: Arg Cmd Cmdliner Exegesis Format Printf Term Uarch

@@ -1,0 +1,1 @@
+bin/bhive_profile.ml: Arg Array Cmd Cmdliner Format Harness In_channel List Models Pipeline Printf Term Uarch X86

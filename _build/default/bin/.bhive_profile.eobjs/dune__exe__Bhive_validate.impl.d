@@ -1,0 +1,1 @@
+bin/bhive_validate.ml: Arg Bhive Cmd Cmdliner Corpus Format Int64 List Printf Term Uarch

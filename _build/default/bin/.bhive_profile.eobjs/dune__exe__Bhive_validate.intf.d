@@ -1,0 +1,1 @@
+bin/bhive_validate.mli:

@@ -1,0 +1,29 @@
+(* bhive_classify: fit the LDA category model on the generated suite and
+   print the category table, per-application composition and exemplars. *)
+
+open Cmdliner
+
+let run scale exemplars =
+  let config = { Corpus.Suite.default_config with scale } in
+  let blocks = Corpus.Suite.generate ~config () in
+  Printf.printf "classifying %d blocks...\n%!" (List.length blocks);
+  let cls = Classify.Categories.fit blocks in
+  let fmt = Format.std_formatter in
+  Bhive.Report.categories fmt cls blocks;
+  Bhive.Report.composition fmt
+    ~title:"Per-application composition" (Classify.Composition.rows cls blocks);
+  if exemplars then
+    Bhive.Report.exemplars fmt (Classify.Categories.exemplars cls blocks)
+
+let cmd =
+  let scale =
+    Arg.(value & opt int 100 & info [ "s"; "scale" ] ~doc:"Corpus scale divisor.")
+  in
+  let exemplars =
+    Arg.(value & flag & info [ "e"; "exemplars" ] ~doc:"Print one example block per category.")
+  in
+  Cmd.v
+    (Cmd.info "bhive_classify" ~doc:"Classify the benchmark suite into port-usage categories")
+    Term.(const run $ scale $ exemplars)
+
+let () = exit (Cmd.eval cmd)

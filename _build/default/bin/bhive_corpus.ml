@@ -1,0 +1,45 @@
+(* bhive_corpus: dump generated basic blocks as assembly text, optionally
+   filtered by application — useful for feeding other tools or eyeballing
+   what the generators produce. *)
+
+open Cmdliner
+
+let run scale app limit with_freq =
+  let config = { Corpus.Suite.default_config with scale } in
+  let blocks = Corpus.Suite.generate_extended ~config () in
+  let blocks =
+    match app with
+    | Some name -> List.filter (fun (b : Corpus.Block.t) -> b.app = name) blocks
+    | None -> blocks
+  in
+  let blocks =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) blocks
+    | None -> blocks
+  in
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      if with_freq then Printf.printf "# %s freq=%d\n" b.id b.freq
+      else Printf.printf "# %s\n" b.id;
+      print_endline (Corpus.Block.text b);
+      print_newline ())
+    blocks
+
+let cmd =
+  let scale =
+    Arg.(value & opt int 400 & info [ "s"; "scale" ] ~doc:"Corpus scale divisor.")
+  in
+  let app_arg =
+    Arg.(value & opt (some string) None & info [ "a"; "app" ] ~doc:"Only blocks from this application.")
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~doc:"Print at most this many blocks.")
+  in
+  let with_freq =
+    Arg.(value & flag & info [ "f"; "freq" ] ~doc:"Include execution frequencies.")
+  in
+  Cmd.v
+    (Cmd.info "bhive_corpus" ~doc:"Dump generated benchmark-suite basic blocks as assembly")
+    Term.(const run $ scale $ app_arg $ limit $ with_freq)
+
+let () = exit (Cmd.eval cmd)

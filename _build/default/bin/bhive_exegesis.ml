@@ -1,0 +1,38 @@
+(* bhive_exegesis: per-instruction latency / reciprocal-throughput /
+   micro-op characterisation via automatically generated micro-benchmarks
+   run through the block profiler (the llvm-exegesis role from the
+   paper's background section). *)
+
+open Cmdliner
+
+let uarch_conv =
+  let parse s =
+    match Uarch.All.by_short s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown microarchitecture %S (ivb/hsw/skl)" s))
+  in
+  Arg.conv (parse, fun fmt (d : Uarch.Descriptor.t) -> Format.pp_print_string fmt d.short)
+
+let run uarch ports =
+  Printf.printf "Instruction characterisation on %s:\n\n" uarch.Uarch.Descriptor.name;
+  Exegesis.Characterize.pp_table Format.std_formatter
+    (Exegesis.Characterize.table uarch);
+  if ports then begin
+    print_newline ();
+    print_endline "Port-mapping inference (blocker probes):";
+    Exegesis.Portmap.pp_survey Format.std_formatter
+      (Exegesis.Portmap.survey uarch Exegesis.Portmap.standard_targets)
+  end
+
+let cmd =
+  let uarch =
+    Arg.(value & opt uarch_conv Uarch.All.haswell & info [ "u"; "uarch" ] ~doc:"Microarchitecture: ivb, hsw or skl.")
+  in
+  let ports =
+    Arg.(value & flag & info [ "p"; "ports" ] ~doc:"Also infer port mappings with blocker probes.")
+  in
+  Cmd.v
+    (Cmd.info "bhive_exegesis" ~doc:"Measure per-instruction latency and throughput with generated micro-benchmarks")
+    Term.(const run $ uarch $ ports)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,56 @@
+(* bhive_validate: generate the suite, build ground-truth datasets, and
+   evaluate the four cost models — the Table V pipeline as a CLI. *)
+
+open Cmdliner
+
+let run scale uarches seed export =
+  let config = { Corpus.Suite.default_config with scale } in
+  let config =
+    match seed with Some s -> { config with seed = Int64.of_int s } | None -> config
+  in
+  let blocks = Corpus.Suite.generate ~config () in
+  Printf.printf "suite: %d blocks (scale 1/%d)\n%!" (List.length blocks) scale;
+  let uarches =
+    match uarches with
+    | [] -> Uarch.All.all
+    | shorts ->
+      List.filter_map Uarch.All.by_short shorts
+  in
+  let evals =
+    List.map
+      (fun (u : Uarch.Descriptor.t) ->
+        Printf.printf "profiling on %s...\n%!" u.name;
+        let ds = Bhive.Dataset.build u blocks in
+        Printf.printf "  %d/%d blocks measured (%.1f%%), %d AVX2-excluded\n%!"
+          (Bhive.Dataset.size ds) ds.n_input
+          (100.0 *. Bhive.Dataset.profiled_fraction ds)
+          ds.n_avx2_excluded;
+        (match export with
+        | Some prefix ->
+          let path = Printf.sprintf "%s-%s.csv" prefix u.short in
+          Bhive.Export.to_file path ds;
+          Printf.printf "  dataset written to %s\n%!" path
+        | None -> ());
+        (u.name, Bhive.Validation.evaluate_all ds))
+      uarches
+  in
+  Bhive.Report.overall_error Format.std_formatter evals
+
+let cmd =
+  let scale =
+    Arg.(value & opt int 100 & info [ "s"; "scale" ] ~doc:"Corpus scale divisor (1 = full paper-sized suite).")
+  in
+  let uarches =
+    Arg.(value & opt_all string [] & info [ "u"; "uarch" ] ~doc:"Microarchitecture to validate (repeatable); default all.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Corpus generation seed override.")
+  in
+  let export =
+    Arg.(value & opt (some string) None & info [ "export" ] ~doc:"Write each measured dataset to PREFIX-<uarch>.csv." ~docv:"PREFIX")
+  in
+  Cmd.v
+    (Cmd.info "bhive_validate" ~doc:"Validate the cost models against measured ground truth")
+    Term.(const run $ scale $ uarches $ seed $ export)
+
+let () = exit (Cmd.eval cmd)

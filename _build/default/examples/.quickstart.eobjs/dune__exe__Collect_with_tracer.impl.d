@@ -1,0 +1,1 @@
+examples/collect_with_tracer.ml: Bstats Corpus Harness List Printf Uarch X86

@@ -1,0 +1,1 @@
+examples/collect_with_tracer.mli:

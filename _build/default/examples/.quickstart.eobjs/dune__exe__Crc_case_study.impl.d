@@ -1,0 +1,1 @@
+examples/crc_case_study.ml: Bhive Corpus Format Harness List Models Printf Uarch X86

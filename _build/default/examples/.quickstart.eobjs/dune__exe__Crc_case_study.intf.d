@@ -1,0 +1,1 @@
+examples/crc_case_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Harness List Models Printf Uarch X86

@@ -1,0 +1,1 @@
+examples/train_ithemal.ml: Bhive Bstats Corpus List Models Printf Uarch

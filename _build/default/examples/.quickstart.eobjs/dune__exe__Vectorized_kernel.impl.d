@@ -1,0 +1,1 @@
+examples/vectorized_kernel.ml: Bhive Corpus Format Harness List Pipeline Printf Uarch X86

@@ -1,0 +1,1 @@
+examples/vectorized_kernel.mli:

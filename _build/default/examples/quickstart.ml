@@ -1,0 +1,45 @@
+(* Quickstart: measure a basic block's throughput on the simulated
+   Haswell machine and compare the four cost models against it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Write a basic block in AT&T (or Intel) syntax. *)
+  let block =
+    X86.Parser.block_exn
+      {|
+        mov (%rdi), %rax
+        add %rax, %rsi
+        add $8, %rdi
+        cmp %rcx, %rdi
+      |}
+  in
+
+  (* 2. Profile it: the default environment is the paper's production
+     configuration (single-physical-page mapping, two-point adaptive
+     unrolling, FTZ/DAZ set, misalignment filter on, 16 timings with at
+     least 8 clean and identical). *)
+  let env = Harness.Environment.default in
+  let hsw = Uarch.All.haswell in
+  (match Harness.Profiler.profile env hsw block with
+  | Ok profile ->
+    Printf.printf "measured inverse throughput: %.2f cycles/iteration\n"
+      profile.throughput;
+    Printf.printf "accepted: %b (unroll factors %d/%d, %d pages mapped)\n\n"
+      profile.accepted profile.factors.large profile.factors.small
+      profile.large.faults
+  | Error failure ->
+    Printf.printf "profiling failed: %s\n\n"
+      (Harness.Profiler.failure_to_string failure));
+
+  (* 3. Ask the analyzers for their predictions. *)
+  let models =
+    [ Models.Iaca.create hsw; Models.Llvm_mca.create hsw; Models.Osaca.create hsw ]
+  in
+  List.iter
+    (fun (m : Models.Model_intf.t) ->
+      match m.predict block with
+      | Models.Model_intf.Throughput tp -> Printf.printf "%-10s %.2f\n" m.name tp
+      | Models.Model_intf.Unsupported reason ->
+        Printf.printf "%-10s - (%s)\n" m.name reason)
+    models

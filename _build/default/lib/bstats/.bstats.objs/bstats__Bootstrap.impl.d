@@ -1,0 +1,1 @@
+lib/bstats/bootstrap.ml: Array Error Format Rng

@@ -1,0 +1,1 @@
+lib/bstats/error.ml: Float List

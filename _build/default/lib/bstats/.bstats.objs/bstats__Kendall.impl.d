@@ -1,0 +1,1 @@
+lib/bstats/kendall.ml: Array

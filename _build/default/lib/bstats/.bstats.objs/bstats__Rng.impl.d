@@ -1,0 +1,1 @@
+lib/bstats/rng.ml: Char Int64 List String

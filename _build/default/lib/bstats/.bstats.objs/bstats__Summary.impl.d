@@ -1,0 +1,1 @@
+lib/bstats/summary.ml: Error Float Format List String

@@ -1,0 +1,42 @@
+(** Prediction-error metrics used throughout the evaluation. *)
+
+(* Relative error: |predicted - measured| / measured (the paper's
+   inaccuracy metric). *)
+let relative ~predicted ~measured =
+  if measured = 0.0 then invalid_arg "Error.relative: zero measured value";
+  Float.abs (predicted -. measured) /. measured
+
+let average xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Unweighted average relative error over (predicted, measured) pairs. *)
+let average_relative pairs =
+  average (List.map (fun (p, m) -> relative ~predicted:p ~measured:m) pairs)
+
+(* Weighted average error: each pair carries a weight (the paper weights
+   by runtime execution frequency). *)
+let weighted_relative triples =
+  let num, den =
+    List.fold_left
+      (fun (num, den) (p, m, w) -> (num +. (w *. relative ~predicted:p ~measured:m), den +. w))
+      (0.0, 0.0) triples
+  in
+  if den = 0.0 then nan else num /. den
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+    (a +. b) /. 2.0
+
+let percentile q xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    let idx = int_of_float (q *. float_of_int (n - 1)) in
+    List.nth sorted (max 0 (min (n - 1) idx))

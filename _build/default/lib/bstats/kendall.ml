@@ -1,0 +1,55 @@
+(** Kendall's tau rank-correlation coefficient.
+
+    The paper reports tau-b style correlation as "the fraction of pairwise
+    throughput orderings preserved by a model"; we implement the standard
+    tau-a/tau-b coefficients over prediction/measurement pairs. *)
+
+(* O(n^2) reference implementation; n is at most a few thousand blocks
+   per (application, model) cell, which is instantaneous. *)
+let tau (pairs : (float * float) list) =
+  let a = Array.of_list pairs in
+  let n = Array.length a in
+  if n < 2 then nan
+  else begin
+    let concordant = ref 0 and discordant = ref 0 in
+    let ties_x = ref 0 and ties_y = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let xi, yi = a.(i) and xj, yj = a.(j) in
+        let sx = compare xi xj and sy = compare yi yj in
+        if sx = 0 && sy = 0 then begin
+          incr ties_x;
+          incr ties_y
+        end
+        else if sx = 0 then incr ties_x
+        else if sy = 0 then incr ties_y
+        else if sx * sy > 0 then incr concordant
+        else incr discordant
+      done
+    done;
+    let c = float_of_int !concordant and d = float_of_int !discordant in
+    let tx = float_of_int !ties_x and ty = float_of_int !ties_y in
+    let denom = sqrt ((c +. d +. tx) *. (c +. d +. ty)) in
+    if denom = 0.0 then nan else (c -. d) /. denom
+  end
+
+(* Fraction of strictly-ordered pairs whose order the prediction
+   preserves; a more direct reading of the paper's description. *)
+let pairwise_agreement (pairs : (float * float) list) =
+  let a = Array.of_list pairs in
+  let n = Array.length a in
+  if n < 2 then nan
+  else begin
+    let agree = ref 0 and total = ref 0 in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        let xi, yi = a.(i) and xj, yj = a.(j) in
+        let sy = compare yi yj in
+        if sy <> 0 then begin
+          incr total;
+          if compare xi xj = sy then incr agree
+        end
+      done
+    done;
+    if !total = 0 then nan else float_of_int !agree /. float_of_int !total
+  end

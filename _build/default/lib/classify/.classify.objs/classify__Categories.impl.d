@@ -1,0 +1,1 @@
+lib/classify/categories.ml: Array Corpus Features Float Hashtbl Lda List Option Printf Uarch X86

@@ -1,0 +1,1 @@
+lib/classify/categories.mli: Corpus Features Hashtbl Lda Uarch

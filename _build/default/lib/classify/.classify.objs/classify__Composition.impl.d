@@ -1,0 +1,1 @@
+lib/classify/composition.ml: Categories Corpus Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/classify/features.ml: Array Corpus Hashtbl List Uarch

@@ -1,0 +1,1 @@
+lib/classify/lda.mli:

@@ -1,0 +1,206 @@
+(** Category labelling and block classification.
+
+    LDA does not name its topics; the paper labels them by manual
+    inspection. Here labelling is automated: each topic's port-usage
+    profile is scored against the six descriptions of the paper's Table
+    "categories" and topics are assigned labels greedily (best fit
+    first). *)
+
+type label =
+  | Scalar_vector_mix  (** Category-1: mix of scalar and vectorised arithmetic *)
+  | Pure_vector  (** Category-2: purely vector instructions *)
+  | Load_store_mix  (** Category-3: mix of loads and stores *)
+  | Mostly_stores  (** Category-4 *)
+  | Alu_with_memory  (** Category-5: ALU ops sprinkled with loads and stores *)
+  | Mostly_loads  (** Category-6 *)
+
+let all_labels =
+  [ Scalar_vector_mix; Pure_vector; Load_store_mix; Mostly_stores;
+    Alu_with_memory; Mostly_loads ]
+
+let label_number = function
+  | Scalar_vector_mix -> 1
+  | Pure_vector -> 2
+  | Load_store_mix -> 3
+  | Mostly_stores -> 4
+  | Alu_with_memory -> 5
+  | Mostly_loads -> 6
+
+let label_name l = Printf.sprintf "Category-%d" (label_number l)
+
+let label_description = function
+  | Scalar_vector_mix -> "Mix of scalar and vectorized arithmetic"
+  | Pure_vector -> "Purely vector instructions"
+  | Load_store_mix -> "Mix of loads and stores"
+  | Mostly_stores -> "Mostly stores"
+  | Alu_with_memory -> "ALU ops sprinkled with loads and stores"
+  | Mostly_loads -> "Mostly loads"
+
+(* Aggregate port-usage shares of a topic under the given uarch. *)
+type shares = {
+  load : float;
+  store : float;
+  scalar : float;
+  vector : float;
+}
+
+(* Micro-op-level resource shares of one block, from the instruction
+   stream itself. This is the information the paper's authors used when
+   manually inspecting and naming each LDA cluster: port combinations
+   alone cannot separate scalar multiplies from FP arithmetic (both issue
+   to p1/p01 on Haswell). *)
+let block_shares (descriptor : Uarch.Descriptor.t) (b : Corpus.Block.t) : shares =
+  let load = ref 0.0 and store = ref 0.0 and scalar = ref 0.0 and vector = ref 0.0 in
+  List.iter
+    (fun (inst : X86.Inst.t) ->
+      let d = Uarch.Descriptor.decompose descriptor inst in
+      let exec_bucket = if X86.Opcode.is_vector inst.opcode then vector else scalar in
+      if d.eliminated then exec_bucket := !exec_bucket +. 1.0
+      else
+        List.iter
+          (fun (u : Uarch.Uop.t) ->
+            match u.kind with
+            | Uarch.Uop.Load -> load := !load +. 1.0
+            | Uarch.Uop.Store_addr | Uarch.Uop.Store_data -> store := !store +. 0.5
+            | Uarch.Uop.Exec -> exec_bucket := !exec_bucket +. 1.0)
+          d.uops)
+    b.insts;
+  let total = !load +. !store +. !scalar +. !vector in
+  let n x = if total > 0.0 then x /. total else 0.0 in
+  { load = n !load; store = n !store; scalar = n !scalar; vector = n !vector }
+
+(* Average resource shares of the blocks assigned to topic [k]. *)
+let shares_of_topic (descriptor : Uarch.Descriptor.t)
+    (blocks : Corpus.Block.t array) (assignment : int array) k : shares =
+  let acc = ref { load = 0.0; store = 0.0; scalar = 0.0; vector = 0.0 } in
+  let count = ref 0 in
+  Array.iteri
+    (fun d topic ->
+      if topic = k then begin
+        let s = block_shares descriptor blocks.(d) in
+        acc :=
+          {
+            load = !acc.load +. s.load;
+            store = !acc.store +. s.store;
+            scalar = !acc.scalar +. s.scalar;
+            vector = !acc.vector +. s.vector;
+          };
+        incr count
+      end)
+    assignment;
+  if !count = 0 then { load = 0.0; store = 0.0; scalar = 1.0; vector = 0.0 }
+  else
+    let n = float_of_int !count in
+    { load = !acc.load /. n; store = !acc.store /. n;
+      scalar = !acc.scalar /. n; vector = !acc.vector /. n }
+
+(* Fit score of a topic profile for each label; higher is better. *)
+let label_score (s : shares) = function
+  | Mostly_loads -> s.load -. s.store -. (0.5 *. (s.scalar +. s.vector))
+  | Mostly_stores -> s.store -. s.load -. (0.5 *. (s.scalar +. s.vector))
+  | Load_store_mix ->
+    Float.min s.load s.store +. (0.5 *. (s.load +. s.store)) -. s.scalar -. s.vector
+  | Pure_vector -> s.vector -. (2.0 *. s.scalar) -. s.load -. s.store
+  | Scalar_vector_mix ->
+    Float.min s.vector s.scalar +. (0.5 *. s.vector) -. s.load -. s.store
+  | Alu_with_memory ->
+    s.scalar +. (0.3 *. Float.min s.scalar (s.load +. s.store)) -. s.vector
+
+(* Greedy one-to-one assignment of labels to topics. *)
+let label_topics ?(descriptor = Uarch.Haswell.descriptor)
+    (blocks : Corpus.Block.t array) (assignment : int array)
+    (model : Lda.model) : label array =
+  let k = model.config.topics in
+  let shares = Array.init k (shares_of_topic descriptor blocks assignment) in
+  let topic_label = Array.make k None in
+  (* Labels are claimed in a fixed priority order, each taking the
+     best-fitting unlabelled topic — the deterministic counterpart of the
+     paper's manual inspection. *)
+  let claim label keyf =
+    let best = ref None in
+    for t = 0 to k - 1 do
+      if topic_label.(t) = None then
+        match !best with
+        | Some b when keyf shares.(b) >= keyf shares.(t) -> ()
+        | _ -> best := Some t
+    done;
+    match !best with
+    | Some t -> topic_label.(t) <- Some label
+    | None -> ()
+  in
+  claim Mostly_stores (fun s -> s.store);
+  claim Mostly_loads (fun s -> s.load);
+  claim Pure_vector (fun s -> s.vector);
+  claim Scalar_vector_mix (fun s -> s.vector);
+  claim Load_store_mix (fun s -> s.load +. s.store);
+  claim Alu_with_memory (fun s -> s.scalar);
+  ignore label_score;
+  Array.map (function Some l -> l | None -> Alu_with_memory) topic_label
+
+(** A fitted classifier: model + vocabulary + topic labels. *)
+type t = {
+  descriptor : Uarch.Descriptor.t;
+  vocab : Features.vocab;
+  model : Lda.model;
+  labels : label array;
+  block_labels : (string, label) Hashtbl.t;  (** by block id *)
+}
+
+let fit ?(descriptor = Uarch.Haswell.descriptor) ?config
+    (blocks : Corpus.Block.t list) : t =
+  let vocab = Features.build_vocab ~descriptor blocks in
+  let docs = Features.documents ~descriptor vocab blocks in
+  let model = Lda.fit ?config ~vocab_size:(Features.vocab_size vocab) docs in
+  let block_arr = Array.of_list blocks in
+  let assignment = Array.init (Array.length block_arr) (Lda.doc_category model) in
+  let labels = label_topics ~descriptor block_arr assignment model in
+  let block_labels = Hashtbl.create (List.length blocks) in
+  List.iteri
+    (fun d (b : Corpus.Block.t) ->
+      Hashtbl.replace block_labels b.id labels.(assignment.(d)))
+    blocks;
+  { descriptor; vocab; model; labels; block_labels }
+
+(* Category of a block seen during fitting, or inferred for new blocks. *)
+let classify (t : t) (block : Corpus.Block.t) : label =
+  match Hashtbl.find_opt t.block_labels block.id with
+  | Some l -> l
+  | None ->
+    let doc =
+      Features.tokens ~descriptor:t.descriptor block
+      |> List.filter_map (fun c -> Hashtbl.find_opt t.vocab.index c)
+      |> Array.of_list
+    in
+    t.labels.(Lda.infer t.model doc)
+
+(* Count of blocks per category (Table "categories"). *)
+let category_counts (t : t) (blocks : Corpus.Block.t list) =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let l = classify t b in
+      Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    blocks;
+  List.map (fun l -> (l, Option.value ~default:0 (Hashtbl.find_opt counts l))) all_labels
+
+(* A representative (exemplar) block per category: among the blocks of
+   the category, prefer display-sized blocks whose own resource shares
+   best fit the category description. *)
+let exemplars (t : t) (blocks : Corpus.Block.t list) : (label * Corpus.Block.t) list =
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      let l = classify t b in
+      let len = Corpus.Block.length b in
+      let fit = label_score (block_shares t.descriptor b) l in
+      let size_bonus =
+        if len >= 3 && len <= 8 then 0.5 else if len <= 12 then 0.2 else 0.0
+      in
+      let score = fit +. size_bonus in
+      match Hashtbl.find_opt best l with
+      | Some (s, _) when s >= score -> ()
+      | _ -> Hashtbl.replace best l (score, b))
+    blocks;
+  List.filter_map
+    (fun l -> Option.map (fun (_, b) -> (l, b)) (Hashtbl.find_opt best l))
+    all_labels

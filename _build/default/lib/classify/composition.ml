@@ -1,0 +1,48 @@
+(** Per-application category composition (Figures "apps-vs-clusters" and
+    "google-blocks"). *)
+
+type row = {
+  app : string;
+  total : float;
+  per_category : (Categories.label * float) list;  (** percentages *)
+}
+
+(* Composition of each application; when [weighted] each block counts
+   with its dynamic execution frequency (the Google case-study figure
+   weights by runtime frequency). *)
+let rows ?(weighted = false) (t : Categories.t) (blocks : Corpus.Block.t list) :
+    row list =
+  let apps = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      let weight = if weighted then float_of_int b.freq else 1.0 in
+      let l = Categories.classify t b in
+      let per =
+        match Hashtbl.find_opt apps b.app with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace apps b.app tbl;
+          tbl
+      in
+      Hashtbl.replace per l (weight +. Option.value ~default:0.0 (Hashtbl.find_opt per l)))
+    blocks;
+  Hashtbl.fold
+    (fun app per acc ->
+      let total = Hashtbl.fold (fun _ w t -> t +. w) per 0.0 in
+      let per_category =
+        List.map
+          (fun l ->
+            let w = Option.value ~default:0.0 (Hashtbl.find_opt per l) in
+            (l, if total > 0.0 then 100.0 *. w /. total else 0.0))
+          Categories.all_labels
+      in
+      { app; total; per_category } :: acc)
+    apps []
+  |> List.sort (fun a b -> compare a.app b.app)
+
+let pp_row fmt (r : row) =
+  Format.fprintf fmt "%-12s" r.app;
+  List.iter
+    (fun (_, pct) -> Format.fprintf fmt " %6.2f%%" pct)
+    r.per_category

@@ -1,0 +1,51 @@
+(** Featurisation for classification: each basic block becomes the bag of
+    port combinations of its micro-ops (Abel-Reineke notation), following
+    the paper's use of the instruction-to-port mapping as the LDA
+    vocabulary. Haswell's mapping is used, as in the paper. *)
+
+(* Port-combination tokens of one block. *)
+let tokens ?(descriptor = Uarch.Haswell.descriptor) (block : Corpus.Block.t) :
+    Uarch.Port.set list =
+  List.concat_map
+    (fun inst ->
+      let d = Uarch.Descriptor.decompose descriptor inst in
+      if d.eliminated then
+        (* eliminated uops still reflect the instruction's character:
+           tokenise the nominal ALU combination *)
+        [ descriptor.profile.alu ]
+      else List.map (fun (u : Uarch.Uop.t) -> u.ports) d.uops)
+    block.insts
+
+(** Vocabulary: the distinct port combinations occurring in a corpus. *)
+type vocab = {
+  combos : Uarch.Port.set array;
+  index : (Uarch.Port.set, int) Hashtbl.t;
+}
+
+let build_vocab ?descriptor (blocks : Corpus.Block.t list) : vocab =
+  let index = Hashtbl.create 32 in
+  let combos = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem index c) then begin
+            Hashtbl.add index c (Hashtbl.length index);
+            combos := c :: !combos
+          end)
+        (tokens ?descriptor b))
+    blocks;
+  { combos = Array.of_list (List.rev !combos); index }
+
+let vocab_size v = Array.length v.combos
+
+(* Documents as vocab-index arrays, aligned with the input block list. *)
+let documents ?descriptor (v : vocab) (blocks : Corpus.Block.t list) :
+    int array array =
+  List.map
+    (fun b ->
+      tokens ?descriptor b
+      |> List.filter_map (fun c -> Hashtbl.find_opt v.index c)
+      |> Array.of_list)
+    blocks
+  |> Array.of_list

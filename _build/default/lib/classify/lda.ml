@@ -1,0 +1,119 @@
+(** Latent Dirichlet Allocation by collapsed Gibbs sampling.
+
+    The paper fits a 6-topic model with alpha = 1/6 and beta = 1/13 over
+    micro-op port-combination tokens (SciKit-Learn's variational
+    implementation); collapsed Gibbs sampling fits the same generative
+    model and is fully deterministic here given the seed. *)
+
+type config = {
+  topics : int;
+  alpha : float;
+  beta : float;
+  iterations : int;
+  seed : int64;
+}
+
+let default_config =
+  { topics = 6; alpha = 1.0 /. 6.0; beta = 1.0 /. 13.0; iterations = 200; seed = 6L }
+
+type model = {
+  config : config;
+  vocab_size : int;
+  doc_topic : int array array;  (** n_dk counts *)
+  topic_word : int array array;  (** n_kw counts *)
+  topic_total : int array;
+  assignments : int array array;  (** topic of each token *)
+}
+
+let fit ?(config = default_config) ~vocab_size (docs : int array array) : model =
+  let k = config.topics in
+  let rng = Bstats.Rng.create config.seed in
+  let n_docs = Array.length docs in
+  let doc_topic = Array.init n_docs (fun _ -> Array.make k 0) in
+  let topic_word = Array.init k (fun _ -> Array.make vocab_size 0) in
+  let topic_total = Array.make k 0 in
+  let assignments = Array.map (fun doc -> Array.make (Array.length doc) 0) docs in
+  (* random initial assignment *)
+  Array.iteri
+    (fun d doc ->
+      Array.iteri
+        (fun i w ->
+          let z = Bstats.Rng.int rng k in
+          assignments.(d).(i) <- z;
+          doc_topic.(d).(z) <- doc_topic.(d).(z) + 1;
+          topic_word.(z).(w) <- topic_word.(z).(w) + 1;
+          topic_total.(z) <- topic_total.(z) + 1)
+        doc)
+    docs;
+  let probs = Array.make k 0.0 in
+  let v_beta = float_of_int vocab_size *. config.beta in
+  for _ = 1 to config.iterations do
+    Array.iteri
+      (fun d doc ->
+        Array.iteri
+          (fun i w ->
+            let z = assignments.(d).(i) in
+            (* remove token *)
+            doc_topic.(d).(z) <- doc_topic.(d).(z) - 1;
+            topic_word.(z).(w) <- topic_word.(z).(w) - 1;
+            topic_total.(z) <- topic_total.(z) - 1;
+            (* full conditional *)
+            let total = ref 0.0 in
+            for t = 0 to k - 1 do
+              let p =
+                (float_of_int doc_topic.(d).(t) +. config.alpha)
+                *. (float_of_int topic_word.(t).(w) +. config.beta)
+                /. (float_of_int topic_total.(t) +. v_beta)
+              in
+              probs.(t) <- p;
+              total := !total +. p
+            done;
+            let target = Bstats.Rng.float rng *. !total in
+            let rec pick t acc =
+              if t >= k - 1 then k - 1
+              else if acc +. probs.(t) >= target then t
+              else pick (t + 1) (acc +. probs.(t))
+            in
+            let z' = pick 0 0.0 in
+            assignments.(d).(i) <- z';
+            doc_topic.(d).(z') <- doc_topic.(d).(z') + 1;
+            topic_word.(z').(w) <- topic_word.(z').(w) + 1;
+            topic_total.(z') <- topic_total.(z') + 1)
+          doc)
+      docs
+  done;
+  { config; vocab_size; doc_topic; topic_word; topic_total; assignments }
+
+(* Topic-word distribution phi_k(w). *)
+let phi model k w =
+  (float_of_int model.topic_word.(k).(w) +. model.config.beta)
+  /. (float_of_int model.topic_total.(k)
+     +. (float_of_int model.vocab_size *. model.config.beta))
+
+(* Dominant topic of a document: the paper defines a block's category as
+   the most common category among its micro-ops. *)
+let doc_category model d =
+  let counts = model.doc_topic.(d) in
+  let best = ref 0 in
+  Array.iteri (fun k c -> if c > counts.(!best) then best := k) counts;
+  !best
+
+(* Infer the dominant topic of an unseen document (fold-in by one-shot
+   assignment against the trained topic-word counts). *)
+let infer model (doc : int array) =
+  let k = model.config.topics in
+  let counts = Array.make k 0.0 in
+  Array.iter
+    (fun w ->
+      if w < model.vocab_size then begin
+        (* assign token to its most likely topic under phi *)
+        let best = ref 0 in
+        for t = 1 to k - 1 do
+          if phi model t w > phi model !best w then best := t
+        done;
+        counts.(!best) <- counts.(!best) +. 1.0
+      end)
+    doc;
+  let best = ref 0 in
+  Array.iteri (fun t c -> if c > counts.(!best) then best := t) counts;
+  !best

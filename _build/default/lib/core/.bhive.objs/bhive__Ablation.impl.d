@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Corpus Harness List Printf Uarch X86

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Bstats Corpus Harness Int64 List Option Uarch

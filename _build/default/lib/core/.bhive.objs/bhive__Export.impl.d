@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Corpus Dataset In_channel List Out_channel Printf String X86

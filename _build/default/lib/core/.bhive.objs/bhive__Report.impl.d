@@ -1,0 +1,1 @@
+lib/core/report.ml: Ablation Array Bstats Classify Corpus Float Format List Models Printf String Validation X86

@@ -1,0 +1,1 @@
+lib/core/validation.ml: Bstats Classify Corpus Dataset Float Hashtbl List Models Option Printf Uarch

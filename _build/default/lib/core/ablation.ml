@@ -1,0 +1,96 @@
+(** Ablation experiments (Tables I and II of the paper).
+
+    Table I measures what fraction of the suite each incremental
+    measurement technique can successfully profile; Table II follows a
+    single large TensorFlow block through the same progression of
+    configurations, reporting the measured value and miss counters at
+    each step. *)
+
+type suite_row = {
+  technique : string;
+  profiled_percent : float;
+  n_profiled : int;
+  n_total : int;
+}
+
+let technique_envs =
+  [
+    ("None", Harness.Environment.agner_baseline);
+    ("Mapping all accessed pages", Harness.Environment.with_page_mapping);
+    ("More intelligent unrolling", Harness.Environment.default);
+  ]
+
+(* Table I: percentage of the suite profiled under each incremental
+   technique. *)
+let suite_ablation ?(uarch = Uarch.All.haswell) (blocks : Corpus.Block.t list) :
+    suite_row list =
+  List.map
+    (fun (technique, env) ->
+      let ok =
+        List.fold_left
+          (fun acc (b : Corpus.Block.t) ->
+            match Harness.Profiler.profile env uarch b.insts with
+            | Ok p when p.accepted -> acc + 1
+            | _ -> acc)
+          0 blocks
+      in
+      let n = List.length blocks in
+      {
+        technique;
+        profiled_percent = 100.0 *. float_of_int ok /. float_of_int n;
+        n_profiled = ok;
+        n_total = n;
+      })
+    technique_envs
+
+type block_row = {
+  optimization : string;
+  measured : string;  (** throughput or "Crashed" *)
+  l1d_misses : string;
+  l1i_misses : string;
+}
+
+(* Table II: one block through the five incremental configurations. *)
+let block_ablation ?(uarch = Uarch.All.haswell) (block : X86.Inst.t list) :
+    block_row list =
+  let configs =
+    [
+      ("None", Harness.Environment.agner_baseline);
+      ( "Page mapping",
+        {
+          Harness.Environment.default with
+          mapping = Harness.Environment.Fresh_pages;
+          unroll = Harness.Environment.Naive 100;
+          disable_underflow = false;
+          drop_misaligned = false;
+        } );
+      ( "Single physical page",
+        {
+          Harness.Environment.default with
+          unroll = Harness.Environment.Naive 100;
+          disable_underflow = false;
+          drop_misaligned = false;
+        } );
+      ( "Disabling gradual underflow",
+        {
+          Harness.Environment.default with
+          unroll = Harness.Environment.Naive 100;
+          drop_misaligned = false;
+        } );
+      ("Using smaller unroll factor", Harness.Environment.default);
+    ]
+  in
+  List.map
+    (fun (optimization, env) ->
+      match Harness.Profiler.profile env uarch block with
+      | Error _ ->
+        { optimization; measured = "Crashed"; l1d_misses = "N/A"; l1i_misses = "N/A" }
+      | Ok p ->
+        let c = p.large.counters in
+        {
+          optimization;
+          measured = Printf.sprintf "%.1f" p.throughput;
+          l1d_misses = string_of_int (c.l1d_read_misses + c.l1d_write_misses);
+          l1i_misses = string_of_int c.l1i_misses;
+        })
+    configs

@@ -1,0 +1,82 @@
+(** The measured dataset: every successfully profiled block of a corpus
+    on one microarchitecture, with its ground-truth throughput. *)
+
+type entry = {
+  block : Corpus.Block.t;
+  throughput : float;
+  faults : int;  (** pages the monitor had to map *)
+  unroll_large : int;
+  unroll_small : int;
+}
+
+type t = {
+  uarch : Uarch.Descriptor.t;
+  env : Harness.Environment.t;
+  entries : entry list;
+  n_input : int;
+  n_avx2_excluded : int;
+  failures : (Corpus.Block.t * Harness.Profiler.failure) list;
+  rejected : (Corpus.Block.t * Harness.Profiler.reject_reason) list;
+}
+
+(* Profile every block of [blocks] on [uarch]; blocks using AVX2-class
+   instructions are excluded on microarchitectures without AVX2 support,
+   as in the paper's Ivy Bridge validation. *)
+let build ?(env = Harness.Environment.default) (uarch : Uarch.Descriptor.t)
+    (blocks : Corpus.Block.t list) : t =
+  let entries = ref [] in
+  let failures = ref [] in
+  let rejected = ref [] in
+  let n_avx2 = ref 0 in
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      if (not uarch.supports_avx2) && Corpus.Block.uses_avx2 b then incr n_avx2
+      else
+        match Harness.Profiler.profile env uarch b.insts with
+        | Ok p when p.accepted ->
+          entries :=
+            {
+              block = b;
+              throughput = p.throughput;
+              faults = p.large.faults;
+              unroll_large = p.factors.large;
+              unroll_small = p.factors.small;
+            }
+            :: !entries
+        | Ok p ->
+          let reason =
+            Option.value p.reject ~default:Harness.Profiler.Unstable
+          in
+          rejected := (b, reason) :: !rejected
+        | Error f -> failures := (b, f) :: !failures)
+    blocks;
+  {
+    uarch;
+    env;
+    entries = List.rev !entries;
+    n_input = List.length blocks;
+    n_avx2_excluded = !n_avx2;
+    failures = List.rev !failures;
+    rejected = List.rev !rejected;
+  }
+
+let size t = List.length t.entries
+
+let profiled_fraction t =
+  let considered = t.n_input - t.n_avx2_excluded in
+  if considered = 0 then 0.0
+  else float_of_int (size t) /. float_of_int considered
+
+(* Deterministic train/evaluation split by block-id hash (used to train
+   the learned model on data it is not evaluated on). *)
+let split ~train_fraction t =
+  let train = ref [] and eval = ref [] in
+  List.iter
+    (fun e ->
+      let h = Bstats.Rng.seed_of_string e.block.id in
+      let u =
+        Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777216.0
+      in
+      if u < train_fraction then train := e :: !train else eval := e :: !eval)
+    t.entries;
+  (List.rev !train, List.rev !eval)

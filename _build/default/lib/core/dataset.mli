@@ -1,0 +1,34 @@
+(** The measured dataset: ground-truth throughput for every successfully
+    profiled block of a corpus on one microarchitecture. *)
+
+type entry = {
+  block : Corpus.Block.t;
+  throughput : float;  (** measured cycles per iteration *)
+  faults : int;  (** pages the monitor had to map *)
+  unroll_large : int;
+  unroll_small : int;
+}
+
+type t = {
+  uarch : Uarch.Descriptor.t;
+  env : Harness.Environment.t;
+  entries : entry list;
+  n_input : int;  (** corpus blocks offered *)
+  n_avx2_excluded : int;  (** skipped on non-AVX2 uarches, as in the paper *)
+  failures : (Corpus.Block.t * Harness.Profiler.failure) list;
+  rejected : (Corpus.Block.t * Harness.Profiler.reject_reason) list;
+}
+
+(** Profile every block of the corpus on [uarch]; deterministic. *)
+val build :
+  ?env:Harness.Environment.t -> Uarch.Descriptor.t -> Corpus.Block.t list -> t
+
+val size : t -> int
+
+(** Fraction of (non-excluded) corpus blocks successfully measured — the
+    quantity of the paper's Table I. *)
+val profiled_fraction : t -> float
+
+(** Deterministic split by block-id hash, used to train the learned model
+    on data disjoint from its evaluation set. *)
+val split : train_fraction:float -> t -> entry list * entry list

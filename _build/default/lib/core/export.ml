@@ -1,0 +1,118 @@
+(** Dataset serialisation.
+
+    The published BHive artifact distributes its measurements as CSV
+    (block hex, measured throughput); this module provides the same
+    interchange role: measured datasets round-trip through a CSV whose
+    block column is the assembly text, so external tools (or a later
+    session training a model) can consume the ground truth without
+    rerunning the profiler. *)
+
+(* One line per block: id, app, freq, unroll factors, throughput, and
+   the block text with newlines escaped as ';'. *)
+let block_field (b : Corpus.Block.t) =
+  String.concat "; " (List.map X86.Inst.to_string b.insts)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let header = "id,app,freq,unroll_large,unroll_small,throughput,block"
+
+let entry_to_csv (e : Dataset.entry) =
+  Printf.sprintf "%s,%s,%d,%d,%d,%.6f,%s"
+    (csv_escape e.block.id) (csv_escape e.block.app) e.block.freq
+    e.unroll_large e.unroll_small e.throughput
+    (csv_escape (block_field e.block))
+
+let to_channel oc (t : Dataset.t) =
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun e ->
+      output_string oc (entry_to_csv e);
+      output_char oc '\n')
+    t.entries
+
+let to_file path (t : Dataset.t) =
+  Out_channel.with_open_text path (fun oc -> to_channel oc t)
+
+let to_string (t : Dataset.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (entry_to_csv e);
+      Buffer.add_char buf '\n')
+    t.entries;
+  Buffer.contents buf
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+(* Split one CSV line honouring double-quoted fields. *)
+let split_csv_line line =
+  let fields = ref [] and buf = Buffer.create 32 in
+  let n = String.length line in
+  let rec go i in_quotes =
+    if i >= n then fields := Buffer.contents buf :: !fields
+    else
+      match line.[i] with
+      | '"' when in_quotes && i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        go (i + 2) true
+      | '"' -> go (i + 1) (not in_quotes)
+      | ',' when not in_quotes ->
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1) in_quotes
+  in
+  go 0 false;
+  List.rev !fields
+
+(** A parsed dataset row, independent of any profiler state. *)
+type row = {
+  block : Corpus.Block.t;
+  throughput : float;
+  unroll_large : int;
+  unroll_small : int;
+}
+
+let row_of_line line : row =
+  match split_csv_line line with
+  | [ id; app; freq; ul; us; tp; text ] -> (
+    let fail what = raise (Parse_error (Printf.sprintf "%s in %S" what line)) in
+    let freq = match int_of_string_opt freq with Some v -> v | None -> fail "freq" in
+    let ul = match int_of_string_opt ul with Some v -> v | None -> fail "unroll" in
+    let us = match int_of_string_opt us with Some v -> v | None -> fail "unroll" in
+    let tp = match float_of_string_opt tp with Some v -> v | None -> fail "throughput" in
+    match X86.Parser.block (String.concat "\n" (String.split_on_char ';' text)) with
+    | Ok insts ->
+      {
+        block = Corpus.Block.make ~id ~app ~freq insts;
+        throughput = tp;
+        unroll_large = ul;
+        unroll_small = us;
+      }
+    | Error e -> raise (Parse_error (Printf.sprintf "block %S: %s" text e)))
+  | _ -> raise (Parse_error (Printf.sprintf "bad field count in %S" line))
+
+let of_string (s : string) : row list =
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | hd :: rows when String.trim hd = header ->
+    List.filter_map
+      (fun line -> if String.trim line = "" then None else Some (row_of_line line))
+      rows
+  | _ -> raise (Parse_error "missing header")
+
+let of_file path = of_string (In_channel.with_open_text path In_channel.input_all)
+
+(* Rows as a (block, throughput) training set for the learned model. *)
+let training_pairs rows =
+  List.map (fun r -> (r.block.Corpus.Block.insts, r.throughput)) rows

@@ -1,0 +1,1 @@
+lib/corpus/apps.ml: Block Bstats Gen Kernels List Printf

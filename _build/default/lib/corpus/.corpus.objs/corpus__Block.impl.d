@@ -1,0 +1,1 @@
+lib/corpus/block.ml: Encoder Format Inst List String X86

@@ -1,0 +1,1 @@
+lib/corpus/block.mli: Format X86

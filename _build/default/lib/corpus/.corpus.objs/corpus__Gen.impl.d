@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: Bstats Builder Cond Float Inst List Opcode Reg Width X86

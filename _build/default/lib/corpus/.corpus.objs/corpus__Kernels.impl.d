@@ -1,0 +1,1 @@
+lib/corpus/kernels.ml: Inst List Parser X86

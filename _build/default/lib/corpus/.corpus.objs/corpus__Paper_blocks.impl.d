@@ -1,0 +1,1 @@
+lib/corpus/paper_blocks.ml: Block Buffer Inst Parser Printf X86

@@ -1,0 +1,1 @@
+lib/corpus/program.ml: Array Encoder Inst List Opcode Printf X86

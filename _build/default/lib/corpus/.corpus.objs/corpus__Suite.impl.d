@@ -1,0 +1,1 @@
+lib/corpus/suite.ml: Apps Block Bstats Hashtbl Int64 List Option Sys

@@ -1,0 +1,1 @@
+lib/corpus/suite.mli: Apps Block

@@ -1,0 +1,1 @@
+lib/corpus/tracer.ml: Array Block Bstats List Printf Program X86

@@ -1,0 +1,339 @@
+(** Per-application corpus generators.
+
+    Each source application of the BHive suite is modelled as a weighted
+    mixture of domain-characteristic code patterns plus block-shape
+    parameters (length range, share of register-only blocks, share of
+    large unrolled kernels). Paper block counts are reproduced at a
+    configurable scale. *)
+
+type t = {
+  name : string;
+  domain : string;
+  paper_count : int;
+  min_len : int;
+  max_len : int;
+  mem_free_p : float;  (** share of blocks with no memory access *)
+  store_block_p : float;  (** share of store-dominated blocks (spills) *)
+  load_block_p : float;  (** share of load-dominated blocks (reloads) *)
+  large_kernel : (int * int * float) option;
+      (** (min_len, max_len, probability): hand-unrolled hot inner loops *)
+  mix : (float * Gen.snippet) list;  (** memory-touching mixture *)
+  reg_mix : (float * Gen.snippet) list;  (** register-only mixture *)
+}
+
+open Gen
+
+(* Register-only scalar mixture shared by the general-purpose apps. *)
+let scalar_reg_mix =
+  [ (3.0, alu_chain); (1.5, bit_mix); (1.5, cmp_flags); (1.0, test_reg);
+    (1.0, mul_pattern); (1.0, lea_addr); (0.6, imm_alu) ]
+
+(* Pure-vector register blocks are rare in practice (the paper's
+   Category-2 holds only 0.4% of the suite); register-only blocks in the
+   vectorised applications usually mix scalar bookkeeping in. *)
+let pure_vector_reg_mix =
+  [ (2.0, axpy_reg); (1.5, shuffle_mix); (1.0, relu);
+    (1.0, reduce); (1.0, rsqrt_ray) ]
+
+let vector_reg_mix =
+  [ (1.2, axpy_reg); (0.8, shuffle_mix); (0.5, relu);
+    (0.4, reduce); (0.4, rsqrt_ray); (0.5, movmsk); (2.0, alu_chain);
+    (1.2, cmp_flags); (0.8, bit_mix); (0.6, lea_addr) ]
+
+(* General-purpose C/C++ application mixture (loads dominate, pointer
+   arithmetic, flag traffic, occasional division and pointer chases). *)
+let general_purpose_mix ~chase_w =
+  [ (4.2, load); (2.2, load_op); (1.3, fun ctx -> store ctx ());
+    (1.2, alu_chain); (1.2, cmp_flags); (0.9, lea_addr); (0.8, test_reg);
+    (0.8, pointer_bump); (0.7, stack_spill); (0.6, byte_scan);
+    (0.5, rmw_mem); (0.4, store_imm); (0.4, mul_pattern); (0.3, bit_mix);
+    (0.12, div_pattern); (chase_w, pointer_chase); (0.04, page_walker) ]
+
+let llvm =
+  {
+    name = "llvm";
+    domain = "Compiler";
+    paper_count = 212758;
+    min_len = 2;
+    max_len = 12;
+    mem_free_p = 0.13;
+    store_block_p = 0.11;
+    load_block_p = 0.17;
+    large_kernel = None;
+    mix = general_purpose_mix ~chase_w:0.20;
+    reg_mix = scalar_reg_mix;
+  }
+
+let sqlite =
+  {
+    name = "sqlite";
+    domain = "Database";
+    paper_count = 8871;
+    min_len = 2;
+    max_len = 11;
+    mem_free_p = 0.12;
+    store_block_p = 0.10;
+    load_block_p = 0.16;
+    large_kernel = None;
+    mix = general_purpose_mix ~chase_w:0.25;
+    reg_mix = scalar_reg_mix;
+  }
+
+let redis =
+  {
+    name = "redis";
+    domain = "Database";
+    paper_count = 9343;
+    min_len = 2;
+    max_len = 10;
+    mem_free_p = 0.11;
+    store_block_p = 0.09;
+    load_block_p = 0.15;
+    large_kernel = None;
+    mix =
+      (* string-heavy: more byte scans and table hashes *)
+      (1.2, byte_scan) :: (0.8, table_lookup)
+      :: general_purpose_mix ~chase_w:0.25;
+    reg_mix = scalar_reg_mix;
+  }
+
+let gzip =
+  {
+    name = "gzip";
+    domain = "Compression";
+    paper_count = 2272;
+    min_len = 3;
+    max_len = 10;
+    mem_free_p = 0.12;
+    store_block_p = 0.06;
+    load_block_p = 0.10;
+    large_kernel = None;
+    mix =
+      [ (2.5, table_lookup); (2.0, bit_mix); (1.5, load); (1.0, byte_scan);
+        (1.0, pointer_bump); (0.9, fun ctx -> store ctx ()); (0.8, alu_chain);
+        (0.6, cmp_flags); (0.3, rmw_mem); (0.18, pointer_chase) ];
+    reg_mix = [ (2.0, bit_mix); (1.5, alu_chain); (1.0, cmp_flags) ];
+  }
+
+let openssl =
+  {
+    name = "openssl";
+    domain = "Cryptography";
+    paper_count = 5508;
+    min_len = 4;
+    max_len = 14;
+    mem_free_p = 0.15;
+    store_block_p = 0.06;
+    load_block_p = 0.08;
+    large_kernel = Some (24, 48, 0.08);
+    mix =
+      [ (2.2, adc_bignum); (2.0, bit_mix); (1.2, table_lookup); (1.0, load);
+        (1.0, alu_chain); (0.8, fun ctx -> store ctx ());
+        (0.6, mul_pattern); (0.5, pointer_bump); (0.10, pointer_chase) ];
+    reg_mix = [ (2.5, bit_mix); (2.0, alu_chain); (0.8, mul_pattern) ];
+  }
+
+let openblas =
+  {
+    name = "openblas";
+    domain = "Scientific Computing";
+    paper_count = 19032;
+    min_len = 4;
+    max_len = 18;
+    mem_free_p = 0.12;
+    store_block_p = 0.05;
+    load_block_p = 0.10;
+    large_kernel = Some (40, 90, 0.18);
+    mix =
+      [ (2.5, fun ctx -> fma_step ctx ~ymm:true);
+        (2.0, fun ctx -> vec_load ctx ~ymm:true ());
+        (1.4, fun ctx -> axpy ctx ());
+        (1.0, fun ctx -> vec_store ctx ~ymm:true ());
+        (0.8, pointer_bump); (0.6, shuffle_mix); (0.5, alu_chain);
+        (0.3, fun ctx -> vec_load ctx ~misalign_p:0.015 ());
+        (0.2, cmp_flags) ];
+    reg_mix = vector_reg_mix;
+  }
+
+let eigen =
+  {
+    name = "eigen";
+    domain = "Scientific Computing";
+    paper_count = 4545;
+    min_len = 3;
+    max_len = 14;
+    mem_free_p = 0.12;
+    store_block_p = 0.06;
+    load_block_p = 0.12;
+    large_kernel = None;
+    mix =
+      (* sparse kernels: index loads feeding scalar/vector FP *)
+      [ (2.2, scalar_fp); (1.8, load); (1.2, fun ctx -> axpy ctx ());
+        (1.0, load_op); (0.9, pointer_bump); (0.8, lea_addr);
+        (0.7, fun ctx -> store ctx ()); (0.6, cmp_flags);
+        (0.4, cvt_mix); (0.15, pointer_chase) ];
+    reg_mix = [ (2.0, scalar_fp_reg); (1.0, alu_chain); (1.0, cmp_flags) ];
+  }
+
+let tensorflow =
+  {
+    name = "tensorflow";
+    domain = "Machine Learning";
+    paper_count = 71988;
+    min_len = 3;
+    max_len = 20;
+    mem_free_p = 0.12;
+    store_block_p = 0.06;
+    load_block_p = 0.12;
+    large_kernel = Some (36, 80, 0.15);
+    mix =
+      [ (2.2, fun ctx -> fma_step ctx ~ymm:true);
+        (1.8, fun ctx -> vec_load ctx ~ymm:true ());
+        (1.2, relu); (1.0, fun ctx -> axpy ctx ());
+        (1.0, fun ctx -> vec_store ctx ~ymm:true ());
+        (0.9, cvt_mix); (0.8, load); (0.8, pointer_bump); (0.6, alu_chain);
+        (0.5, cmp_flags); (0.4, reduce); (0.3, fun ctx -> store ctx ());
+        (0.05, pointer_chase) ];
+    reg_mix = vector_reg_mix;
+  }
+
+let embree =
+  {
+    name = "embree";
+    domain = "Ray Tracing";
+    paper_count = 12602;
+    min_len = 4;
+    max_len = 16;
+    mem_free_p = 0.13;
+    store_block_p = 0.05;
+    load_block_p = 0.10;
+    large_kernel = Some (28, 56, 0.10);
+    mix =
+      [ (2.2, mask_select); (1.8, fun ctx -> vec_load ctx ());
+        (1.4, rsqrt_ray); (1.2, fun ctx -> axpy ctx ()); (1.0, relu);
+        (0.9, movmsk); (0.8, shuffle_mix); (0.6, cmp_flags);
+        (0.5, pointer_bump); (0.4, load); (0.05, pointer_chase) ];
+    reg_mix = vector_reg_mix;
+  }
+
+let ffmpeg =
+  {
+    name = "ffmpeg";
+    domain = "Multimedia";
+    paper_count = 17150;
+    min_len = 3;
+    max_len = 16;
+    mem_free_p = 0.14;
+    store_block_p = 0.07;
+    load_block_p = 0.10;
+    large_kernel = Some (24, 52, 0.10);
+    mix =
+      [ (2.6, int_simd); (1.6, fun ctx -> vec_load ctx ());
+        (1.2, fun ctx -> vec_store ctx ()); (1.0, bit_mix); (0.9, load);
+        (0.8, shuffle_mix); (0.8, pointer_bump); (0.6, alu_chain);
+        (0.5, table_lookup); (0.4, cmp_flags); (0.06, pointer_chase) ];
+    reg_mix = [ (2.0, int_simd); (1.2, shuffle_mix); (1.0, bit_mix); (0.8, alu_chain) ];
+  }
+
+(* Google production server workloads (case study): load-dominated with a
+   noticeably larger (partially) vectorised share than the open-source
+   general-purpose apps. *)
+let spanner =
+  {
+    name = "spanner";
+    domain = "Distributed Database";
+    paper_count = 100000;
+    min_len = 2;
+    max_len = 12;
+    mem_free_p = 0.12;
+    store_block_p = 0.08;
+    load_block_p = 0.28;
+    large_kernel = None;
+    mix =
+      [ (4.2, load); (1.8, load_op); (1.2, fun ctx -> store ctx ());
+        (1.0, cmp_flags); (0.9, alu_chain); (0.8, lea_addr);
+        (0.7, pointer_bump); (0.7, fun ctx -> axpy ctx ());
+        (0.5, int_simd); (0.5, byte_scan); (0.4, stack_spill);
+        (0.3, table_lookup); (0.28, pointer_chase) ];
+    reg_mix = (1.0, axpy_reg) :: scalar_reg_mix;
+  }
+
+let dremel =
+  {
+    name = "dremel";
+    domain = "Query Engine";
+    paper_count = 100000;
+    min_len = 2;
+    max_len = 12;
+    mem_free_p = 0.10;
+    store_block_p = 0.06;
+    load_block_p = 0.34;
+    large_kernel = None;
+    mix =
+      [ (5.0, load); (1.6, load_op); (1.0, fun ctx -> store ctx ());
+        (1.0, cmp_flags); (0.9, alu_chain); (0.8, fun ctx -> axpy ctx ());
+        (0.7, lea_addr); (0.6, pointer_bump); (0.5, int_simd);
+        (0.4, bit_mix); (0.28, pointer_chase) ];
+    reg_mix = (1.2, axpy_reg) :: scalar_reg_mix;
+  }
+
+(* Store- and load-dominated block shapes, shared across applications. *)
+let store_block_mix =
+  [ (4.0, store_burst); (0.8, pointer_bump); (0.6, alu_chain);
+    (0.6, store_imm); (0.4, cmp_flags) ]
+
+let load_block_mix =
+  [ (5.0, load_burst); (0.7, lea_addr); (0.6, alu_chain); (0.4, cmp_flags) ]
+
+(* The nine applications of the paper's Table "apps". *)
+let suite_apps =
+  [ openblas; redis; sqlite; gzip; tensorflow; llvm; eigen; embree; ffmpeg ]
+
+(* OpenSSL appears in the per-application evaluation figures. *)
+let all_apps = suite_apps @ [ openssl ]
+
+let case_study_apps = [ spanner; dremel ]
+
+(* Generate [count] blocks for application [t]. *)
+let generate (t : t) ~(rng : Bstats.Rng.t) ~count : Block.t list =
+  let kernels = Kernels.for_app t.name in
+  List.init count (fun i ->
+      (* a small share of every application's hot blocks are instances of
+         the classic hand-written kernels of its domain *)
+      if kernels <> [] && Bstats.Rng.bernoulli rng 0.03 then begin
+        let kname, insts = Bstats.Rng.choose rng kernels in
+        Block.make
+          ~id:(Printf.sprintf "%s/%d:%s" t.name i kname)
+          ~app:t.name
+          ~freq:(Gen.zipf_freq rng ~rank:i)
+          insts
+      end
+      else
+      let shape = Bstats.Rng.float rng in
+      let reg_only = shape < t.mem_free_p in
+      let store_block = shape >= t.mem_free_p && shape < t.mem_free_p +. t.store_block_p in
+      let load_block =
+        shape >= t.mem_free_p +. t.store_block_p
+        && shape < t.mem_free_p +. t.store_block_p +. t.load_block_p
+      in
+      let min_len, max_len =
+        match t.large_kernel with
+        | Some (lo, hi, p) when (not reg_only) && Bstats.Rng.bernoulli rng p ->
+          (lo, hi)
+        | _ -> (t.min_len, t.max_len)
+      in
+      let mix =
+        if store_block then store_block_mix
+        else if load_block then load_block_mix
+        else if not reg_only then t.mix
+        else if Bstats.Rng.bernoulli rng 0.12 && t.large_kernel <> None then
+          (* occasional purely-vector register block (Category-2) *)
+          pure_vector_reg_mix
+        else t.reg_mix
+      in
+      let insts = Gen.block ~rng ~mix ~min_len ~max_len in
+      Block.make
+        ~id:(Printf.sprintf "%s/%d" t.name i)
+        ~app:t.name
+        ~freq:(Gen.zipf_freq rng ~rank:i)
+        insts)

@@ -1,0 +1,224 @@
+(** Hand-written inner-loop bodies of well-known algorithms, as a
+    compiler or kernel author would emit them. These are mixed into the
+    application corpora (real suites contain many instances of exactly
+    these shapes) and serve as named, stable blocks for tests and
+    examples. Every block is directly profilable under the default
+    environment. *)
+
+open X86
+
+let parse = Parser.block_exn
+
+(** memcpy, 32 bytes per iteration through XMM registers. *)
+let memcpy_sse =
+  parse
+    {|
+      movups (%rsi), %xmm0
+      movups 16(%rsi), %xmm1
+      movups %xmm0, (%rdi)
+      movups %xmm1, 16(%rdi)
+      add $32, %rsi
+      add $32, %rdi
+      cmp %rcx, %rsi
+    |}
+
+(** strlen-style scan: compare 16 bytes against zero, extract a mask. *)
+let strlen_sse =
+  parse
+    {|
+      movdqa (%rdi), %xmm1
+      pcmpeqb %xmm0, %xmm1
+      pmovmskb %xmm1, %eax
+      add $16, %rdi
+      test %eax, %eax
+    |}
+
+(** Single-precision dot product with FMA accumulation. *)
+let dot_product_fma =
+  parse
+    {|
+      vmovups (%rdi), %ymm1
+      vfmadd231ps (%rsi), %ymm1, %ymm0
+      add $32, %rdi
+      add $32, %rsi
+      cmp %rcx, %rdi
+    |}
+
+(** saxpy: y[i] += a * x[i], packed single. *)
+let saxpy =
+  parse
+    {|
+      movups (%rdi), %xmm1
+      mulps %xmm7, %xmm1
+      addps (%rsi), %xmm1
+      movups %xmm1, (%rsi)
+      add $16, %rdi
+      add $16, %rsi
+      cmp %rcx, %rdi
+    |}
+
+(** Hardware-CRC32 loop over 8-byte chunks. *)
+let crc32_hw =
+  parse
+    {|
+      crc32q (%rdi), %rax
+      add $8, %rdi
+      cmp %rcx, %rdi
+    |}
+
+(** FNV-1a-style byte hash. *)
+let fnv1a =
+  parse
+    {|
+      movzbl (%rdi), %ecx
+      xor %rcx, %rax
+      imul $0x100000001b3, %rax, %rax
+      add $1, %rdi
+      cmp %rsi, %rdi
+    |}
+
+(** xxHash-style 64-bit mixing round. *)
+let xxhash_round =
+  parse
+    {|
+      imul $0x87c37b91, %rdx, %rdx
+      rol $31, %rdx
+      xor %rdx, %rax
+      rol $27, %rax
+      lea (%rax, %rax, 4), %rax
+      add $0x52dce729, %rax
+    |}
+
+(** 4x4 single-precision matrix transpose step (shuffle-heavy). *)
+let transpose4x4 =
+  parse
+    {|
+      movaps (%rdi), %xmm0
+      movaps 16(%rdi), %xmm1
+      movaps %xmm0, %xmm2
+      unpcklps %xmm1, %xmm0
+      unpckhps %xmm1, %xmm2
+      movaps %xmm0, (%rsi)
+      movaps %xmm2, 16(%rsi)
+      add $32, %rdi
+      add $32, %rsi
+    |}
+
+(** Horizontal sum of a packed-single accumulator. *)
+let horizontal_sum =
+  parse
+    {|
+      movaps %xmm0, %xmm1
+      shufps $0xb1, %xmm0, %xmm1
+      addps %xmm1, %xmm0
+      movaps %xmm0, %xmm1
+      shufps $0x4e, %xmm0, %xmm1
+      addss %xmm1, %xmm0
+    |}
+
+(** Branchless clamp to [lo, hi] (min/max idiom). *)
+let clamp_branchless =
+  parse
+    {|
+      maxss %xmm6, %xmm0
+      minss %xmm7, %xmm0
+      addss %xmm0, %xmm1
+    |}
+
+(** memcmp-style 8-byte compare step. *)
+let memcmp_step =
+  parse
+    {|
+      movq (%rdi), %rax
+      movq (%rsi), %rdx
+      xor %rax, %rdx
+      add $8, %rdi
+      add $8, %rsi
+      test %rdx, %rdx
+    |}
+
+(** Population-count accumulation loop. *)
+let popcount_loop =
+  parse
+    {|
+      popcnt (%rdi), %rax
+      add %rax, %rdx
+      add $8, %rdi
+      cmp %rcx, %rdi
+    |}
+
+(** Base64-style lookup translation of 4 bytes. *)
+let table_translate =
+  parse
+    {|
+      movzbl (%rdi), %eax
+      movzbl 0x40000(%rax), %eax
+      movb %al, (%rsi)
+      add $1, %rdi
+      add $1, %rsi
+      cmp %rcx, %rdi
+    |}
+
+(** 8-tap FIR filter step with packed multiply-accumulate (codec). *)
+let fir_pmaddwd =
+  parse
+    {|
+      movdqu (%rdi), %xmm1
+      pmaddwd %xmm7, %xmm1
+      paddd %xmm1, %xmm0
+      add $16, %rdi
+      cmp %rcx, %rdi
+    |}
+
+(** Bignum limb addition with carry chain (crypto). *)
+let bignum_add =
+  parse
+    {|
+      movq (%rsi), %rax
+      addq (%rdi), %rax
+      movq %rax, (%rdi)
+      movq 8(%rsi), %rax
+      adcq 8(%rdi), %rax
+      movq %rax, 8(%rdi)
+      add $16, %rdi
+      add $16, %rsi
+    |}
+
+(** ReLU over a vector tile (ML). *)
+let relu_tile =
+  parse
+    {|
+      vmovups (%rdi), %ymm1
+      vxorps %xmm0, %xmm0, %xmm0
+      vmaxps %ymm0, %ymm1, %ymm1
+      vmovups %ymm1, (%rdi)
+      add $32, %rdi
+      cmp %rcx, %rdi
+    |}
+
+(** Everything, with names and the application domain each belongs to. *)
+let all : (string * string * Inst.t list) list =
+  [
+    ("memcpy-sse", "llvm", memcpy_sse);
+    ("strlen-sse", "redis", strlen_sse);
+    ("dot-product-fma", "openblas", dot_product_fma);
+    ("saxpy", "openblas", saxpy);
+    ("crc32-hw", "gzip", crc32_hw);
+    ("fnv1a", "redis", fnv1a);
+    ("xxhash-round", "sqlite", xxhash_round);
+    ("transpose4x4", "eigen", transpose4x4);
+    ("horizontal-sum", "eigen", horizontal_sum);
+    ("clamp-branchless", "embree", clamp_branchless);
+    ("memcmp-step", "sqlite", memcmp_step);
+    ("popcount-loop", "llvm", popcount_loop);
+    ("table-translate", "gzip", table_translate);
+    ("fir-pmaddwd", "ffmpeg", fir_pmaddwd);
+    ("bignum-add", "openssl", bignum_add);
+    ("relu-tile", "tensorflow", relu_tile);
+  ]
+
+(* Kernels belonging to one application. *)
+let for_app name =
+  List.filter_map
+    (fun (kname, app, insts) -> if app = name then Some (kname, insts) else None)
+    all

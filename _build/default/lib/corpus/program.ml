@@ -1,0 +1,52 @@
+(** Synthetic whole programs: a control-flow graph of basic blocks.
+
+    The dynamic tracer ([Tracer]) executes these the way DynamoRIO
+    instruments a real binary: it follows edges at run time and records
+    every basic block it observes, together with execution counts. *)
+
+open X86
+
+type terminator =
+  | Fallthrough  (** run off into the next block *)
+  | Jump of int  (** unconditional jump to block index *)
+  | Branch of {
+      taken : int;  (** target block when the branch is taken *)
+      p_taken : float;  (** probability the branch is taken at run time *)
+    }
+  | Return
+
+type node = {
+  body : Inst.t list;  (** straight-line code, no control flow *)
+  term : terminator;
+}
+
+type t = {
+  name : string;
+  nodes : node array;  (** entry is node 0 *)
+}
+
+let make ~name nodes =
+  Array.iteri
+    (fun i n ->
+      if List.exists (fun (inst : Inst.t) -> Opcode.is_control_flow inst.opcode) n.body
+      then invalid_arg (Printf.sprintf "Program.make: control flow inside node %d" i))
+    nodes;
+  { name; nodes }
+
+(* A simple counted-loop program: preheader, body looping [iters] times
+   on average, exit block. *)
+let loop ~name ~header ~body ~exit_block ~iters =
+  make ~name
+    [|
+      { body = header; term = Fallthrough };
+      {
+        body;
+        term = Branch { taken = 1; p_taken = 1.0 -. (1.0 /. float_of_int iters) };
+      };
+      { body = exit_block; term = Return };
+    |]
+
+(* Encode every node's body to the byte format the tracer consumes,
+   concatenated with terminator markers. *)
+let encode (t : t) : (bytes * terminator) array =
+  Array.map (fun n -> (Encoder.encode_block n.body, n.term)) t.nodes

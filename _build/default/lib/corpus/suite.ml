@@ -1,0 +1,56 @@
+(** Assembly of the full benchmark suite.
+
+    The paper's suite holds 358,561 blocks across nine applications; the
+    default scale here is 1/100 of the paper's per-application counts so
+    that the complete evaluation runs in minutes. Generation is fully
+    deterministic in the seed. *)
+
+type config = {
+  scale : int;  (** divide paper counts by this factor *)
+  seed : int64;
+}
+
+let default_config = { scale = 100; seed = 0xB417E_5EEDL }
+
+(* Scale from the BHIVE_SCALE environment variable if present:
+   the value is the divisor (1 = full paper-sized corpus). *)
+let config_from_env () =
+  match Sys.getenv_opt "BHIVE_SCALE" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some scale when scale >= 1 -> { default_config with scale }
+    | _ -> default_config)
+  | None -> default_config
+
+let scaled_count (config : config) (app : Apps.t) =
+  max 8 (app.paper_count / config.scale)
+
+(* Generate the corpus of one application. *)
+let app_blocks config (app : Apps.t) : Block.t list =
+  let rng =
+    Bstats.Rng.create
+      (Int64.add config.seed (Bstats.Rng.seed_of_string app.name))
+  in
+  Apps.generate app ~rng ~count:(scaled_count config app)
+
+(* The nine-application suite of Table "apps". *)
+let generate ?(config = default_config) () : Block.t list =
+  List.concat_map (app_blocks config) Apps.suite_apps
+
+(* Suite plus OpenSSL (used by the per-application error figures). *)
+let generate_extended ?(config = default_config) () : Block.t list =
+  List.concat_map (app_blocks config) Apps.all_apps
+
+(* Spanner/Dremel case-study corpora. *)
+let generate_google ?(config = default_config) () : Block.t list =
+  List.concat_map (app_blocks config) Apps.case_study_apps
+
+let count_by_app blocks =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace tbl b.app
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b.app)))
+    blocks;
+  Hashtbl.fold (fun app n acc -> (app, n) :: acc) tbl []
+  |> List.sort compare

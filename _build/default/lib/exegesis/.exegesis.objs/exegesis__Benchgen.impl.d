@@ -1,0 +1,1 @@
+lib/exegesis/benchgen.ml: Inst List Opcode Printf Reg Width X86

@@ -1,0 +1,1 @@
+lib/exegesis/characterize.ml: Benchgen Format Harness List Option Printf Uarch

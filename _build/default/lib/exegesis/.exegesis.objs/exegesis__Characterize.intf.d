@@ -1,0 +1,1 @@
+lib/exegesis/characterize.mli: Benchgen Format Uarch

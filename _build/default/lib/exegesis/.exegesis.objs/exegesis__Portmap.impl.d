@@ -1,0 +1,1 @@
+lib/exegesis/portmap.ml: Format Harness Inst List Opcode Printf Reg Uarch X86

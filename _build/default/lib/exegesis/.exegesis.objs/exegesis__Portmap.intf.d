@@ -1,0 +1,1 @@
+lib/exegesis/portmap.mli: Format Uarch X86

@@ -1,0 +1,148 @@
+(** Micro-benchmark generation for single-instruction characterisation,
+    in the style of llvm-exegesis (which the paper's background
+    discusses as the per-instruction complement to whole-block
+    validation).
+
+    For an instruction form we synthesise two benchmarks:
+
+    - a {b latency} benchmark: a serial chain where each instance
+      depends on the previous one through its destination register;
+    - a {b throughput} benchmark: several instances with disjoint
+      registers, so only execution resources are shared.
+
+    Memory forms use distinct aligned slots off a pointer register so
+    that loads hit L1 and never alias. *)
+
+open X86
+open X86.Builder
+
+(** An instruction form we can characterise: the opcode plus the shape
+    of its operands. *)
+type form = {
+  opcode : Opcode.t;
+  width : Width.t;
+  shape : [ `RR | `RI | `R | `RM | `MR | `VV | `VVV | `VM | `VVI ];
+}
+
+let form_name f =
+  Printf.sprintf "%s%s.%s"
+    (Opcode.mnemonic f.opcode)
+    (match f.width with Width.Q -> "" | w -> "." ^ Width.to_string w)
+    (match f.shape with
+    | `RR -> "rr"
+    | `RI -> "ri"
+    | `R -> "r"
+    | `RM -> "rm"
+    | `MR -> "mr"
+    | `VV -> "vv"
+    | `VVV -> "vvv"
+    | `VM -> "vm"
+    | `VVI -> "vvi")
+
+(* Registers used for chains/parallel copies. The base pointer rbx is
+   reserved for memory operands; rsp is never used. *)
+let gpr_pool = Reg.[ rax; rcx; rdx; rsi; rdi; r8; r9; r10; r11 ]
+let vec_pool = List.init 12 Reg.xmm
+let base = Reg.rbx
+
+let narrow w r = match r with Reg.Gpr (g, _) -> Reg.Gpr (g, w) | r -> r
+
+(* One instance of the form with the given destination and source
+   registers (src used only by register shapes) and memory slot. *)
+let instantiate (f : form) ~dst ~src ~slot : Inst.t =
+  let w = f.width in
+  let dst_i = narrow w dst and src_i = narrow w src in
+  let m = mb ~base ~disp:(64 * slot) () in
+  match f.shape with
+  | `RR -> Inst.make ~width:w f.opcode [ r dst_i; r src_i ]
+  | `RI -> Inst.make ~width:w f.opcode [ r dst_i; i 7 ]
+  | `R -> Inst.make ~width:w f.opcode [ r dst_i ]
+  | `RM -> Inst.make ~width:w f.opcode [ r dst_i; m ]
+  | `MR -> Inst.make ~width:w f.opcode [ m; r src_i ]
+  | `VV -> Inst.make ~width:w f.opcode [ r dst; r src ]
+  | `VVV -> Inst.make ~width:w f.opcode [ r dst; r src; r src ]
+  | `VM -> Inst.make ~width:w f.opcode [ r dst; m ]
+  | `VVI -> Inst.make ~width:w f.opcode [ r dst; r src; i 3 ]
+
+let is_vector_shape (f : form) =
+  match f.shape with `VV | `VVV | `VM | `VVI -> true | _ -> false
+
+(* The chain register pool for this form. *)
+let pool f = if is_vector_shape f then vec_pool else gpr_pool
+
+(* Can this form be made into a serial chain? RMW forms chain through
+   their destination; write-only forms chain when they also have a
+   register source we can tie to the destination. Stores and write-only
+   unary/load forms cannot be chained this way. *)
+let chainable (f : form) =
+  let reg = List.hd (pool f) in
+  let inst = instantiate f ~dst:reg ~src:reg ~slot:0 in
+  (* a same-register chain of a dependency-breaking idiom (xor r,r;
+     sub r,r) measures elimination, not latency *)
+  if Inst.is_zero_idiom inst then false
+  else
+    match Inst.operand_access inst with
+    | X86.Inst.Read_write :: _ -> true
+    | X86.Inst.Write :: _ -> (
+      match f.shape with `RR | `VV | `VVV | `VVI -> true | _ -> false)
+    | _ -> false
+
+(** Latency benchmark: [n] chained instances through one register; the
+    loop-carried recurrence of the unrolled block is then n * latency.
+    Returns [None] for forms that cannot be chained (stores, write-only
+    loads). *)
+let latency_block (f : form) ~n : Inst.t list option =
+  if not (chainable f) then None
+  else
+    let reg = List.hd (pool f) in
+    Some (List.init n (fun _ -> instantiate f ~dst:reg ~src:reg ~slot:0))
+
+(** Throughput benchmark: [copies] instances with disjoint destination
+    registers all reading one shared source register, so no instance
+    depends on another within or across iterations (beyond the RMW
+    recurrence on its own destination, which the copy count is chosen to
+    hide). *)
+let default_copies (f : form) = List.length (pool f) - 1
+
+let throughput_block (f : form) ~copies : Inst.t list =
+  let pool = pool f in
+  let shared_src = List.nth pool (List.length pool - 1) in
+  List.init copies (fun k ->
+      let dst = List.nth pool (k mod (List.length pool - 1)) in
+      instantiate f ~dst ~src:shared_src ~slot:k)
+
+(* The standard battery of forms used by the characterisation table. *)
+let standard_forms : form list =
+  let q = Width.Q and d = Width.D in
+  [
+    { opcode = Opcode.Add; width = q; shape = `RR };
+    { opcode = Opcode.Add; width = q; shape = `RM };
+    { opcode = Opcode.Add; width = q; shape = `MR };
+    { opcode = Opcode.Sub; width = q; shape = `RR };
+    { opcode = Opcode.And; width = q; shape = `RR };
+    { opcode = Opcode.Xor; width = d; shape = `RR };
+    { opcode = Opcode.Cmp; width = q; shape = `RR };
+    { opcode = Opcode.Mov; width = q; shape = `RR };
+    { opcode = Opcode.Mov; width = q; shape = `RM };
+    { opcode = Opcode.Mov; width = q; shape = `MR };
+    { opcode = Opcode.Imul_rr; width = q; shape = `RR };
+    { opcode = Opcode.Popcnt; width = q; shape = `RR };
+    { opcode = Opcode.Lzcnt; width = q; shape = `RR };
+    { opcode = Opcode.Bswap; width = q; shape = `R };
+    { opcode = Opcode.Shl; width = q; shape = `RI };
+    { opcode = Opcode.Ror; width = q; shape = `RI };
+    { opcode = Opcode.Neg; width = q; shape = `R };
+    { opcode = Opcode.Lea; width = q; shape = `RM };
+    { opcode = Opcode.Fadd Opcode.Ps; width = q; shape = `VV };
+    { opcode = Opcode.Fmul Opcode.Ps; width = q; shape = `VV };
+    { opcode = Opcode.Fadd Opcode.Sd; width = q; shape = `VV };
+    { opcode = Opcode.Fdiv Opcode.Ss; width = q; shape = `VV };
+    { opcode = Opcode.Fsqrt Opcode.Ps; width = q; shape = `VV };
+    { opcode = Opcode.Pand; width = q; shape = `VV };
+    { opcode = Opcode.Padd Opcode.I32; width = q; shape = `VV };
+    { opcode = Opcode.Pmull Opcode.I32; width = q; shape = `VV };
+    { opcode = Opcode.Pshufd; width = q; shape = `VVI };
+    { opcode = Opcode.Movap Opcode.Ps; width = q; shape = `VV };
+    { opcode = Opcode.Movap Opcode.Ps; width = q; shape = `VM };
+    { opcode = Opcode.Vfmadd (231, Opcode.Ps); width = q; shape = `VVV };
+  ]

@@ -1,0 +1,1 @@
+lib/harness/environment.ml: Int64

@@ -1,0 +1,1 @@
+lib/harness/mapping.ml: Environment Inst List Memsim Printf X86 Xsem

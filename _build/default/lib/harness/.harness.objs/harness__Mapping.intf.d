@@ -1,0 +1,1 @@
+lib/harness/mapping.mli: Environment Memsim X86 Xsem

@@ -1,0 +1,1 @@
+lib/harness/profiler.ml: Bstats Environment Hashtbl Inst Int64 List Mapping Option Pipeline Result String Uarch Unroll X86

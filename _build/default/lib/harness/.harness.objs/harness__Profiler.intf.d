@@ -1,0 +1,1 @@
+lib/harness/profiler.mli: Environment Mapping Pipeline Uarch Unroll X86

@@ -1,0 +1,1 @@
+lib/harness/unroll.ml: Encoder Environment Inst X86

@@ -1,0 +1,1 @@
+lib/harness/unroll.mli: Environment X86

@@ -1,0 +1,77 @@
+(** Measurement-environment configuration.
+
+    The individual switches correspond to the techniques the paper
+    introduces (and ablates in Tables I and II): how faulting pages are
+    mapped, whether gradual underflow is disabled, which unrolling
+    strategy derives throughput, and the clean-measurement filters. *)
+
+(** How the monitor maps pages the basic block faults on. *)
+type mapping_mode =
+  | No_mapping
+      (** Agner-Fog-style: execute as-is; any memory access crashes
+          (ablation baseline, Table I row 1) *)
+  | Fresh_pages
+      (** map each faulting virtual page to its own physical frame
+          (Table II row 2: executes, but cache misses remain) *)
+  | Single_physical_page
+      (** BHive: alias every faulting virtual page to one frame (all
+          accesses hit the same 64 L1D lines) *)
+
+(** How throughput is derived from latency measurements. *)
+type unroll_strategy =
+  | Naive of int
+      (** measure one unroll factor [u], report cycles/u; large blocks
+          overflow the L1I cache *)
+  | Two_point of { large : int; small : int }
+      (** measure two factors and divide the cycle delta by the factor
+          delta ("more intelligent unrolling") *)
+  | Adaptive_two_point of { code_budget_bytes : int }
+      (** Two_point with factors scaled so the unrolled code fits the
+          instruction-cache budget *)
+
+type t = {
+  mapping : mapping_mode;
+  unroll : unroll_strategy;
+  fill_value : int32;  (** physical-page fill and register-init constant *)
+  max_faults : int;  (** monitor gives up after this many mappings *)
+  timings : int;  (** measurements per unrolled block (paper: 16) *)
+  min_clean : int;  (** required identical clean timings (paper: 8) *)
+  disable_underflow : bool;  (** set MXCSR FTZ/DAZ before measuring *)
+  drop_misaligned : bool;  (** reject on MISALIGNED_MEM_REFERENCE > 0 *)
+  context_switch_rate : float;
+      (** probability a timing run suffers an OS context switch (the
+          machines are otherwise quiesced: no hyper-threading, pinned) *)
+  noise_seed : int64;
+}
+
+(* The paper's production configuration. *)
+let default =
+  {
+    mapping = Single_physical_page;
+    unroll = Adaptive_two_point { code_budget_bytes = 24 * 1024 };
+    fill_value = 0x12345600l;
+    max_faults = 64;
+    timings = 16;
+    min_clean = 8;
+    disable_underflow = true;
+    drop_misaligned = true;
+    context_switch_rate = 0.08;
+    noise_seed = 0xB417EL;
+  }
+
+(* Table I row 1: plain latency measurement of the unrolled block. *)
+let agner_baseline =
+  {
+    default with
+    mapping = No_mapping;
+    unroll = Naive 100;
+    disable_underflow = false;
+    drop_misaligned = false;
+  }
+
+(* Table I row 2: page mapping added, naive unrolling kept. *)
+let with_page_mapping = { default with unroll = Naive 100 }
+
+let fill_value_u64 t =
+  let v = Int64.logand (Int64.of_int32 t.fill_value) 0xFFFFFFFFL in
+  v

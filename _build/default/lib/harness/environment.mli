@@ -1,0 +1,45 @@
+(** Measurement-environment configuration. Every switch corresponds to a
+    technique the paper introduces and ablates (Tables I and II). *)
+
+(** How the monitor maps pages the basic block faults on. *)
+type mapping_mode =
+  | No_mapping
+      (** Agner-Fog-style baseline: any memory access crashes *)
+  | Fresh_pages
+      (** each faulting virtual page gets its own physical frame *)
+  | Single_physical_page
+      (** BHive: alias every faulting page onto one frame (all accesses
+          hit the same 64 L1D lines) *)
+
+(** How throughput is derived from latency measurements. *)
+type unroll_strategy =
+  | Naive of int  (** cycles(u)/u; large blocks overflow the L1I *)
+  | Two_point of { large : int; small : int }
+      (** (cycles(u) - cycles(u')) / (u - u') *)
+  | Adaptive_two_point of { code_budget_bytes : int }
+      (** two-point with factors scaled to an I-cache budget *)
+
+type t = {
+  mapping : mapping_mode;
+  unroll : unroll_strategy;
+  fill_value : int32;  (** page-fill and register-init constant *)
+  max_faults : int;  (** monitor gives up after this many mappings *)
+  timings : int;  (** measurements per unrolled block (paper: 16) *)
+  min_clean : int;  (** required identical clean timings (paper: 8) *)
+  disable_underflow : bool;  (** set MXCSR FTZ/DAZ before measuring *)
+  drop_misaligned : bool;  (** reject on MISALIGNED_MEM_REFERENCE > 0 *)
+  context_switch_rate : float;  (** OS-noise probability per timing *)
+  noise_seed : int64;
+}
+
+(** The paper's production configuration: single-physical-page mapping,
+    adaptive two-point unrolling, FTZ/DAZ, all filters on. *)
+val default : t
+
+(** Table I row 1: plain latency measurement of the unrolled block. *)
+val agner_baseline : t
+
+(** Table I row 2: page mapping added, naive 100x unrolling kept. *)
+val with_page_mapping : t
+
+val fill_value_u64 : t -> int64

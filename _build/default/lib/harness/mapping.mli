@@ -1,0 +1,27 @@
+(** The monitor/measure page-mapping algorithm (paper, Figure 2): run the
+    unrolled block from a re-initialised state, intercept each page
+    fault, map the page, restart; give up on unmappable addresses or
+    when the fault budget is exhausted. *)
+
+type failure =
+  | Unmappable_address of int64
+      (** fault address outside the user-space mappable range *)
+  | Too_many_faults of int
+  | Arithmetic_fault  (** division by zero: the process dies with SIGFPE *)
+  | Mapping_disabled of int64
+      (** a fault occurred while running in [No_mapping] mode *)
+
+val failure_to_string : failure -> string
+
+type success = {
+  mmu : Memsim.Mmu.t;  (** with all touched pages mapped *)
+  steps : Xsem.Executor.step list;  (** the final, complete execution *)
+  faults : int;  (** mappings the monitor had to create *)
+  distinct_frames : int;  (** 1 under single-physical-page aliasing *)
+  events : Xsem.Semantics.event list;
+}
+
+(** [run env block ~unroll] maps and executes [unroll] copies of
+    [block] under [env]'s mapping mode. *)
+val run :
+  Environment.t -> X86.Inst.t list -> unroll:int -> (success, failure) result

@@ -1,0 +1,190 @@
+(** The BHive basic-block profiler.
+
+    For each unroll factor the profiler: (1) runs the monitor/measure
+    mapping algorithm, (2) replays the final execution through the cycle
+    simulator once to warm the caches (the paper's first, discarded
+    execution), then (3) takes [env.timings] timed runs, each exposed to
+    simulated OS noise. A block is accepted only if at least
+    [env.min_clean] timings are clean (no cache misses of any kind, no
+    context switches) and identical, and — when the filter is enabled —
+    no load or store crossed a cache line. *)
+
+open X86
+
+type reject_reason =
+  | Misaligned_access  (** MISALIGNED_MEM_REFERENCE counter non-zero *)
+  | Never_clean
+      (** no timing met the clean criteria (persistent cache misses) *)
+  | Unstable  (** fewer than [min_clean] identical clean timings *)
+
+type failure =
+  | Mapping_failed of Mapping.failure
+  | Rejected of reject_reason
+
+let failure_to_string = function
+  | Mapping_failed f -> "mapping: " ^ Mapping.failure_to_string f
+  | Rejected Misaligned_access -> "rejected: misaligned access"
+  | Rejected Never_clean -> "rejected: never clean"
+  | Rejected Unstable -> "rejected: unstable timings"
+
+type timing = {
+  cycles : int;
+  counters : Pipeline.Counters.t;
+  clean : bool;
+}
+
+(* Result of measuring one unrolled instance. *)
+type point = {
+  unroll : int;
+  accepted_cycles : int option;  (** agreed-upon clean cycle count *)
+  best_cycles : int;  (** minimum observed, reported even when unclean *)
+  timings : timing list;
+  faults : int;
+  distinct_frames : int;
+  counters : Pipeline.Counters.t;  (** from the first timed run *)
+}
+
+type profile = {
+  throughput : float;
+  accepted : bool;
+  reject : reject_reason option;
+  large : point;
+  small : point option;
+  factors : Unroll.factors;
+}
+
+(* OS / measurement noise model: a context switch pollutes the counters
+   and adds many cycles; small timer jitter perturbs the cycle count
+   without dirtying the counters. Both are what the 16-timings /
+   8-identical-clean rule exists to filter. *)
+let apply_noise (env : Environment.t) rng ~cycles
+    (counters : Pipeline.Counters.t) =
+  let counters = Pipeline.Counters.copy counters in
+  let cycles =
+    if Bstats.Rng.bernoulli rng env.context_switch_rate then begin
+      counters.context_switches <- counters.context_switches + 1;
+      cycles + 3000 + Bstats.Rng.int rng 4000
+    end
+    else cycles
+  in
+  let cycles =
+    if Bstats.Rng.bernoulli rng 0.05 then cycles + 1 + Bstats.Rng.int rng 3
+    else cycles
+  in
+  (cycles, counters)
+
+(* Measure one unroll factor of [block] on [descriptor]. *)
+let measure_point (env : Environment.t) (descriptor : Uarch.Descriptor.t) rng
+    (block : Inst.t list) ~unroll : (point, Mapping.failure) result =
+  match Mapping.run env block ~unroll with
+  | Error f -> Error f
+  | Ok mapped ->
+    let machine = Pipeline.Machine.create descriptor in
+    (* Discarded warm-up execution: fills L1D/L1I. *)
+    ignore (Pipeline.Machine.run machine mapped.steps);
+    (* Steady-state timed executions. The simulated machine is
+       deterministic once warm, so one simulation gives the noise-free
+       cycle count; each of the [env.timings] measurements then sees its
+       own independently sampled OS noise, exactly what the repeat-and-
+       filter protocol exists to reject. *)
+    let base = Pipeline.Machine.run machine mapped.steps in
+    let timings =
+      List.init env.timings (fun _ ->
+          let cycles, counters =
+            apply_noise env rng ~cycles:base.cycles base.counters
+          in
+          { cycles; counters; clean = Pipeline.Counters.is_clean counters })
+    in
+    (* Most frequent cycle count among clean timings. *)
+    let clean = List.filter (fun t -> t.clean) timings in
+    let accepted_cycles =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          Hashtbl.replace tbl t.cycles
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl t.cycles)))
+        clean;
+      Hashtbl.fold
+        (fun cyc count best ->
+          match best with
+          | Some (_, bc) when bc >= count -> best
+          | _ when count >= env.min_clean -> Some (cyc, count)
+          | _ -> best)
+        tbl None
+      |> Option.map fst
+    in
+    let best_cycles =
+      List.fold_left (fun acc t -> min acc t.cycles) max_int timings
+    in
+    Ok
+      {
+        unroll;
+        accepted_cycles;
+        best_cycles;
+        timings;
+        faults = mapped.faults;
+        distinct_frames = mapped.distinct_frames;
+        counters = base.counters;
+      }
+
+let profile (env : Environment.t) (descriptor : Uarch.Descriptor.t)
+    (block : Inst.t list) : (profile, failure) result =
+  let seed =
+    Int64.add env.noise_seed
+      (Bstats.Rng.seed_of_string
+         (String.concat ";" (List.map Inst.to_string block)))
+  in
+  let rng = Bstats.Rng.create seed in
+  let factors = Unroll.choose env.unroll block in
+  match measure_point env descriptor rng block ~unroll:factors.large with
+  | Error f -> Error (Mapping_failed f)
+  | Ok large -> (
+    let small =
+      if factors.small = 0 then Ok None
+      else
+        Result.map Option.some
+          (measure_point env descriptor rng block ~unroll:factors.small)
+    in
+    match small with
+    | Error f -> Error (Mapping_failed f)
+    | Ok small ->
+      let cycles_of (p : point) =
+        match p.accepted_cycles with Some c -> Some c | None -> None
+      in
+      let misaligned =
+        env.drop_misaligned && large.counters.misaligned_mem_refs > 0
+      in
+      let accepted_large = cycles_of large in
+      let accepted_small = Option.map cycles_of small in
+      let all_clean_present =
+        accepted_large <> None
+        && (match accepted_small with Some None -> false | _ -> true)
+      in
+      let reject =
+        if misaligned then Some Misaligned_access
+        else if not all_clean_present then
+          if List.exists (fun t -> t.clean) large.timings then Some Unstable
+          else Some Never_clean
+        else None
+      in
+      let cl = Option.value accepted_large ~default:large.best_cycles in
+      let cs =
+        match small with
+        | None -> 0
+        | Some p -> Option.value p.accepted_cycles ~default:p.best_cycles
+      in
+      let throughput = Unroll.throughput factors ~cycles_large:cl ~cycles_small:cs in
+      Ok
+        {
+          throughput;
+          accepted = reject = None;
+          reject;
+          large;
+          small;
+          factors;
+        })
+
+(* Throughput if accepted, in the style the dataset stores. *)
+let accepted_throughput = function
+  | Ok p when p.accepted -> Some p.throughput
+  | _ -> None

@@ -1,0 +1,58 @@
+(** The BHive basic-block profiler: measures the steady-state inverse
+    throughput of an arbitrary basic block under a configurable
+    measurement environment, applying the paper's clean-measurement
+    protocol (16 timings, at least 8 clean and identical, misalignment
+    filter). *)
+
+type reject_reason =
+  | Misaligned_access  (** MISALIGNED_MEM_REFERENCE counter non-zero *)
+  | Never_clean
+      (** no timing met the clean criteria (persistent cache misses) *)
+  | Unstable  (** fewer than [min_clean] identical clean timings *)
+
+type failure =
+  | Mapping_failed of Mapping.failure
+  | Rejected of reject_reason
+
+val failure_to_string : failure -> string
+
+(** One timed execution of the unrolled block, with its counters. *)
+type timing = {
+  cycles : int;
+  counters : Pipeline.Counters.t;
+  clean : bool;  (** no cache misses of any kind, no context switches *)
+}
+
+(** Result of measuring one unrolled instance of the block. *)
+type point = {
+  unroll : int;
+  accepted_cycles : int option;  (** agreed-upon clean cycle count *)
+  best_cycles : int;  (** minimum observed, reported even when unclean *)
+  timings : timing list;
+  faults : int;  (** pages the monitor mapped *)
+  distinct_frames : int;  (** 1 under single-physical-page mapping *)
+  counters : Pipeline.Counters.t;  (** from the first timed run *)
+}
+
+type profile = {
+  throughput : float;  (** cycles per block iteration at steady state *)
+  accepted : bool;  (** all clean-measurement criteria satisfied *)
+  reject : reject_reason option;
+  large : point;
+  small : point option;  (** absent under the naive unroll strategy *)
+  factors : Unroll.factors;
+}
+
+(** [profile env uarch block] runs the full measurement pipeline:
+    page-mapping monitor, cache warm-up, repeated timed executions with
+    simulated OS noise, filtering, and throughput derivation. The result
+    is deterministic in (env, uarch, block). *)
+val profile :
+  Environment.t ->
+  Uarch.Descriptor.t ->
+  X86.Inst.t list ->
+  (profile, failure) result
+
+(** The measured throughput when the block was accepted, [None]
+    otherwise. *)
+val accepted_throughput : (profile, failure) result -> float option

@@ -1,0 +1,1 @@
+lib/memsim/fault.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/memsim/mmu.ml: Bytes Char Fault Int64 Page_table Phys_mem

@@ -1,0 +1,1 @@
+lib/memsim/page_table.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/memsim/phys_mem.ml: Bytes Char Fault Hashtbl Int64 Printf

@@ -1,0 +1,87 @@
+(** Simulated MMU: translates virtual addresses through the page table,
+    raises faults for unmapped or non-canonical accesses, and performs the
+    actual data movement against physical memory.
+
+    Cache behaviour is deliberately {e not} modelled here — the pipeline
+    simulator replays the recorded physical access trace against its own
+    cache models, exactly as the real machine overlaps architectural
+    execution and cache timing. *)
+
+type t = {
+  phys : Phys_mem.t;
+  table : Page_table.t;
+}
+
+type access = {
+  vaddr : int64;
+  paddr : int64;
+  size : int;
+  is_store : bool;
+}
+
+let create () = { phys = Phys_mem.create (); table = Page_table.create () }
+
+let phys t = t.phys
+let table t = t.table
+
+(* Translate one byte address; raises [Fault.Fault] when unmapped. *)
+let translate t vaddr =
+  if not (Fault.is_valid_address vaddr) then
+    raise (Fault.Fault (Fault.Non_canonical vaddr));
+  let vpn = Fault.page_of_address vaddr in
+  match Page_table.translate_page t.table vpn with
+  | Some pfn ->
+    Int64.add (Fault.address_of_page pfn) (Int64.of_int (Fault.offset_in_page vaddr))
+  | None -> raise (Fault.Fault (Fault.Segfault vaddr))
+
+(* Byte-wise rw crossing page boundaries correctly. *)
+let read_bytes t vaddr size : bytes * access list =
+  let out = Bytes.create size in
+  let accesses = ref [] in
+  let first_paddr = ref None in
+  for k = 0 to size - 1 do
+    let va = Int64.add vaddr (Int64.of_int k) in
+    let pa = translate t va in
+    if !first_paddr = None then first_paddr := Some pa;
+    let pfn = Fault.page_of_address pa and off = Fault.offset_in_page pa in
+    Bytes.set out k (Char.chr (Phys_mem.read_byte t.phys pfn off))
+  done;
+  (match !first_paddr with
+  | Some paddr ->
+    accesses := [ { vaddr; paddr; size; is_store = false } ]
+  | None -> ());
+  (out, !accesses)
+
+let write_bytes t vaddr (data : bytes) : access list =
+  let size = Bytes.length data in
+  let first_paddr = ref None in
+  for k = 0 to size - 1 do
+    let va = Int64.add vaddr (Int64.of_int k) in
+    let pa = translate t va in
+    if !first_paddr = None then first_paddr := Some pa;
+    let pfn = Fault.page_of_address pa and off = Fault.offset_in_page pa in
+    Phys_mem.write_byte t.phys pfn off (Char.code (Bytes.get data k))
+  done;
+  match !first_paddr with
+  | Some paddr -> [ { vaddr; paddr; size; is_store = true } ]
+  | None -> []
+
+let read_u64 t vaddr =
+  let b, _ = read_bytes t vaddr 8 in
+  Bytes.get_int64_le b 0
+
+let write_u64 t vaddr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  ignore (write_bytes t vaddr b)
+
+(* Map virtual page [vpn] to a dedicated fresh frame (conventional mmap). *)
+let map_fresh t vpn =
+  let pfn = Phys_mem.allocate t.phys in
+  Page_table.map t.table ~vpn ~pfn;
+  pfn
+
+(* Map virtual page [vpn] onto an existing frame (BHive aliasing). *)
+let map_aliased t ~vpn ~pfn = Page_table.map t.table ~vpn ~pfn
+
+let unmap_all t = Page_table.unmap_all t.table

@@ -1,0 +1,41 @@
+(** Physical memory: a sparse collection of 4 KiB frames addressed by
+    physical page number. *)
+
+type t = {
+  frames : (int64, bytes) Hashtbl.t;
+  mutable next_free : int64;  (** simple bump allocator for fresh frames *)
+}
+
+let create () = { frames = Hashtbl.create 64; next_free = 0x100L }
+
+let allocate t =
+  let pfn = t.next_free in
+  t.next_free <- Int64.add t.next_free 1L;
+  Hashtbl.replace t.frames pfn (Bytes.make Fault.page_size '\000');
+  pfn
+
+let frame t pfn =
+  match Hashtbl.find_opt t.frames pfn with
+  | Some b -> b
+  | None ->
+    (* Touching an unallocated frame is an internal logic error, not a
+       simulated fault: the MMU only hands out allocated frames. *)
+    invalid_arg (Printf.sprintf "Phys_mem.frame: unallocated pfn 0x%Lx" pfn)
+
+let mem t pfn = Hashtbl.mem t.frames pfn
+
+(* Fill a frame with a repeating 32-bit little-endian constant; BHive
+   initialises its single physical page with 0x12345600 so that loaded
+   values are themselves plausible, mappable pointers. *)
+let fill_const t pfn value32 =
+  let b = frame t pfn in
+  for i = 0 to (Fault.page_size / 4) - 1 do
+    Bytes.set_int32_le b (i * 4) value32
+  done
+
+let read_byte t pfn offset = Char.code (Bytes.get (frame t pfn) offset)
+let write_byte t pfn offset v = Bytes.set (frame t pfn) offset (Char.chr (v land 0xFF))
+
+let clear t =
+  Hashtbl.reset t.frames;
+  t.next_free <- 0x100L

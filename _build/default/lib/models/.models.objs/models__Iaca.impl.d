@@ -1,0 +1,1 @@
+lib/models/iaca.ml: Inst List Model_intf Opcode Static_sim Table_noise Uarch X86

@@ -1,0 +1,1 @@
+lib/models/iaca.mli: Model_intf Static_sim Uarch

@@ -1,0 +1,1 @@
+lib/models/ithemal.ml: Array Bstats Float Hashtbl Inst Int64 List Model_intf Opcode Operand Option Printf Reg String Width X86

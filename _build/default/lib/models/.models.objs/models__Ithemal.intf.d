@@ -1,0 +1,1 @@
+lib/models/ithemal.mli: Model_intf X86

@@ -1,0 +1,1 @@
+lib/models/llvm_mca.mli: Model_intf Static_sim Uarch

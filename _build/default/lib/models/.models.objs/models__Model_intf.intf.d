@@ -1,0 +1,1 @@
+lib/models/model_intf.mli: X86

@@ -1,0 +1,1 @@
+lib/models/osaca.ml: Array Float Inst List Model_intf Opcode Operand Printf Reg Table_noise Uarch Width X86

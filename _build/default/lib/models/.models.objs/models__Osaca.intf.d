@@ -1,0 +1,1 @@
+lib/models/osaca.mli: Model_intf Uarch X86

@@ -1,0 +1,1 @@
+lib/models/static_sim.ml: Array Inst List Model_intf Opcode Operand Reg Uarch X86

@@ -1,0 +1,1 @@
+lib/models/table_noise.ml: Bstats Float Int64 Opcode Uarch X86

@@ -1,0 +1,65 @@
+(** IACA-like analyzer.
+
+    Shares the static scheduler and knows Intel's private optimisations
+    (micro-fusion, zero idioms, move elimination), which is what makes
+    the real IACA "generally recognised as the more accurate analyzer".
+    Its two documented failure modes are reproduced:
+
+    - the division table bug: [div r32] is costed with the wide
+      128/64-bit dividend latency (predicting ~98 cycles where ~22 are
+      measured);
+    - a modest level of per-opcode table error. *)
+
+open X86
+
+let noise_seed = 0x1ACAL
+
+let table (d : Uarch.Descriptor.t) : Static_sim.table =
+ fun inst ->
+  let p = d.profile in
+  let decomp = Uarch.Descriptor.decompose d inst in
+  let divider_busy =
+    match inst.Inst.opcode with
+    | Opcode.Div | Idiv -> p.div64_latency (* the table bug *)
+    | Opcode.Fdiv _ | Fsqrt _ -> p.fp_div_latency_s
+    | _ -> 0
+  in
+  let uops =
+    List.map
+      (fun (u : Uarch.Uop.t) ->
+        let latency =
+          match inst.Inst.opcode with
+          | Opcode.Div | Idiv when u.kind = Uarch.Uop.Exec -> p.div64_latency
+          | _ ->
+            Table_noise.latency ~seed:noise_seed ~fraction:0.45 ~amplitude:0.55
+              inst.Inst.opcode u.latency
+        in
+        let ports =
+          Table_noise.drop_port ~seed:noise_seed ~fraction:0.13
+            inst.Inst.opcode u.ports
+        in
+        { Static_sim.ports; latency; is_load = u.kind = Uarch.Uop.Load })
+      decomp.uops
+  in
+  let uops =
+    (* mis-split table entries charge a spurious extra uop *)
+    if Table_noise.extra_uop ~seed:noise_seed ~fraction:0.17 inst.Inst.opcode
+       && uops <> []
+    then uops @ [ { Static_sim.ports = p.alu; latency = 1; is_load = false } ]
+    else uops
+  in
+  {
+    Static_sim.uops;
+    eliminated = decomp.eliminated;
+    divider_busy;
+    split_fused_loads = false;
+  }
+
+let create (d : Uarch.Descriptor.t) : Model_intf.t =
+  let config = { Static_sim.n_ports = d.n_ports; issue_width = d.rename_width } in
+  let tbl = table d in
+  {
+    Model_intf.name = "IACA";
+    predict = (fun block -> Model_intf.Throughput (Static_sim.throughput config tbl block));
+    schedule = Some (fun block -> Static_sim.schedule config tbl block);
+  }

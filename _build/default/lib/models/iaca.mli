@@ -1,0 +1,9 @@
+(** IACA-like analyzer: knows Intel's private optimisations
+    (micro-fusion, zero idioms, move elimination) but carries the
+    documented division-table bug and a modest level of per-opcode table
+    error. *)
+
+(** The raw micro-op table this model uses (exposed for tests). *)
+val table : Uarch.Descriptor.t -> Static_sim.table
+
+val create : Uarch.Descriptor.t -> Model_intf.t

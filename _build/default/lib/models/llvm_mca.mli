@@ -1,0 +1,9 @@
+(** llvm-mca-like analyzer: driven by a separate scheduling-model table
+    with its own drift from the hardware; no zero-idiom knowledge;
+    schedules micro-fused load+op pairs as one unit (the paper's
+    mis-scheduling case study); markedly staler table on Skylake. *)
+
+(** The raw micro-op table this model uses (exposed for tests). *)
+val table : Uarch.Descriptor.t -> Static_sim.table
+
+val create : Uarch.Descriptor.t -> Model_intf.t

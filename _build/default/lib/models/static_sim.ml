@@ -1,0 +1,168 @@
+(** Static out-of-order scheduler shared by the analyzer-style models
+    (IACA-like, llvm-mca-like).
+
+    Unlike the ground-truth pipeline this simulator has no architectural
+    state: it never sees addresses or data, assumes every load hits L1 (as
+    all the modelled tools do), and derives throughput purely from a
+    model-supplied micro-op table, register dependences, and port
+    contention. Differences between models live entirely in their tables
+    and quirk flags. *)
+
+open X86
+
+type uop = {
+  ports : Uarch.Port.set;
+  latency : int;
+  is_load : bool;
+}
+
+(** Model-view of one instruction. *)
+type entry = {
+  uops : uop list;
+  eliminated : bool;
+  divider_busy : int;  (** cycles the (non-pipelined) divider stays busy *)
+  split_fused_loads : bool;
+      (** llvm-mca quirk: treat a micro-fused load+op pair as a single
+          unit, so the load cannot start before the op's data inputs are
+          ready (the mis-scheduling case study) *)
+}
+
+type table = Inst.t -> entry
+
+type config = {
+  n_ports : int;
+  issue_width : int;
+}
+
+let flags_root = Reg.num_roots
+let n_roots = Reg.num_roots + 1
+
+(* Schedule [iterations] copies of [block]; returns total cycles and the
+   schedule of the first [record_iterations] iterations. *)
+let run (config : config) (table : table) (block : Inst.t list) ~iterations
+    ~record_iterations : int * Model_intf.schedule_entry list =
+  let reg_ready = Array.make n_roots 0 in
+  let ports = Uarch.Port_schedule.create ~n_ports:config.n_ports in
+  let schedule = ref [] in
+  let issue_cycle = ref 0 in
+  let issued_this_cycle = ref 0 in
+  let finish = ref 0 in
+  let entries =
+    List.map
+      (fun inst ->
+        let addr_roots =
+          List.concat_map
+            (fun op ->
+              match op with
+              | Operand.Mem m ->
+                List.map (fun r -> Reg.root_index (Reg.root r)) (Operand.mem_regs m)
+              | _ -> [])
+            inst.Inst.operands
+        in
+        (inst, table inst, addr_roots,
+         List.map Reg.root_index (Inst.read_roots inst),
+         List.map Reg.root_index (Inst.write_roots inst)))
+      block
+  in
+  for iter = 0 to iterations - 1 do
+    List.iteri
+      (fun inst_index (inst, entry, addr_roots, reads, writes) ->
+        (* front end issue bandwidth *)
+        let slots = max 1 (List.length entry.uops) in
+        for _ = 1 to slots do
+          if !issued_this_cycle >= config.issue_width then begin
+            incr issue_cycle;
+            issued_this_cycle := 0
+          end;
+          incr issued_this_cycle
+        done;
+        let renamed_at = !issue_cycle in
+        let ready_of roots =
+          List.fold_left (fun acc r -> max acc reg_ready.(r)) 0 roots
+        in
+        let data_ready =
+          let base = ready_of reads in
+          if Opcode.reads_flags inst.Inst.opcode then
+            max base reg_ready.(flags_root)
+          else base
+        in
+        let addr_ready = ready_of addr_roots in
+        if entry.eliminated then begin
+          let ready =
+            if Inst.is_zero_idiom inst then renamed_at
+            else max renamed_at data_ready
+          in
+          List.iter (fun r -> reg_ready.(r) <- ready) writes;
+          if Opcode.writes_flags inst.Inst.opcode then
+            reg_ready.(flags_root) <- ready;
+          if ready > !finish then finish := ready
+        end
+        else begin
+          let earliest = renamed_at + 1 in
+          let last_load = ref 0 in
+          let prev_exec = ref 0 in
+          let result = ref renamed_at in
+          List.iter
+            (fun u ->
+              let ready =
+                if u.is_load then
+                  if entry.split_fused_loads then
+                    (* fused view: the whole unit waits for everything *)
+                    max earliest (max addr_ready data_ready)
+                  else max earliest addr_ready
+                else max earliest (max data_ready (max !last_load !prev_exec))
+              in
+              (* earliest available candidate port, with backfill *)
+              let candidates =
+                List.filter (fun p -> p < config.n_ports)
+                  (Uarch.Port.to_list u.ports)
+              in
+              let candidates = if candidates = [] then [ 0 ] else candidates in
+              let best = ref (List.hd candidates) in
+              let best_t = ref max_int in
+              List.iter
+                (fun p ->
+                  let t = Uarch.Port_schedule.peek ports ~port:p ~ready in
+                  if t < !best_t then begin
+                    best_t := t;
+                    best := p
+                  end)
+                candidates;
+              let dispatch =
+                Uarch.Port_schedule.claim ports ~port:!best ~ready:!best_t
+                  ~busy:(max 1 entry.divider_busy)
+              in
+              let complete = dispatch + u.latency in
+              if u.is_load then last_load := max !last_load complete
+              else prev_exec := complete;
+              if complete > !result then result := complete;
+              if iter < record_iterations then
+                schedule :=
+                  {
+                    Model_intf.inst_index;
+                    iteration = iter;
+                    port = !best;
+                    dispatch;
+                    complete;
+                  }
+                  :: !schedule)
+            entry.uops;
+          List.iter (fun r -> reg_ready.(r) <- !result) writes;
+          if Opcode.writes_flags inst.Inst.opcode then
+            reg_ready.(flags_root) <- !result;
+          if !result > !finish then finish := !result
+        end)
+      entries
+  done;
+  (!finish, List.rev !schedule)
+
+(* Steady-state throughput by the two-point method the analyzers
+   themselves use (IACA reports the steady-state window width). *)
+let throughput (config : config) (table : table) (block : Inst.t list) : float =
+  let c1, _ = run config table block ~iterations:32 ~record_iterations:0 in
+  let c2, _ = run config table block ~iterations:64 ~record_iterations:0 in
+  float_of_int (c2 - c1) /. 32.0
+
+let schedule (config : config) (table : table) (block : Inst.t list) =
+  let _, sched = run config table block ~iterations:24 ~record_iterations:24 in
+  sched

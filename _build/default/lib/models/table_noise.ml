@@ -1,0 +1,63 @@
+(** Deterministic per-opcode table perturbation.
+
+    Every real analyzer carries idiosyncratic table errors — latencies
+    scraped from the wrong manual row, stale entries for new
+    microarchitectures, missed special cases. We reproduce this as a
+    deterministic perturbation keyed on (model seed, opcode form): a
+    fixed fraction of opcode forms get their latency scaled by a fixed,
+    reproducible factor. *)
+
+open X86
+
+(* Stable hash of an opcode form under a model seed. *)
+let hash ~seed (op : Opcode.t) =
+  Bstats.Rng.next_u64
+    (Bstats.Rng.create (Int64.add seed (Bstats.Rng.seed_of_string (Opcode.mnemonic op))))
+
+(* Perturbed latency: a [fraction] of opcodes are off by up to
+   [amplitude] (relative), half of them low, half high. *)
+let latency ~seed ~fraction ~amplitude (op : Opcode.t) (latency : int) =
+  let h = hash ~seed op in
+  let u01 bits = Int64.to_float (Int64.logand bits 0xFFFFFFL) /. 16777216.0 in
+  let select = u01 h in
+  if select >= fraction then latency
+  else begin
+    let magnitude = u01 (Int64.shift_right_logical h 24) *. amplitude in
+    let sign = if Int64.equal (Int64.logand (Int64.shift_right_logical h 48) 1L) 0L then 1.0 else -1.0 in
+    let scaled = float_of_int latency *. (1.0 +. (sign *. magnitude)) in
+    max 1 (int_of_float (Float.round scaled))
+  end
+
+(* Multiplicative float cost scale in [1-amplitude/2, 1+amplitude],
+   for models whose costs are fractional reciprocal throughputs. *)
+let scale ~seed ~fraction ~amplitude (op : Opcode.t) =
+  let h = hash ~seed:(Int64.add seed 53L) op in
+  let u01 bits = Int64.to_float (Int64.logand bits 0xFFFFFFL) /. 16777216.0 in
+  if u01 h >= fraction then 1.0
+  else begin
+    let magnitude = u01 (Int64.shift_right_logical h 24) in
+    let up = Int64.equal (Int64.logand (Int64.shift_right_logical h 48) 1L) 0L in
+    if up then 1.0 +. (magnitude *. amplitude)
+    else Float.max 0.2 (1.0 -. (magnitude *. amplitude /. 2.0))
+  end
+
+(* Whether this model's table charges an extra micro-op for the opcode
+   (a mis-split table entry): this perturbs pure throughput, which
+   latency noise alone cannot. *)
+let extra_uop ~seed ~fraction (op : Opcode.t) =
+  let h = hash ~seed:(Int64.add seed 101L) op in
+  let u01 = Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777216.0 in
+  u01 < fraction
+
+(* Whether this model's table drops one of the opcode's alternative ports
+   (modelling an incomplete port mapping). *)
+let drop_port ~seed ~fraction (op : Opcode.t) (ports : Uarch.Port.set) =
+  let h = hash ~seed:(Int64.add seed 17L) op in
+  let u01 = Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777216.0 in
+  if u01 >= fraction then ports
+  else
+    match Uarch.Port.to_list ports with
+    | [] | [ _ ] -> ports
+    | p :: rest ->
+      ignore p;
+      Uarch.Port.of_list rest

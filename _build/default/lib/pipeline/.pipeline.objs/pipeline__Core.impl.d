@@ -1,0 +1,1 @@
+lib/pipeline/core.ml: Array Counters Descriptor Hashtbl Int64 List Memsim Port Port_schedule Queue Trace Uarch Uop X86

@@ -1,0 +1,1 @@
+lib/pipeline/counters.ml: Format

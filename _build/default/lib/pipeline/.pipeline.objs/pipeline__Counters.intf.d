@@ -1,0 +1,1 @@
+lib/pipeline/counters.mli: Format

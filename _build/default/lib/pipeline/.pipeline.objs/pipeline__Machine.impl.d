@@ -1,0 +1,1 @@
+lib/pipeline/machine.ml: Core Memsim Trace Uarch Xsem

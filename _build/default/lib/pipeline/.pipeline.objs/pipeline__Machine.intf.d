@@ -1,0 +1,1 @@
+lib/pipeline/machine.mli: Core Memsim Uarch Xsem

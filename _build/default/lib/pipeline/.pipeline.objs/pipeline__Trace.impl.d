@@ -1,0 +1,1 @@
+lib/pipeline/trace.ml: Array Encoder Inst List Memsim Opcode Reg Uarch X86 Xsem

@@ -1,0 +1,1 @@
+lib/pipeline/trace.mli: Uarch X86 Xsem

@@ -1,0 +1,355 @@
+(** Cycle-level out-of-order core model.
+
+    The simulator replays a dynamic instruction trace against the
+    microarchitecture's resources: a fused-domain front end with an L1I
+    cache, register renaming with zero-idiom and move elimination, a
+    port-constrained scheduler with per-port pipelined execution (the
+    divider is not pipelined), load/store address disambiguation with
+    store-to-load forwarding, a reorder buffer, and in-order retirement.
+
+    The model is timing-directed: architectural values (addresses, the
+    division fast path, subnormal operands) come from the pre-recorded
+    trace, so the timing pass itself is deterministic and cheap. *)
+
+open Uarch
+
+type schedule_entry = {
+  inst_index : int;
+  static_index : int;
+  uop : Uop.t;
+  port : int;  (** -1 for eliminated uops *)
+  dispatch : int;
+  complete : int;
+}
+
+type result = {
+  cycles : int;
+  counters : Counters.t;
+  schedule : schedule_entry list;  (** only populated when requested *)
+}
+
+(* Dependence-root index used for RFLAGS. *)
+let flags_root = X86.Reg.num_roots
+let n_roots = X86.Reg.num_roots + 1
+
+let is_divider_op (inst : X86.Inst.t) =
+  match inst.opcode with
+  | X86.Opcode.Div | Idiv | Fdiv _ | Fsqrt _ -> true
+  | _ -> false
+
+(* Effective division latency given the observed execution path. *)
+let div_latency (d : Descriptor.t) (di : Trace.dyn_inst) =
+  let p = d.profile in
+  match di.inst.opcode with
+  | X86.Opcode.Div | Idiv ->
+    if di.div_slow then p.div64_latency
+    else if X86.Width.equal di.inst.width X86.Width.Q then
+      (* 64-bit divide with zeroed rdx: faster than the wide path but
+         slower than the 32-bit divide *)
+      p.div32_latency + ((p.div64_latency - p.div32_latency) / 4)
+    else p.div32_latency
+  | _ -> 0
+
+let simulate ?(record_schedule = false) (d : Descriptor.t)
+    ~(l1d : Memsim.Cache.t) ~(l1i : Memsim.Cache.t) ~(l2 : Memsim.Cache.t)
+    (trace : Trace.dyn_inst list) : result =
+  let c = Counters.create () in
+  let reg_ready = Array.make n_roots 0 in
+  let ports = Port_schedule.create ~n_ports:d.n_ports in
+  let schedule = ref [] in
+  (* Front end state: fused-domain slots. *)
+  let frontend_cycle = ref 0 in
+  let slots_this_cycle = ref 0 in
+  (* ROB: retire times of allocated entries, bounded by rob_size. *)
+  let rob = Queue.create () in
+  (* Retirement: ring of the last [retire_width] retire times. *)
+  let retire_ring = Array.make d.retire_width 0 in
+  let retire_pos = ref 0 in
+  let last_retire = ref 0 in
+  (* Store-to-load forwarding: 8-byte chunk -> data-ready time. *)
+  let store_chunks : (int64, int) Hashtbl.t = Hashtbl.create 256 in
+  let chunk_range addr size =
+    let first = Int64.shift_right_logical addr 3 in
+    let last = Int64.shift_right_logical (Int64.add addr (Int64.of_int (max 1 size - 1))) 3 in
+    (first, last)
+  in
+  let forwarding_ready addr size =
+    let first, last = chunk_range addr size in
+    let t = ref 0 in
+    let chunk = ref first in
+    while Int64.compare !chunk last <= 0 do
+      (match Hashtbl.find_opt store_chunks !chunk with
+      | Some ready -> if ready > !t then t := ready
+      | None -> ());
+      chunk := Int64.add !chunk 1L
+    done;
+    !t
+  in
+  let record_store addr size ready =
+    let first, last = chunk_range addr size in
+    let chunk = ref first in
+    while Int64.compare !chunk last <= 0 do
+      Hashtbl.replace store_chunks !chunk ready;
+      chunk := Int64.add !chunk 1L
+    done
+  in
+  (* Allocate [n] fused-domain rename slots; returns cycle of last slot. *)
+  let rename_slots n =
+    let r = ref 0 in
+    for _ = 1 to max 1 n do
+      if !slots_this_cycle >= d.rename_width then begin
+        incr frontend_cycle;
+        slots_this_cycle := 0
+      end;
+      incr slots_this_cycle;
+      r := !frontend_cycle
+    done;
+    !r
+  in
+  (* Dispatch one uop on the candidate port with the earliest free
+     issue slot (out-of-order backfill included). *)
+  let dispatch_on_port (u : Uop.t) ~ready ~busy =
+    let candidates = Port.to_list u.ports in
+    let candidates = List.filter (fun p -> p < d.n_ports) candidates in
+    let candidates = if candidates = [] then [ 0 ] else candidates in
+    let best_port = ref (List.hd candidates) in
+    let best_time = ref max_int in
+    List.iter
+      (fun p ->
+        let t = Port_schedule.peek ports ~port:p ~ready in
+        if t < !best_time then begin
+          best_time := t;
+          best_port := p
+        end)
+      candidates;
+    let start = Port_schedule.claim ports ~port:!best_port ~ready:!best_time ~busy in
+    (!best_port, start)
+  in
+  let ready_of_roots roots =
+    List.fold_left (fun acc r -> max acc reg_ready.(r)) 0 roots
+  in
+  let finish_time = ref 0 in
+  List.iteri
+    (fun idx (di : Trace.dyn_inst) ->
+      (* --- front end: instruction fetch through the L1I cache --- *)
+      let line0 = di.code_addr / 64 and line1 = (di.code_addr + di.code_len - 1) / 64 in
+      for line = line0 to line1 do
+        if not (Memsim.Cache.access_line l1i (Int64.of_int line)) then begin
+          c.l1i_misses <- c.l1i_misses + 1;
+          (* instruction lines refill from the unified L2; tag them into
+             a distinct address range so they do not alias data lines *)
+          let l2_line = Int64.add 0x4000000L (Int64.of_int line) in
+          let extra =
+            if Memsim.Cache.access_line l2 l2_line then 0
+            else begin
+              c.l2_misses <- c.l2_misses + 1;
+              d.l2_miss_penalty
+            end
+          in
+          frontend_cycle := !frontend_cycle + d.icache_miss_penalty + extra;
+          slots_this_cycle := 0
+        end
+      done;
+      (* --- rename --- *)
+      let renamed_at = rename_slots di.decomp.fused_slots in
+      (* ROB occupancy: wait for the oldest entry to retire. *)
+      for _ = 1 to di.decomp.fused_slots do
+        if Queue.length rob >= d.rob_size then begin
+          let oldest = Queue.pop rob in
+          if oldest > !frontend_cycle then begin
+            frontend_cycle := oldest;
+            slots_this_cycle := 0
+          end
+        end
+      done;
+      c.instructions <- c.instructions + 1;
+      c.uops <- c.uops + max 1 (List.length di.decomp.uops);
+      let data_ready = ready_of_roots di.reads in
+      let data_ready =
+        if di.reads_flags then max data_ready reg_ready.(flags_root) else data_ready
+      in
+      let addr_roots =
+        List.concat_map
+          (fun (op : X86.Operand.t) ->
+            match op with
+            | X86.Operand.Mem m ->
+              List.map (fun r -> X86.Reg.root_index (X86.Reg.root r))
+                (X86.Operand.mem_regs m)
+            | _ -> [])
+          di.inst.operands
+      in
+      let addr_ready = ready_of_roots addr_roots in
+      if di.decomp.eliminated then begin
+        (* Handled at rename: result ready immediately. For zero idioms
+           the result does not depend on sources at all. *)
+        let ready =
+          if X86.Inst.is_zero_idiom di.inst then renamed_at
+          else max renamed_at data_ready
+        in
+        List.iter (fun r -> reg_ready.(r) <- ready) di.writes;
+        if di.writes_flags then reg_ready.(flags_root) <- ready;
+        if record_schedule then
+          schedule :=
+            {
+              inst_index = idx;
+              static_index = di.static_index;
+              uop = Uop.exec Port.empty;
+              port = -1;
+              dispatch = renamed_at;
+              complete = ready;
+            }
+            :: !schedule;
+        Queue.push (max ready renamed_at) rob;
+        if max ready renamed_at > !finish_time then finish_time := max ready renamed_at
+      end
+      else begin
+        let earliest = renamed_at + 1 in
+        let load_idx = ref 0 and store_idx = ref 0 in
+        let last_load_complete = ref 0 in
+        let last_exec_complete = ref 0 in
+        let prev_exec_complete = ref 0 in
+        let inst_complete = ref renamed_at in
+        let subnormal_applied = ref false in
+        List.iter
+          (fun (u : Uop.t) ->
+            let ready, latency_extra, busy =
+              match u.kind with
+              | Uop.Load ->
+                let paddr, size =
+                  if !load_idx < Array.length di.loads then di.loads.(!load_idx)
+                  else (0L, 8)
+                in
+                let vaddr =
+                  if !load_idx < Array.length di.load_vaddrs then
+                    di.load_vaddrs.(!load_idx)
+                  else 0L
+                in
+                incr load_idx;
+                let misses = Memsim.Cache.access l1d ~addr:paddr ~size in
+                if misses > 0 then
+                  c.l1d_read_misses <- c.l1d_read_misses + misses;
+                (* lines that miss L1 go to the unified L2 *)
+                let l2_misses =
+                  if misses > 0 then Memsim.Cache.access l2 ~addr:paddr ~size
+                  else 0
+                in
+                if l2_misses > 0 then c.l2_misses <- c.l2_misses + l2_misses;
+                let split =
+                  Memsim.Cache.crosses_line l1d ~addr:vaddr ~size
+                in
+                if split then
+                  c.misaligned_mem_refs <- c.misaligned_mem_refs + 1;
+                let fwd = forwarding_ready paddr size in
+                ( max (max addr_ready fwd) earliest,
+                  (misses * d.l1d_miss_penalty)
+                  + (l2_misses * d.l2_miss_penalty)
+                  + (if split then d.misaligned_extra_cycles else 0),
+                  1 )
+              | Uop.Store_addr -> (max addr_ready earliest, 0, 1)
+              | Uop.Store_data ->
+                let src =
+                  if !last_exec_complete > 0 then !last_exec_complete
+                  else max data_ready !last_load_complete
+                in
+                (max src earliest, 0, 1)
+              | Uop.Exec ->
+                let chain =
+                  max data_ready (max !last_load_complete !prev_exec_complete)
+                in
+                let busy =
+                  if is_divider_op di.inst then
+                    let lat =
+                      match di.inst.opcode with
+                      | X86.Opcode.Div | Idiv -> div_latency d di
+                      | _ -> u.latency
+                    in
+                    max 1 (lat - 1)
+                  else 1
+                in
+                (max chain earliest, 0, busy)
+            in
+            let port, dispatch = dispatch_on_port u ~ready ~busy in
+            let latency =
+              match u.kind with
+              | Uop.Exec when (match di.inst.opcode with
+                              | X86.Opcode.Div | Idiv -> true
+                              | _ -> false) -> div_latency d di
+              | _ -> u.latency
+            in
+            let complete = dispatch + latency + latency_extra in
+            let complete =
+              if di.subnormal && not !subnormal_applied && u.kind = Uop.Exec
+              then begin
+                subnormal_applied := true;
+                c.subnormal_assists <- c.subnormal_assists + 1;
+                complete + d.subnormal_assist_cycles
+              end
+              else complete
+            in
+            (match u.kind with
+            | Uop.Load -> last_load_complete := max !last_load_complete complete
+            | Uop.Exec ->
+              prev_exec_complete := complete;
+              last_exec_complete := max !last_exec_complete complete
+            | Uop.Store_data ->
+              let paddr, size =
+                if !store_idx < Array.length di.stores then di.stores.(!store_idx)
+                else (0L, 8)
+              in
+              let vaddr =
+                if !store_idx < Array.length di.store_vaddrs then
+                  di.store_vaddrs.(!store_idx)
+                else 0L
+              in
+              incr store_idx;
+              let misses = Memsim.Cache.access l1d ~addr:paddr ~size in
+              if misses > 0 then begin
+                c.l1d_write_misses <- c.l1d_write_misses + misses;
+                let l2m = Memsim.Cache.access l2 ~addr:paddr ~size in
+                if l2m > 0 then c.l2_misses <- c.l2_misses + l2m
+              end;
+              if Memsim.Cache.crosses_line l1d ~addr:vaddr ~size then
+                c.misaligned_mem_refs <- c.misaligned_mem_refs + 1;
+              record_store paddr size (complete + 1)
+            | Uop.Store_addr -> ());
+            if complete > !inst_complete then inst_complete := complete;
+            if record_schedule then
+              schedule :=
+                {
+                  inst_index = idx;
+                  static_index = di.static_index;
+                  uop = u;
+                  port;
+                  dispatch;
+                  complete;
+                }
+                :: !schedule)
+          di.decomp.uops;
+        (* A microcode assist flushes the front end. *)
+        if di.subnormal then begin
+          frontend_cycle := max !frontend_cycle !inst_complete;
+          slots_this_cycle := 0
+        end;
+        (* Architectural results become visible at instruction completion:
+           the producing uop is the last exec uop, or the load for pure
+           loads. *)
+        let result_time =
+          if !last_exec_complete > 0 then !last_exec_complete
+          else if !last_load_complete > 0 then !last_load_complete
+          else renamed_at
+        in
+        List.iter (fun r -> reg_ready.(r) <- result_time) di.writes;
+        if di.writes_flags then reg_ready.(flags_root) <- result_time;
+        (* In-order retirement. *)
+        let ready_to_retire = max !inst_complete !last_retire in
+        let width_limited = retire_ring.(!retire_pos) + 1 in
+        let retire_at = max ready_to_retire width_limited in
+        retire_ring.(!retire_pos) <- retire_at;
+        retire_pos := (!retire_pos + 1) mod d.retire_width;
+        last_retire := retire_at;
+        Queue.push retire_at rob;
+        if retire_at > !finish_time then finish_time := retire_at
+      end)
+    trace;
+  c.core_cycles <- !finish_time;
+  { cycles = !finish_time; counters = c; schedule = List.rev !schedule }

@@ -1,0 +1,64 @@
+(** Hardware performance counters, as read by the measurement framework.
+
+    These mirror the events BHive monitors: core cycles, the three L1
+    miss counters, MISALIGNED_MEM_REFERENCE, and the OS context-switch
+    count (the latter is a software counter on real systems). *)
+
+type t = {
+  mutable core_cycles : int;
+  mutable instructions : int;
+  mutable uops : int;
+  mutable l1d_read_misses : int;
+  mutable l1d_write_misses : int;
+  mutable l1i_misses : int;
+  mutable l2_misses : int;
+  mutable misaligned_mem_refs : int;
+  mutable context_switches : int;
+  mutable subnormal_assists : int;
+}
+
+let create () =
+  {
+    core_cycles = 0;
+    instructions = 0;
+    uops = 0;
+    l1d_read_misses = 0;
+    l1d_write_misses = 0;
+    l1i_misses = 0;
+    l2_misses = 0;
+    misaligned_mem_refs = 0;
+    context_switches = 0;
+    subnormal_assists = 0;
+  }
+
+let copy t = { t with core_cycles = t.core_cycles }
+
+(* Counter delta, as computed from the begin/end reads in the paper's
+   measure() routine. *)
+let diff ~begin_ ~end_ =
+  {
+    core_cycles = end_.core_cycles - begin_.core_cycles;
+    instructions = end_.instructions - begin_.instructions;
+    uops = end_.uops - begin_.uops;
+    l1d_read_misses = end_.l1d_read_misses - begin_.l1d_read_misses;
+    l1d_write_misses = end_.l1d_write_misses - begin_.l1d_write_misses;
+    l1i_misses = end_.l1i_misses - begin_.l1i_misses;
+    l2_misses = end_.l2_misses - begin_.l2_misses;
+    misaligned_mem_refs = end_.misaligned_mem_refs - begin_.misaligned_mem_refs;
+    context_switches = end_.context_switches - begin_.context_switches;
+    subnormal_assists = end_.subnormal_assists - begin_.subnormal_assists;
+  }
+
+(* A "clean" measurement in the BHive sense: no cache misses of any kind
+   and no context switches. *)
+let is_clean t =
+  t.l1d_read_misses = 0 && t.l1d_write_misses = 0 && t.l1i_misses = 0
+  && t.context_switches = 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "cycles=%d insts=%d uops=%d l1d_rd_miss=%d l1d_wr_miss=%d l1i_miss=%d \
+     l2_miss=%d misaligned=%d ctx_switches=%d assists=%d"
+    t.core_cycles t.instructions t.uops t.l1d_read_misses t.l1d_write_misses
+    t.l1i_misses t.l2_misses t.misaligned_mem_refs t.context_switches
+    t.subnormal_assists

@@ -1,0 +1,30 @@
+(** Hardware performance counters as read by the measurement framework,
+    mirroring the events BHive monitors: core cycles, the cache-miss
+    counters, MISALIGNED_MEM_REFERENCE, and the OS context-switch count. *)
+
+type t = {
+  mutable core_cycles : int;
+  mutable instructions : int;
+  mutable uops : int;
+  mutable l1d_read_misses : int;
+  mutable l1d_write_misses : int;
+  mutable l1i_misses : int;
+  mutable l2_misses : int;
+  mutable misaligned_mem_refs : int;
+  mutable context_switches : int;
+  mutable subnormal_assists : int;
+}
+
+val create : unit -> t
+val copy : t -> t
+
+(** Counter delta, as computed from the begin/end reads in the paper's
+    measure() routine. *)
+val diff : begin_:t -> end_:t -> t
+
+(** A "clean" measurement in the BHive sense: no cache misses of any
+    kind and no context switches. (L2 misses imply L1 misses, so they
+    need no separate clause.) *)
+val is_clean : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** A simulated machine: one microarchitecture core plus its private L1
+    caches. Cache contents persist across [run] calls until [reset],
+    mirroring warm-up behaviour on real hardware. *)
+
+type t = {
+  descriptor : Uarch.Descriptor.t;
+  l1d : Memsim.Cache.t;
+  l1i : Memsim.Cache.t;
+  l2 : Memsim.Cache.t;  (** unified second level *)
+}
+
+let create (descriptor : Uarch.Descriptor.t) =
+  {
+    descriptor;
+    l1d = Memsim.Cache.l1_default ();
+    l1i = Memsim.Cache.l1_default ();
+    l2 = Memsim.Cache.create ~size_bytes:(256 * 1024) ~ways:8 ~line_bytes:64;
+  }
+
+let reset t =
+  Memsim.Cache.flush t.l1d;
+  Memsim.Cache.flush t.l1i;
+  Memsim.Cache.flush t.l2
+
+(* Simulate the timing of one completed architectural execution. *)
+let run ?record_schedule t (steps : Xsem.Executor.step list) : Core.result =
+  let trace = Trace.of_steps t.descriptor steps in
+  Core.simulate ?record_schedule t.descriptor ~l1d:t.l1d ~l1i:t.l1i ~l2:t.l2 trace

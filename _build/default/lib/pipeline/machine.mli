@@ -1,0 +1,19 @@
+(** A simulated machine: one microarchitecture core plus its private L1
+    caches. Cache contents persist across [run] calls until [reset],
+    mirroring warm-up behaviour on real hardware. *)
+
+type t = {
+  descriptor : Uarch.Descriptor.t;
+  l1d : Memsim.Cache.t;
+  l1i : Memsim.Cache.t;
+  l2 : Memsim.Cache.t;  (** unified second level *)
+}
+
+val create : Uarch.Descriptor.t -> t
+
+(** Flush both caches. *)
+val reset : t -> unit
+
+(** Simulate the timing of one completed architectural execution;
+    deterministic given the machine state. *)
+val run : ?record_schedule:bool -> t -> Xsem.Executor.step list -> Core.result

@@ -1,0 +1,67 @@
+(** Dynamic instruction trace: the bridge between architectural execution
+    (which determines addresses, faults and data-dependent events) and the
+    timing simulation (which replays the trace against pipeline
+    resources). *)
+
+open X86
+
+type dyn_inst = {
+  inst : Inst.t;
+  static_index : int;  (** index within the (unrolled) static stream *)
+  code_addr : int;  (** byte offset of the instruction in the code stream *)
+  code_len : int;
+  decomp : Uarch.Uop.decomp;
+  reads : int list;  (** dependence-root indices read (registers) *)
+  writes : int list;
+  reads_flags : bool;
+  writes_flags : bool;
+  loads : (int64 * int) array;  (** physical address and size per load *)
+  stores : (int64 * int) array;
+  load_vaddrs : int64 array;  (** virtual addresses (for split detection) *)
+  store_vaddrs : int64 array;
+  div_slow : bool;  (** division executed the wide-dividend path *)
+  subnormal : bool;  (** FP op touched subnormals (gradual underflow) *)
+}
+
+(** Build the dynamic trace for a completed execution of [steps] under
+    microarchitecture [d]. [code_addrs] gives the byte offset/length of
+    each static instruction; steps beyond the first unrolled copy reuse
+    them cyclically. *)
+let of_steps (d : Uarch.Descriptor.t) (steps : Xsem.Executor.step list) :
+    dyn_inst list =
+  (* Byte offsets for the full dynamic stream: instructions are laid out
+     consecutively, as the unrolled benchmark body is. *)
+  let offset = ref 0 in
+  List.map
+    (fun (s : Xsem.Executor.step) ->
+      let inst = s.inst in
+      let len = Encoder.encoded_length inst in
+      let addr = !offset in
+      offset := !offset + len;
+      let decomp = Uarch.Descriptor.decompose d inst in
+      let loads, stores =
+        List.partition (fun (a : Memsim.Mmu.access) -> not a.is_store) s.accesses
+      in
+      let reads = List.map Reg.root_index (Inst.read_roots inst) in
+      let writes = List.map Reg.root_index (Inst.write_roots inst) in
+      {
+        inst;
+        static_index = s.index;
+        code_addr = addr;
+        code_len = len;
+        decomp;
+        reads;
+        writes;
+        reads_flags = Opcode.reads_flags inst.opcode;
+        writes_flags = Opcode.writes_flags inst.opcode;
+        loads = Array.of_list (List.map (fun (a : Memsim.Mmu.access) -> (a.paddr, a.size)) loads);
+        stores = Array.of_list (List.map (fun (a : Memsim.Mmu.access) -> (a.paddr, a.size)) stores);
+        load_vaddrs = Array.of_list (List.map (fun (a : Memsim.Mmu.access) -> a.vaddr) loads);
+        store_vaddrs = Array.of_list (List.map (fun (a : Memsim.Mmu.access) -> a.vaddr) stores);
+        div_slow = List.mem Xsem.Semantics.Div_slow_path s.events;
+        subnormal = List.mem Xsem.Semantics.Subnormal s.events;
+      })
+    steps
+
+let total_uops trace =
+  List.fold_left (fun acc di -> acc + Uarch.Uop.total_uops di.decomp) 0 trace

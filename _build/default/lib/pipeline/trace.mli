@@ -1,0 +1,28 @@
+(** Dynamic instruction trace: the bridge between architectural
+    execution (addresses, faults, data-dependent events) and the timing
+    simulation that replays it against pipeline resources. *)
+
+type dyn_inst = {
+  inst : X86.Inst.t;
+  static_index : int;  (** index within the (unrolled) static stream *)
+  code_addr : int;  (** byte offset of the instruction in the code stream *)
+  code_len : int;
+  decomp : Uarch.Uop.decomp;
+  reads : int list;  (** dependence-root indices read *)
+  writes : int list;
+  reads_flags : bool;
+  writes_flags : bool;
+  loads : (int64 * int) array;  (** physical address and size per load *)
+  stores : (int64 * int) array;
+  load_vaddrs : int64 array;  (** virtual addresses (for split detection) *)
+  store_vaddrs : int64 array;
+  div_slow : bool;  (** division took the wide-dividend path *)
+  subnormal : bool;  (** FP op touched subnormals (gradual underflow) *)
+}
+
+(** Build the dynamic trace of a completed execution under
+    microarchitecture [d]; instructions are laid out consecutively, as
+    the unrolled benchmark body is. *)
+val of_steps : Uarch.Descriptor.t -> Xsem.Executor.step list -> dyn_inst list
+
+val total_uops : dyn_inst list -> int

@@ -1,0 +1,1 @@
+lib/uarch/all.ml: Descriptor Haswell Ivybridge List Skylake

@@ -1,0 +1,1 @@
+lib/uarch/descriptor.ml: Format Profile

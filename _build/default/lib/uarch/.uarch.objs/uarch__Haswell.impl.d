@@ -1,0 +1,1 @@
+lib/uarch/haswell.ml: Descriptor Port Profile

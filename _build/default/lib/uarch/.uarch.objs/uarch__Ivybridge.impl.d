@@ -1,0 +1,1 @@
+lib/uarch/ivybridge.ml: Descriptor Port Profile

@@ -1,0 +1,1 @@
+lib/uarch/port_schedule.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/uarch/profile.ml: Inst Int64 List Opcode Operand Port Uop Width X86

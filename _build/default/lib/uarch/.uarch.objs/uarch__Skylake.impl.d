@@ -1,0 +1,1 @@
+lib/uarch/skylake.ml: Descriptor Port Profile

@@ -1,0 +1,1 @@
+lib/uarch/uop.ml: Format List Port

@@ -1,0 +1,10 @@
+(** The modelled microarchitectures, in the paper's evaluation order. *)
+
+let ivy_bridge = Ivybridge.descriptor
+let haswell = Haswell.descriptor
+let skylake = Skylake.descriptor
+
+let all = [ ivy_bridge; haswell; skylake ]
+
+let by_short s =
+  List.find_opt (fun (d : Descriptor.t) -> d.short = s) all

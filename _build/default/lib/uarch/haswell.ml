@@ -1,0 +1,74 @@
+(** Haswell (4th-gen Core) microarchitecture model.
+
+    Eight execution ports: 0,1,5,6 integer ALU; 0,1 FP/FMA; 5 shuffles;
+    6 branches; 2,3 load; 2,3,7 store address; 4 store data. Parameters
+    follow Intel's optimisation manual and Abel-Reineke port mappings. *)
+
+let profile : Profile.t =
+  {
+    name = "Haswell";
+    alu = Port.p0156;
+    shift = Port.p06;
+    lea_simple = Port.p15;
+    lea_complex = Port.p1;
+    lea_complex_latency = 3;
+    imul = Port.p1;
+    imul_latency = 3;
+    div = Port.p0;
+    div32_latency = 22;  (* div r32: manual range 20-26 *)
+    div64_latency = 85;  (* div r64 with wide dividend: 80-95 *)
+    adc_uops = 2;
+    cmov_uops = 2;
+    bit_scan = Port.p1;
+    bit_scan_latency = 3;
+    load = Port.p23;
+    load_latency = 4;
+    load_bytes = 32;
+    store_addr = Port.p237;
+    store_data = Port.p4;
+    store_bytes = 32;
+    vec_alu = Port.p015;
+    vec_shift = Port.p0;
+    vec_shuffle = Port.p5;
+    vec_imul = Port.p0;
+    vec_imul_latency = 5;
+    pmulld_uops = 2;
+    fp_add = Port.p1;
+    fp_add_latency = 3;
+    fp_mul = Port.p01;
+    fp_mul_latency = 5;
+    fp_fma = Some Port.p01;
+    fp_fma_latency = 5;
+    fp_div = Port.p0;
+    fp_div_latency_s = 13;
+    fp_div_latency_d = 20;
+    fp_div_ymm_factor = 2;
+    fp_mov = Port.p5;
+    cvt = Port.p1;
+    cvt_latency = 4;
+    movmsk = Port.p0;
+    movmsk_latency = 3;
+    xfer = Port.p0;
+    xfer_latency = 2;
+    zero_idiom_elim = true;
+    move_elim = true;
+    micro_fusion = true;
+  }
+
+let descriptor : Descriptor.t =
+  {
+    name = "Haswell";
+    short = "hsw";
+    profile;
+    rename_width = 4;
+    retire_width = 4;
+    rob_size = 192;
+    scheduler_size = 60;
+    n_ports = 8;
+    icache_miss_penalty = 30;
+    l1d_miss_penalty = 12;
+    l2_miss_penalty = 30;
+    subnormal_assist_cycles = 150;
+    misaligned_extra_cycles = 9;
+    supports_avx2 = true;
+  }

@@ -1,0 +1,75 @@
+(** Ivy Bridge (3rd-gen Core) microarchitecture model.
+
+    Six execution ports: 0,1,5 compute; 2,3 load / store address; 4 store
+    data. 256-bit loads and stores are split into two 128-bit uops. No
+    FMA units and no AVX2 (blocks using AVX2-class instructions are
+    excluded from Ivy Bridge validation, as in the paper). *)
+
+let profile : Profile.t =
+  {
+    name = "Ivy Bridge";
+    alu = Port.p015;
+    shift = Port.p05;
+    lea_simple = Port.p01;
+    lea_complex = Port.p1;
+    lea_complex_latency = 3;
+    imul = Port.p1;
+    imul_latency = 3;
+    div = Port.p0;
+    div32_latency = 23;
+    div64_latency = 90;
+    adc_uops = 2;
+    cmov_uops = 2;
+    bit_scan = Port.p1;
+    bit_scan_latency = 3;
+    load = Port.p23;
+    load_latency = 4;
+    load_bytes = 16;
+    store_addr = Port.p23;
+    store_data = Port.p4;
+    store_bytes = 16;
+    vec_alu = Port.p15;
+    vec_shift = Port.p0;
+    vec_shuffle = Port.p5;
+    vec_imul = Port.p0;
+    vec_imul_latency = 5;
+    pmulld_uops = 1;
+    fp_add = Port.p1;
+    fp_add_latency = 3;
+    fp_mul = Port.p0;
+    fp_mul_latency = 5;
+    fp_fma = None;
+    fp_fma_latency = 8;
+    fp_div = Port.p0;
+    fp_div_latency_s = 13;
+    fp_div_latency_d = 22;
+    fp_div_ymm_factor = 2;
+    fp_mov = Port.p5;
+    cvt = Port.p1;
+    cvt_latency = 4;
+    movmsk = Port.p0;
+    movmsk_latency = 2;
+    xfer = Port.p0;
+    xfer_latency = 2;
+    zero_idiom_elim = true;
+    move_elim = true;
+    micro_fusion = true;
+  }
+
+let descriptor : Descriptor.t =
+  {
+    name = "Ivy Bridge";
+    short = "ivb";
+    profile;
+    rename_width = 4;
+    retire_width = 4;
+    rob_size = 168;
+    scheduler_size = 54;
+    n_ports = 6;
+    icache_miss_penalty = 30;
+    l1d_miss_penalty = 12;
+    l2_miss_penalty = 32;
+    subnormal_assist_cycles = 160;
+    misaligned_extra_cycles = 10;
+    supports_avx2 = false;
+  }

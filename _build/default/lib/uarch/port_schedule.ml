@@ -1,0 +1,51 @@
+(** Per-port issue-slot allocation with backfill.
+
+    Each execution port accepts one micro-op per cycle. A dataflow
+    scheduler processing uops in program order must still allow a young,
+    early-ready uop to claim a port cycle that precedes slots already
+    given to older uops (out-of-order issue). This structure answers
+    "first free cycle >= t on port p" in near-constant amortised time via
+    a disjoint-set forest over occupied cycles. *)
+
+type t = {
+  (* next.(p) maps an occupied cycle to a candidate later cycle; absent
+     cycles are free. Path compression keeps chains short. *)
+  next : (int, int) Hashtbl.t array;
+}
+
+let create ~n_ports = { next = Array.init n_ports (fun _ -> Hashtbl.create 256) }
+
+let rec find tbl c =
+  match Hashtbl.find_opt tbl c with
+  | None -> c
+  | Some c' ->
+    let root = find tbl c' in
+    if root <> c' then Hashtbl.replace tbl c root;
+    root
+
+(** First free cycle >= [ready] on port [p], without claiming it. *)
+let peek t ~port ~ready = find t.next.(port) (max 0 ready)
+
+(** Claim [busy] consecutive free cycles, the first starting at or after
+    [ready] on [port]; returns the start cycle. *)
+let claim t ~port ~ready ~busy =
+  let tbl = t.next.(port) in
+  let rec find_run start =
+    (* verify cells start .. start+busy-1 are all free *)
+    let rec check k =
+      if k >= busy then None
+      else
+        let c = find tbl (start + k) in
+        if c = start + k then check (k + 1) else Some c
+    in
+    match check 1 with
+    | None -> start
+    | Some blocked -> find_run (find tbl blocked)
+  in
+  let start = find_run (find tbl (max 0 ready)) in
+  for c = start to start + busy - 1 do
+    Hashtbl.replace tbl c (c + 1)
+  done;
+  start
+
+let reset t = Array.iter Hashtbl.reset t.next

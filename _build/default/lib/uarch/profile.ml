@@ -1,0 +1,275 @@
+(** Microarchitecture execution profile: which ports each instruction
+    class issues to and with what latency, in the style of Abel and
+    Reineke's reverse-engineered port mappings. [decompose] derives the
+    micro-op decomposition of any modelled instruction from a profile;
+    Ivy Bridge, Haswell and Skylake instantiate different profiles. *)
+
+open X86
+
+type t = {
+  name : string;
+  (* scalar integer *)
+  alu : Port.set;  (** 1-cycle integer ALU ops *)
+  shift : Port.set;
+  lea_simple : Port.set;
+  lea_complex : Port.set;
+  lea_complex_latency : int;
+  imul : Port.set;
+  imul_latency : int;
+  div : Port.set;
+  div32_latency : int;  (** 64/32-bit unsigned divide, steady state *)
+  div64_latency : int;  (** 128/64-bit divide (slow path) *)
+  adc_uops : int;  (** 1 on SKL, 2 on IVB/HSW *)
+  cmov_uops : int;
+  bit_scan : Port.set;  (** bsf/bsr/popcnt/lzcnt/tzcnt/crc32 *)
+  bit_scan_latency : int;
+  (* memory *)
+  load : Port.set;
+  load_latency : int;
+  load_bytes : int;  (** max bytes per load uop (16 on IVB, 32 on HSW+) *)
+  store_addr : Port.set;
+  store_data : Port.set;
+  store_bytes : int;
+  (* vector *)
+  vec_alu : Port.set;  (** vector logic / int add / cmp / min / max *)
+  vec_shift : Port.set;
+  vec_shuffle : Port.set;
+  vec_imul : Port.set;
+  vec_imul_latency : int;
+  pmulld_uops : int;  (** 2 on HSW/SKL (10-cycle pmulld), 1 on IVB *)
+  fp_add : Port.set;
+  fp_add_latency : int;
+  fp_mul : Port.set;
+  fp_mul_latency : int;
+  fp_fma : Port.set option;  (** None when the uarch has no FMA units *)
+  fp_fma_latency : int;
+  fp_div : Port.set;
+  fp_div_latency_s : int;  (** scalar/packed single *)
+  fp_div_latency_d : int;  (** scalar/packed double *)
+  fp_div_ymm_factor : int;  (** extra factor for 256-bit division *)
+  fp_mov : Port.set;
+  cvt : Port.set;
+  cvt_latency : int;
+  movmsk : Port.set;
+  movmsk_latency : int;
+  xfer : Port.set;  (** gpr<->xmm transfers *)
+  xfer_latency : int;
+  (* rename-stage optimisations *)
+  zero_idiom_elim : bool;
+  move_elim : bool;
+  micro_fusion : bool;  (** load-op pairs occupy one fused-domain slot *)
+}
+
+(* --- helpers --------------------------------------------------------- *)
+
+let exec = Uop.exec
+let chain1 ports latency = [ exec ~latency ports ]
+
+(* The exec-uop skeleton of the register-register form of an instruction.
+   Memory forms are derived from this by [decompose]. Returns [] for pure
+   data movement that a load or store uop covers entirely. Multi-uop
+   instructions are modelled as a chain whose per-uop latencies sum to the
+   documented instruction latency. *)
+let exec_uops p (t : Inst.t) : Uop.t list =
+  let ymm = Inst.uses_ymm t in
+  let fp_div_lat prec =
+    let base =
+      match prec with
+      | Opcode.Ss | Opcode.Ps -> p.fp_div_latency_s
+      | Opcode.Sd | Opcode.Pd -> p.fp_div_latency_d
+    in
+    if ymm then base * p.fp_div_ymm_factor else base
+  in
+  let n_ops = List.length t.operands in
+  match t.opcode with
+  (* scalar moves: reg-reg form needs an ALU slot (or is eliminated,
+     handled in decompose); load/store forms need no exec uop at all *)
+  | Opcode.Mov | Movzx _ | Movsx _ | Movsxd ->
+    if Inst.has_mem t then [] else chain1 p.alu 1
+  | Opcode.Lea -> (
+    match t.operands with
+    | [ _; Operand.Mem m ] ->
+      let components =
+        (if m.base <> None then 1 else 0)
+        + (if m.index <> None then 1 else 0)
+        + if not (Int64.equal m.disp 0L) then 1 else 0
+      in
+      if components >= 3 || m.scale > 1 then
+        chain1 p.lea_complex p.lea_complex_latency
+      else chain1 p.lea_simple 1
+    | _ -> chain1 p.lea_simple 1)
+  | Opcode.Push | Pop -> []
+  | Opcode.Xchg -> [ exec p.alu; exec p.alu; exec p.alu ]
+  | Opcode.Cmov _ ->
+    if p.cmov_uops = 1 then chain1 p.alu 1
+    else [ exec p.alu; exec p.alu ]
+  | Opcode.Set _ -> chain1 p.alu 1
+  | Opcode.Add | Sub | And | Or | Xor | Cmp | Test | Inc | Dec | Neg | Not ->
+    chain1 p.alu 1
+  | Opcode.Adc | Sbb ->
+    if p.adc_uops = 1 then chain1 p.alu 1 else [ exec p.alu; exec p.alu ]
+  | Opcode.Shl | Shr | Sar | Rol | Ror -> (
+    match t.operands with
+    | [ _; Operand.Imm _ ] -> chain1 p.shift 1
+    | _ -> [ exec p.shift; exec p.alu ] (* variable count: extra flag uop *))
+  | Opcode.Shld | Shrd -> chain1 p.imul 3
+  | Opcode.Imul_rr -> chain1 p.imul p.imul_latency
+  | Opcode.Mul_1 | Imul_1 ->
+    if Width.equal t.width Width.Q || Width.equal t.width Width.D then
+      [ exec ~latency:p.imul_latency p.imul; exec p.alu ]
+    else chain1 p.imul p.imul_latency
+  | Opcode.Div | Idiv ->
+    (* The divider is not pipelined; the pipeline model keys on the
+       Div_fast_path / Div_slow_path event to pick the real latency. This
+       entry is the table default (fast path at the instruction width). *)
+    let lat =
+      if Width.equal t.width Width.Q then p.div64_latency else p.div32_latency
+    in
+    chain1 p.div lat
+  | Opcode.Cdq | Cqo -> chain1 p.alu 1
+  | Opcode.Bsf | Bsr | Popcnt | Lzcnt | Tzcnt ->
+    chain1 p.bit_scan p.bit_scan_latency
+  | Opcode.Crc32 -> chain1 p.bit_scan p.bit_scan_latency
+  | Opcode.Bswap ->
+    if Width.equal t.width Width.Q then [ exec p.alu; exec p.shift ]
+    else chain1 p.alu 1
+  | Opcode.Bt | Bts | Btr | Btc -> chain1 p.alu 1
+  | Opcode.Andn | Blsi | Blsr | Blsmsk -> chain1 p.alu 1
+  | Opcode.Bextr -> [ exec p.shift; exec p.alu ]
+  | Opcode.Nop -> []
+  | Opcode.Jmp | Jcc _ | Call | Ret -> chain1 p.shift 1 (* branch port *)
+  (* vector moves *)
+  | Opcode.Movap _ | Movup _ | Movdqa | Movdqu | Lddqu | Movnt _ ->
+    if Inst.has_mem t then [] else chain1 p.fp_mov 1
+  | Opcode.Movs_x _ -> (
+    match t.operands with
+    | [ Operand.Reg _; Operand.Reg _ ] -> chain1 p.vec_shuffle 1 (* merge *)
+    | _ -> [])
+  | Opcode.Movd | Movq_x ->
+    if Inst.has_mem t then [] else chain1 p.xfer p.xfer_latency
+  (* FP arithmetic *)
+  | Opcode.Fadd _ | Fsub _ -> chain1 p.fp_add p.fp_add_latency
+  | Opcode.Fmin _ | Fmax _ -> chain1 p.fp_add p.fp_add_latency
+  | Opcode.Fmul _ -> chain1 p.fp_mul p.fp_mul_latency
+  | Opcode.Fdiv prec -> chain1 p.fp_div (fp_div_lat prec)
+  | Opcode.Fsqrt prec -> chain1 p.fp_div (fp_div_lat prec + 3)
+  | Opcode.Rcp _ | Rsqrt _ -> chain1 p.fp_div 5
+  | Opcode.Fand _ | Fandn _ | For_ _ | Fxor _ -> chain1 p.vec_alu 1
+  | Opcode.Ucomis _ -> chain1 p.fp_add p.fp_add_latency
+  | Opcode.Cmp_fp _ -> chain1 p.fp_add p.fp_add_latency
+  | Opcode.Haddp _ ->
+    [ exec p.vec_shuffle; exec p.vec_shuffle;
+      exec ~latency:p.fp_add_latency p.fp_add ]
+  | Opcode.Round _ -> [ exec p.fp_add; exec ~latency:p.fp_add_latency p.fp_add ]
+  (* FMA *)
+  | Opcode.Vfmadd _ | Vfmsub _ | Vfnmadd _ -> (
+    match p.fp_fma with
+    | Some ports -> chain1 ports p.fp_fma_latency
+    | None ->
+      (* no FMA unit: executes as separate multiply and add *)
+      [ exec ~latency:p.fp_mul_latency p.fp_mul;
+        exec ~latency:p.fp_add_latency p.fp_add ])
+  (* conversions *)
+  | Opcode.Cvtsi2 _ | Cvt2si _ ->
+    [ exec p.xfer; exec ~latency:p.cvt_latency p.cvt ]
+  | Opcode.Cvtss2sd | Cvtsd2ss | Cvtdq2ps | Cvtps2dq | Cvttps2dq ->
+    chain1 p.cvt p.cvt_latency
+  | Opcode.Cvtdq2pd | Cvtps2pd | Cvtpd2ps ->
+    [ exec p.vec_shuffle; exec ~latency:p.cvt_latency p.cvt ]
+  (* shuffles *)
+  | Opcode.Shufp _ | Unpckl _ | Unpckh _ | Pshufd | Pshufb | Palignr
+  | Punpckl _ | Punpckh _ | Packss _ | Packus _ | Pslldq | Psrldq ->
+    chain1 p.vec_shuffle 1
+  | Opcode.Blendp _ -> chain1 p.vec_alu 1
+  | Opcode.Vbroadcast _ ->
+    if Inst.has_mem t then [] else chain1 p.vec_shuffle 1
+  | Opcode.Vinsertf128 | Vextractf128 -> chain1 p.vec_shuffle 3
+  | Opcode.Vperm2f128 -> chain1 p.vec_shuffle 3
+  | Opcode.Vzeroupper -> chain1 p.vec_alu 1
+  | Opcode.Movmsk _ | Pmovmskb -> chain1 p.movmsk p.movmsk_latency
+  | Opcode.Ptest -> [ exec p.vec_alu; exec ~latency:2 p.movmsk ]
+  | Opcode.Pextr _ -> [ exec p.vec_shuffle; exec ~latency:p.xfer_latency p.xfer ]
+  | Opcode.Pinsr _ -> [ exec p.xfer; exec ~latency:1 p.vec_shuffle ]
+  (* integer vector *)
+  | Opcode.Padd _ | Psub _ | Pand | Pandn | Por | Pxor | Pcmpeq _
+  | Pcmpgt _ | Pmaxs _ | Pmins _ | Pmaxu _ | Pminu _ | Pabs _ | Pavg _ ->
+    chain1 p.vec_alu 1
+  | Opcode.Pmull Opcode.I32 ->
+    if p.pmulld_uops = 2 then
+      [ exec ~latency:p.vec_imul_latency p.vec_imul;
+        exec ~latency:p.vec_imul_latency p.vec_imul ]
+    else chain1 p.vec_imul p.vec_imul_latency
+  | Opcode.Pmull _ | Pmuludq | Pmaddwd -> chain1 p.vec_imul p.vec_imul_latency
+  | Opcode.Psll _ | Psrl _ | Psra _ ->
+    if n_ops >= 2 && not (List.exists Operand.is_imm t.operands) then
+      [ exec p.vec_shift; exec p.vec_shuffle ]
+    else chain1 p.vec_shift 1
+
+(* --- full decomposition ---------------------------------------------- *)
+
+(* Split one architectural memory access into 1 or 2 load uops depending
+   on the uarch's load-port width. *)
+let load_uops p ~size =
+  let n = if size > p.load_bytes then 2 else 1 in
+  List.init n (fun _ -> Uop.load ~latency:p.load_latency p.load)
+
+let store_uops p ~size =
+  let n = if size > p.store_bytes then 2 else 1 in
+  List.concat
+    (List.init n (fun _ ->
+         [ Uop.store_addr p.store_addr; Uop.store_data p.store_data ]))
+
+(** Decompose an instruction into its micro-ops under profile [p]. *)
+let decompose (p : t) (t : Inst.t) : Uop.decomp =
+  (* Rename-stage eliminations first. *)
+  if p.zero_idiom_elim && Inst.is_zero_idiom t then
+    Uop.decomp ~eliminated:true ~fused_slots:1 []
+  else
+    let reg_to_reg_move =
+      match (t.opcode, t.operands) with
+      | (Opcode.Mov | Movap _ | Movup _ | Movdqa | Movdqu),
+        [ Operand.Reg _; Operand.Reg _ ] -> true
+      | _ -> false
+    in
+    if p.move_elim && reg_to_reg_move then
+      Uop.decomp ~eliminated:true ~fused_slots:1 []
+    else begin
+      let execs = exec_uops p t in
+      let mems = Inst.mem_accesses t in
+      let loads =
+        List.concat_map
+          (fun (a : Inst.mem_access) ->
+            match a.kind with
+            | `Load | `Load_store -> load_uops p ~size:a.size
+            | `Store -> [])
+          mems
+      in
+      let stores =
+        List.concat_map
+          (fun (a : Inst.mem_access) ->
+            match a.kind with
+            | `Store | `Load_store -> store_uops p ~size:a.size
+            | `Load -> [])
+          mems
+      in
+      let uops = loads @ execs @ stores in
+      let fused_slots =
+        if not p.micro_fusion then max 1 (List.length uops)
+        else begin
+          (* micro-fusion: each load fuses with one exec uop; store-addr
+             fuses with store-data *)
+          let n_loads = List.length loads in
+          let n_execs = List.length execs in
+          let n_store_pairs = List.length stores / 2 in
+          let fused_load_exec = min n_loads n_execs in
+          max 1 (n_loads + n_execs - fused_load_exec + n_store_pairs)
+        end
+      in
+      Uop.decomp ~fused_slots uops
+    end
+
+(* Port combinations used by any uop of this instruction; this is the
+   feature the LDA classifier tokenises. *)
+let port_combinations p t =
+  let d = decompose p t in
+  List.map (fun (u : Uop.t) -> u.ports) d.uops |> List.sort_uniq compare

@@ -1,0 +1,75 @@
+(** Skylake (6th-gen Core) microarchitecture model.
+
+    Same port topology as Haswell with rebalanced units: FP add and
+    multiply both run on ports 0 and 1 at 4-cycle latency, vector shifts
+    gain port 1, single-uop ADC/CMOV, and the radix-1024 divider shortens
+    64-bit division considerably. *)
+
+let profile : Profile.t =
+  {
+    name = "Skylake";
+    alu = Port.p0156;
+    shift = Port.p06;
+    lea_simple = Port.p15;
+    lea_complex = Port.p1;
+    lea_complex_latency = 3;
+    imul = Port.p1;
+    imul_latency = 3;
+    div = Port.p0;
+    div32_latency = 24;
+    div64_latency = 42;
+    adc_uops = 1;
+    cmov_uops = 1;
+    bit_scan = Port.p1;
+    bit_scan_latency = 3;
+    load = Port.p23;
+    load_latency = 4;
+    load_bytes = 32;
+    store_addr = Port.p237;
+    store_data = Port.p4;
+    store_bytes = 32;
+    vec_alu = Port.p015;
+    vec_shift = Port.p01;
+    vec_shuffle = Port.p5;
+    vec_imul = Port.p01;
+    vec_imul_latency = 5;
+    pmulld_uops = 2;
+    fp_add = Port.p01;
+    fp_add_latency = 4;
+    fp_mul = Port.p01;
+    fp_mul_latency = 4;
+    fp_fma = Some Port.p01;
+    fp_fma_latency = 4;
+    fp_div = Port.p0;
+    fp_div_latency_s = 11;
+    fp_div_latency_d = 14;
+    fp_div_ymm_factor = 1;
+    fp_mov = Port.p5;
+    cvt = Port.p01;
+    cvt_latency = 4;
+    movmsk = Port.p0;
+    movmsk_latency = 2;
+    xfer = Port.p0;
+    xfer_latency = 2;
+    zero_idiom_elim = true;
+    move_elim = true;
+    micro_fusion = true;
+  }
+
+let descriptor : Descriptor.t =
+  {
+    name = "Skylake";
+    short = "skl";
+    profile;
+    rename_width = 4;
+    retire_width = 4;
+    rob_size = 224;
+    scheduler_size = 97;
+    n_ports = 8;
+    icache_miss_penalty = 30;
+    l1d_miss_penalty = 12;
+    l2_miss_penalty = 28;
+    subnormal_assist_cycles = 140;
+    misaligned_extra_cycles = 8;
+    supports_avx2 = true;
+  }

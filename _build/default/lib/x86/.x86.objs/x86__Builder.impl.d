@@ -1,0 +1,1 @@
+lib/x86/builder.ml: Inst Int64 Opcode Operand Width

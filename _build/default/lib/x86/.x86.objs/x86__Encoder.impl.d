@@ -1,0 +1,1 @@
+lib/x86/encoder.ml: Array Buffer Bytes Char Hashtbl Inst Int64 List Opcode Operand Printf Reg Width

@@ -1,0 +1,1 @@
+lib/x86/inst.ml: Format List Opcode Operand Printf Reg Width

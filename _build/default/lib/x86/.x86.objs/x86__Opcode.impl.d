@@ -1,0 +1,1 @@
+lib/x86/opcode.ml: Cond Format List Printf Stdlib Width

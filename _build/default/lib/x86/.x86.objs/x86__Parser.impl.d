@@ -1,0 +1,1 @@
+lib/x86/parser.ml: Buffer Hashtbl Inst Int64 List Opcode Operand Option Printf Reg String Width

@@ -1,0 +1,1 @@
+lib/x86/width.ml: Format Int64 Printf Stdlib

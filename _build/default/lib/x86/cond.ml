@@ -1,0 +1,119 @@
+(** x86 condition codes, as used by Jcc / CMOVcc / SETcc. *)
+
+type t =
+  | O   (** overflow *)
+  | NO
+  | B_  (** below (CF=1); underscore avoids clash with byte width *)
+  | AE
+  | E
+  | NE
+  | BE
+  | A
+  | S
+  | NS
+  | P
+  | NP
+  | L
+  | GE
+  | LE
+  | G
+
+let all = [ O; NO; B_; AE; E; NE; BE; A; S; NS; P; NP; L; GE; LE; G ]
+
+let to_string = function
+  | O -> "o"
+  | NO -> "no"
+  | B_ -> "b"
+  | AE -> "ae"
+  | E -> "e"
+  | NE -> "ne"
+  | BE -> "be"
+  | A -> "a"
+  | S -> "s"
+  | NS -> "ns"
+  | P -> "p"
+  | NP -> "np"
+  | L -> "l"
+  | GE -> "ge"
+  | LE -> "le"
+  | G -> "g"
+
+let of_string = function
+  | "o" -> Some O
+  | "no" -> Some NO
+  | "b" | "c" | "nae" -> Some B_
+  | "ae" | "nb" | "nc" -> Some AE
+  | "e" | "z" -> Some E
+  | "ne" | "nz" -> Some NE
+  | "be" | "na" -> Some BE
+  | "a" | "nbe" -> Some A
+  | "s" -> Some S
+  | "ns" -> Some NS
+  | "p" | "pe" -> Some P
+  | "np" | "po" -> Some NP
+  | "l" | "nge" -> Some L
+  | "ge" | "nl" -> Some GE
+  | "le" | "ng" -> Some LE
+  | "g" | "nle" -> Some G
+  | _ -> None
+
+let equal (a : t) b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* Numeric encoding used by the binary encoder (matches hardware cc field). *)
+let to_int = function
+  | O -> 0
+  | NO -> 1
+  | B_ -> 2
+  | AE -> 3
+  | E -> 4
+  | NE -> 5
+  | BE -> 6
+  | A -> 7
+  | S -> 8
+  | NS -> 9
+  | P -> 10
+  | NP -> 11
+  | L -> 12
+  | GE -> 13
+  | LE -> 14
+  | G -> 15
+
+let of_int = function
+  | 0 -> O
+  | 1 -> NO
+  | 2 -> B_
+  | 3 -> AE
+  | 4 -> E
+  | 5 -> NE
+  | 6 -> BE
+  | 7 -> A
+  | 8 -> S
+  | 9 -> NS
+  | 10 -> P
+  | 11 -> NP
+  | 12 -> L
+  | 13 -> GE
+  | 14 -> LE
+  | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "Cond.of_int: %d" n)
+
+(* Evaluate the condition against flag values. *)
+let eval t ~cf ~zf ~sf ~of_ ~pf =
+  match t with
+  | O -> of_
+  | NO -> not of_
+  | B_ -> cf
+  | AE -> not cf
+  | E -> zf
+  | NE -> not zf
+  | BE -> cf || zf
+  | A -> not (cf || zf)
+  | S -> sf
+  | NS -> not sf
+  | P -> pf
+  | NP -> not pf
+  | L -> sf <> of_
+  | GE -> sf = of_
+  | LE -> zf || sf <> of_
+  | G -> not zf && sf = of_

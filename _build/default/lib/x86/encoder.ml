@@ -1,0 +1,346 @@
+(** Binary encoding of instructions.
+
+    Real x86 machine-code generation is out of scope (and irrelevant to the
+    methodology), but two properties of the encoding do matter to the
+    reproduction and are preserved:
+
+    - {b Instruction byte length} drives the L1 instruction-cache footprint
+      of unrolled basic blocks, which is the entire point of the paper's
+      "more intelligent unrolling". [encoded_length] implements a faithful
+      x86-64 length model (prefixes, REX/VEX, escape bytes, ModRM, SIB,
+      displacement and immediate sizing).
+    - {b Round-tripping}: the tracer stores programs as byte streams and
+      re-extracts basic blocks by decoding, as BHive does with DynamoRIO.
+      [encode]/[decode] implement a self-describing container whose record
+      for each instruction is padded to exactly [encoded_length] bytes. *)
+
+(* --- x86-64 length model ------------------------------------------- *)
+
+let fits_i8 v = Int64.compare v (-128L) >= 0 && Int64.compare v 127L <= 0
+
+let reg_needs_rex = function
+  | Reg.Gpr (g, _) -> Reg.is_extended_gpr g
+  | Reg.Gpr8h _ -> false
+  | Reg.Xmm i | Reg.Ymm i -> i >= 8
+  | Reg.Rip -> false
+
+(* sil/dil/bpl/spl require a REX prefix to be encodable. *)
+let reg_forces_rex = function
+  | Reg.Gpr ((Reg.RSI | Reg.RDI | Reg.RBP | Reg.RSP), Width.B) -> true
+  | r -> reg_needs_rex r
+
+let mem_disp_bytes (m : Operand.mem) =
+  match m.base with
+  | None -> 4 (* absolute or index-only always uses disp32 *)
+  | Some (Reg.Gpr (Reg.RBP, _)) | Some (Reg.Gpr (Reg.R13, _)) ->
+    if fits_i8 m.disp then 1 else 4
+  | Some _ ->
+    if Int64.equal m.disp 0L then 0 else if fits_i8 m.disp then 1 else 4
+
+let mem_needs_sib (m : Operand.mem) =
+  m.index <> None
+  || m.base = None
+  || (match m.base with
+     | Some (Reg.Gpr (Reg.RSP, _)) | Some (Reg.Gpr (Reg.R12, _)) -> true
+     | _ -> false)
+
+(* Number of opcode bytes including escape prefixes (0F / 0F38 / 0F3A),
+   not counting legacy/REX/VEX prefixes. *)
+let opcode_bytes (t : Inst.t) =
+  match t.opcode with
+  | Opcode.Mov | Add | Sub | Adc | Sbb | And | Or | Xor | Cmp | Test | Lea
+  | Inc | Dec | Neg | Not | Shl | Shr | Sar | Rol | Ror | Mul_1 | Imul_1
+  | Div | Idiv | Push | Pop | Xchg | Nop | Cdq | Cqo | Jmp | Call | Ret ->
+    1
+  | Jcc _ -> 2
+  | Movzx _ | Movsx _ | Movsxd | Cmov _ | Set _ | Shld | Shrd | Imul_rr
+  | Bsf | Bsr | Popcnt | Lzcnt | Tzcnt | Bswap | Bt | Bts | Btr | Btc -> 2
+  | Andn | Blsi | Blsr | Blsmsk | Bextr -> 3
+  | Crc32 -> 4
+  | Pshufb | Palignr | Ptest | Pextr _ | Pinsr _ | Pabs _ | Pmull Opcode.I32
+  | Pmaxs Opcode.I8 | Pmins Opcode.I8 | Pmaxu Opcode.I16 | Pminu Opcode.I16
+  | Pmaxs Opcode.I32 | Pmins Opcode.I32 | Pmaxu Opcode.I32 | Pminu Opcode.I32
+  | Round _ | Blendp _ | Packus Opcode.I32 -> 3
+  | Vfmadd _ | Vfmsub _ | Vfnmadd _ | Vbroadcast _ | Vinsertf128
+  | Vextractf128 | Vperm2f128 -> 3
+  | Vzeroupper -> 1
+  | _ when Opcode.is_vector t.opcode -> 2 (* classic 0F map *)
+  | _ -> 2
+
+let is_vex (t : Inst.t) =
+  Inst.uses_ymm t || Inst.is_avx_3op t
+  ||
+  match t.opcode with
+  | Opcode.Vfmadd _ | Vfmsub _ | Vfnmadd _ | Vbroadcast _ | Vinsertf128
+  | Vextractf128 | Vperm2f128 | Vzeroupper | Andn | Blsi | Blsr | Blsmsk
+  | Bextr -> true
+  | _ -> false
+
+let imm_bytes (t : Inst.t) =
+  let alu_imm v =
+    (* ALU group 1 supports sign-extended imm8. *)
+    if fits_i8 v then 1 else min 4 (Width.bytes t.width)
+  in
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Operand.Imm v -> (
+        acc
+        +
+        match t.opcode with
+        | Opcode.Shl | Shr | Sar | Rol | Ror | Shld | Shrd | Palignr
+        | Pshufd | Shufp _ | Cmp_fp _ | Round _ | Blendp _ | Pextr _
+        | Pinsr _ | Vinsertf128 | Vextractf128 | Vperm2f128 | Psll _
+        | Psrl _ | Psra _ | Pslldq | Psrldq | Bextr -> 1
+        | Opcode.Mov when Width.equal t.width Width.Q && not (fits_i8 v) ->
+          if Int64.compare v 0x7FFFFFFFL > 0 || Int64.compare v (-0x80000000L) < 0
+          then 8
+          else 4
+        | Opcode.Mov -> min 4 (Width.bytes t.width)
+        | _ -> alu_imm v)
+      | _ -> acc)
+    0 t.operands
+
+(** Length in bytes this instruction would occupy as genuine x86-64
+    machine code. *)
+let encoded_length (t : Inst.t) =
+  let operands = t.operands in
+  let regs =
+    List.concat_map
+      (function
+        | Operand.Reg r -> [ r ]
+        | Operand.Mem m -> Operand.mem_regs m
+        | Operand.Imm _ -> [])
+      operands
+  in
+  let mem = List.find_map (function Operand.Mem m -> Some m | _ -> None) operands in
+  let vex = is_vex t in
+  let legacy_prefix =
+    if vex then 0
+    else
+      (if Width.equal t.width Width.W && not (Opcode.is_vector t.opcode) then 1
+       else 0)
+      +
+      (* SSE prefixes 66/F2/F3 *)
+      match t.opcode with
+      | Opcode.Movap Opcode.Pd | Movup Opcode.Pd | Movdqa | Fadd (Sd | Pd)
+      | Fsub (Sd | Pd) | Fmul (Sd | Pd) | Fdiv (Sd | Pd) | Fsqrt (Sd | Pd)
+      | Fmin (Sd | Pd) | Fmax (Sd | Pd) | Fand Pd | Fandn Pd | For_ Pd
+      | Fxor Pd | Movs_x (Ss | Sd) | Movdqu | Lddqu | Ucomis Sd
+      | Cmp_fp (Sd | Pd) | Cvtsi2 _ | Cvt2si _ | Cvtss2sd | Cvtsd2ss
+      | Cvtps2dq | Cvttps2dq | Cvtdq2pd | Cvtpd2ps | Haddp _ | Rcp _
+      | Rsqrt _ | Movd | Movq_x | Pshufd | Popcnt | Lzcnt | Tzcnt | Crc32 ->
+        1
+      | _ when Opcode.is_vector t.opcode && t.opcode <> Opcode.Movap Opcode.Ps
+               && t.opcode <> Opcode.Movup Opcode.Ps
+               && (match t.opcode with
+                  | Opcode.Fand Ps | Fandn Ps | For_ Ps | Fxor Ps | Fadd (Ss | Ps)
+                  | Movmsk Ps | Unpckl Ps | Unpckh Ps | Shufp Ps | Movnt Ps
+                  | Cvtdq2ps | Cvtps2pd -> false
+                  | _ -> true) ->
+        1 (* most remaining packed-integer ops carry 66 *)
+      | _ -> 0
+  in
+  let rex =
+    if vex then 0
+    else if
+      (Width.equal t.width Width.Q
+      && (not (Opcode.is_vector t.opcode))
+      && match t.opcode with
+         | Opcode.Push | Pop | Cdq | Jmp | Call | Ret | Nop -> false
+         | _ -> true)
+      || List.exists reg_forces_rex regs
+    then 1
+    else 0
+  in
+  let vex_bytes =
+    if not vex then 0
+    else if
+      List.exists reg_needs_rex regs
+      || opcode_bytes t >= 3
+      || Width.equal t.width Width.Q && Inst.has_mem t
+    then 3
+    else 2 (* 2-byte VEX *)
+  in
+  let modrm =
+    match t.opcode with
+    | Opcode.Nop | Cdq | Cqo | Ret | Vzeroupper -> 0
+    | Opcode.Push | Pop when (match operands with [ Operand.Reg _ ] -> true | _ -> false)
+      -> 0
+    | Opcode.Bswap -> 0
+    | _ when operands = [] -> 0
+    | _ -> 1
+  in
+  let sib, disp =
+    match mem with
+    | None -> (0, 0)
+    | Some m -> ((if mem_needs_sib m then 1 else 0), mem_disp_bytes m)
+  in
+  legacy_prefix + rex + vex_bytes + opcode_bytes t + modrm + sib + disp
+  + imm_bytes t
+
+(* --- Self-describing container ------------------------------------- *)
+
+let opcode_index : (Opcode.t, int) Hashtbl.t =
+  let tbl = Hashtbl.create 1024 in
+  List.iteri (fun i op -> Hashtbl.replace tbl op i) Opcode.all;
+  tbl
+
+let opcode_array = Array.of_list Opcode.all
+
+let width_code = function Width.B -> 0 | W -> 1 | D -> 2 | Q -> 3
+
+let width_of_code = function
+  | 0 -> Width.B
+  | 1 -> Width.W
+  | 2 -> Width.D
+  | 3 -> Width.Q
+  | n -> invalid_arg (Printf.sprintf "width code %d" n)
+
+let reg_code = function
+  | Reg.Gpr (g, w) -> (Reg.gpr_index g lsl 3) lor width_code w
+  | Reg.Gpr8h g -> (Reg.gpr_index g lsl 3) lor 4
+  | Reg.Xmm i -> (i lsl 3) lor 5
+  | Reg.Ymm i -> (i lsl 3) lor 6
+  | Reg.Rip -> 7
+
+let reg_of_code c =
+  let hi = c lsr 3 and lo = c land 7 in
+  match lo with
+  | 0 | 1 | 2 | 3 -> Reg.Gpr (Reg.gpr_of_index hi, width_of_code lo)
+  | 4 -> Reg.Gpr8h (Reg.gpr_of_index hi)
+  | 5 -> Reg.Xmm hi
+  | 6 -> Reg.Ymm hi
+  | 7 -> Reg.Rip
+  | _ -> assert false
+
+exception Decode_error of string
+
+let put_i64 buf v =
+  for k = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+  done
+
+let get_i64 bytes pos =
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get bytes (pos + k))))
+  done;
+  !v
+
+(* Record layout:
+   [len:u8] [opcode:u16le] [width|nops: u8] (operands...) (padding 0x90...)
+   operand: tag u8 (0 imm / 1 reg / 2 mem);
+     imm -> 8 bytes; reg -> 1 byte;
+     mem -> flags u8 (bit0 base, bit1 index), [base u8] [index u8] scale u8, disp 8 bytes *)
+let encode_into buf (t : Inst.t) =
+  let body = Buffer.create 24 in
+  let idx =
+    match Hashtbl.find_opt opcode_index t.opcode with
+    | Some i -> i
+    | None -> invalid_arg ("Encoder.encode: opcode not in Opcode.all: " ^ Opcode.mnemonic t.opcode)
+  in
+  Buffer.add_char body (Char.chr (idx land 0xFF));
+  Buffer.add_char body (Char.chr ((idx lsr 8) land 0xFF));
+  Buffer.add_char body
+    (Char.chr (width_code t.width lor (List.length t.operands lsl 2)));
+  List.iter
+    (fun op ->
+      match op with
+      | Operand.Imm v ->
+        Buffer.add_char body '\000';
+        put_i64 body v
+      | Operand.Reg r ->
+        Buffer.add_char body '\001';
+        Buffer.add_char body (Char.chr (reg_code r))
+      | Operand.Mem m ->
+        Buffer.add_char body '\002';
+        let flags =
+          (if m.base <> None then 1 else 0) lor if m.index <> None then 2 else 0
+        in
+        Buffer.add_char body (Char.chr flags);
+        (match m.base with
+        | Some b -> Buffer.add_char body (Char.chr (reg_code b))
+        | None -> ());
+        (match m.index with
+        | Some i -> Buffer.add_char body (Char.chr (reg_code i))
+        | None -> ());
+        Buffer.add_char body (Char.chr m.scale);
+        put_i64 body m.disp)
+    t.operands;
+  let body_len = Buffer.length body + 1 in
+  let target = max body_len (encoded_length t) in
+  if target > 255 then invalid_arg "Encoder.encode: instruction too long";
+  Buffer.add_char buf (Char.chr target);
+  Buffer.add_buffer buf body;
+  for _ = body_len + 1 to target do
+    Buffer.add_char buf '\x90'
+  done
+
+let encode (t : Inst.t) : bytes =
+  let buf = Buffer.create 24 in
+  encode_into buf t;
+  Buffer.to_bytes buf
+
+let encode_block (insts : Inst.t list) : bytes =
+  let buf = Buffer.create (24 * List.length insts) in
+  List.iter (encode_into buf) insts;
+  Buffer.to_bytes buf
+
+(* Decode one instruction at [pos]; returns the instruction and the
+   position just past its record. *)
+let decode_at (bytes : bytes) pos : Inst.t * int =
+  let len = Bytes.length bytes in
+  if pos >= len then raise (Decode_error "decode past end");
+  let rec_len = Char.code (Bytes.get bytes pos) in
+  if rec_len < 4 || pos + rec_len > len then
+    raise (Decode_error (Printf.sprintf "bad record length %d at %d" rec_len pos));
+  let b i = Char.code (Bytes.get bytes (pos + i)) in
+  let idx = b 1 lor (b 2 lsl 8) in
+  if idx >= Array.length opcode_array then
+    raise (Decode_error (Printf.sprintf "bad opcode index %d" idx));
+  let opcode = opcode_array.(idx) in
+  let wn = b 3 in
+  let width = width_of_code (wn land 3) in
+  let nops = wn lsr 2 in
+  let cur = ref (pos + 4) in
+  let read_u8 () =
+    let v = Char.code (Bytes.get bytes !cur) in
+    incr cur;
+    v
+  in
+  let read_i64 () =
+    let v = get_i64 bytes !cur in
+    cur := !cur + 8;
+    v
+  in
+  let operands =
+    List.init nops (fun _ ->
+        match read_u8 () with
+        | 0 -> Operand.Imm (read_i64 ())
+        | 1 -> Operand.Reg (reg_of_code (read_u8 ()))
+        | 2 ->
+          let flags = read_u8 () in
+          let base = if flags land 1 <> 0 then Some (reg_of_code (read_u8 ())) else None in
+          let index = if flags land 2 <> 0 then Some (reg_of_code (read_u8 ())) else None in
+          let scale = read_u8 () in
+          let disp = read_i64 () in
+          Operand.Mem { base; index; scale; disp }
+        | t -> raise (Decode_error (Printf.sprintf "bad operand tag %d" t)))
+  in
+  (Inst.make ~width opcode operands, pos + rec_len)
+
+let decode_block (bytes : bytes) : Inst.t list =
+  let len = Bytes.length bytes in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else
+      let inst, next = decode_at bytes pos in
+      go next (inst :: acc)
+  in
+  go 0 []
+
+(* Total code size in bytes of a block as genuine x86 (what the I-cache
+   footprint model uses). *)
+let block_length insts =
+  List.fold_left (fun acc i -> acc + encoded_length i) 0 insts

@@ -1,0 +1,342 @@
+(** Decoded x86-64 instructions.
+
+    Operands are stored in Intel order (destination first); the printer
+    emits AT&T syntax by reversing them. [width] is the integer operation
+    width; vector operations derive their width from the register operands
+    instead. *)
+
+type t = {
+  opcode : Opcode.t;
+  width : Width.t;
+  operands : Operand.t list;
+}
+
+let make ?(width = Width.Q) opcode operands = { opcode; width; operands }
+
+let equal a b =
+  Opcode.equal a.opcode b.opcode
+  && Width.equal a.width b.width
+  && List.length a.operands = List.length b.operands
+  && List.for_all2 Operand.equal a.operands b.operands
+
+(** How an instruction uses each of its explicit operands, in operand
+    order. *)
+type access = Read | Write | Read_write
+
+let is_avx_3op t =
+  (* AVX non-destructive three-operand form: dst, src1, src2 where dst is
+     write-only. Distinguished from e.g. three-operand shifts by opcode. *)
+  match (t.opcode, t.operands) with
+  | ( ( Opcode.Fadd _ | Fsub _ | Fmul _ | Fdiv _ | Fmin _ | Fmax _ | Fand _
+      | Fandn _ | For_ _ | Fxor _ | Padd _ | Psub _ | Pmull _ | Pmuludq
+      | Pmaddwd | Pand | Pandn | Por | Pxor | Pcmpeq _ | Pcmpgt _ | Pmaxs _
+      | Pmins _ | Pmaxu _ | Pminu _ | Pavg _ | Psll _ | Psrl _ | Psra _
+      | Punpckl _ | Punpckh _ | Packss _ | Packus _ | Shufp _ | Unpckl _
+      | Unpckh _ | Haddp _ | Pshufb | Palignr | Cmp_fp _ ),
+      [ _; _; _ ] ) -> true
+  | (Opcode.Shufp _ | Cmp_fp _ | Palignr | Blendp _), [ _; _; _; _ ] -> true
+  | _ -> false
+
+(* Access pattern for each explicit operand. *)
+let operand_access t : access list =
+  let n = List.length t.operands in
+  let default_rmw () =
+    match n with
+    | 1 -> [ Read_write ]
+    | 2 -> [ Read_write; Read ]
+    | 3 -> [ Read_write; Read; Read ]
+    | _ -> List.init n (fun i -> if i = 0 then Read_write else Read)
+  in
+  let dst_write () = List.init n (fun i -> if i = 0 then Write else Read) in
+  let all_read () = List.init n (fun _ -> Read) in
+  match t.opcode with
+  | Mov | Movzx _ | Movsx _ | Movsxd | Lea | Set _ | Movap _ | Movup _
+  | Movdqa | Movdqu | Movd | Movq_x | Lddqu | Movnt _ | Pshufd | Pmovmskb
+  | Movmsk _ | Pextr _ | Cvtss2sd | Cvtsd2ss | Cvtdq2ps | Cvtps2dq
+  | Cvttps2dq | Cvtdq2pd | Cvtps2pd | Cvtpd2ps | Cvt2si _ | Round _ | Rcp _
+  | Rsqrt _ | Fsqrt _ | Pabs _ | Vbroadcast _ | Vextractf128 | Bsf | Bsr
+  | Popcnt | Lzcnt | Tzcnt | Andn | Blsi | Blsr | Blsmsk | Bextr | Pop ->
+    dst_write ()
+  | Cmp | Test | Ucomis _ | Ptest | Bt | Push | Jmp | Jcc _ | Call
+  (* the explicit operand of widening multiply/divide is a pure source;
+     the implicit rax/rdx pair carries the read-write state *)
+  | Div | Idiv | Mul_1 | Imul_1 ->
+    all_read ()
+  | Cmov _ -> [ Read_write; Read ]
+  | Xchg -> [ Read_write; Read_write ]
+  | Imul_rr when n = 3 -> [ Write; Read; Read ]
+  | Vfmadd _ | Vfmsub _ | Vfnmadd _ -> [ Read_write; Read; Read ]
+  | Vinsertf128 | Vperm2f128 -> dst_write ()
+  | Cvtsi2 _ when n = 3 -> [ Write; Read; Read ]
+  | Cvtsi2 _ -> [ Read_write; Read ]
+  | Movs_x _ -> (
+    (* Register-to-register scalar moves merge into the destination. *)
+    match t.operands with
+    | [ Operand.Reg _; Operand.Reg _ ] -> [ Read_write; Read ]
+    | _ -> dst_write ())
+  | Pinsr _ -> [ Read_write; Read; Read ]
+  | _ when is_avx_3op t ->
+    List.init n (fun i -> if i = 0 then Write else Read)
+  | Nop | Ret | Cdq | Cqo | Vzeroupper -> all_read ()
+  | _ -> default_rmw ()
+
+(* Implicit register operands (not in the operand list). *)
+let implicit_uses t : (Reg.t * access) list =
+  match t.opcode with
+  | Opcode.Div | Idiv | Mul_1 | Imul_1 -> (
+    match t.width with
+    | Width.B -> [ (Reg.Gpr (Reg.RAX, t.width), Read_write) ]
+    | _ ->
+      [ (Reg.Gpr (Reg.RAX, t.width), Read_write);
+        (Reg.Gpr (Reg.RDX, t.width), Read_write) ])
+  | Cdq -> [ (Reg.eax, Read); (Reg.edx, Write) ]
+  | Cqo -> [ (Reg.rax, Read); (Reg.rdx, Write) ]
+  | Push | Pop | Call | Ret -> [ (Reg.rsp, Read_write) ]
+  | _ -> []
+
+(** Memory accesses performed by this instruction (statically known shape;
+    addresses are only known at execution time). *)
+type mem_access = {
+  mem : Operand.mem;
+  kind : [ `Load | `Store | `Load_store ];
+  size : int;  (** bytes *)
+}
+
+(* Byte size of a memory operand access for this instruction. *)
+let mem_size t =
+  match t.opcode with
+  | Opcode.Movzx w | Movsx w -> Width.bytes w
+  | Movsxd -> 4
+  | Movap _ | Movup _ | Movdqa | Movdqu | Lddqu | Pshufb | Palignr | Pshufd
+  | Pand | Pandn | Por | Pxor | Padd _ | Psub _ | Pmull _ | Pmuludq
+  | Pmaddwd | Pcmpeq _ | Pcmpgt _ | Pmaxs _ | Pmins _ | Pmaxu _ | Pminu _
+  | Pabs _ | Pavg _ | Punpckl _ | Punpckh _ | Packss _ | Packus _ | Ptest
+  | Fadd Opcode.Ps | Fadd Pd | Fsub Ps | Fsub Pd | Fmul Ps | Fmul Pd
+  | Fdiv Ps | Fdiv Pd | Fsqrt Ps | Fsqrt Pd | Fmin Ps | Fmin Pd | Fmax Ps
+  | Fmax Pd | Fand _ | Fandn _ | For_ _ | Fxor _ | Cmp_fp Ps | Cmp_fp Pd
+  | Haddp _ | Round Ps | Round Pd | Rcp Ps | Rsqrt Ps | Shufp _ | Unpckl _
+  | Unpckh _ | Blendp _ | Cvtdq2ps | Cvtps2dq | Cvttps2dq | Cvtpd2ps
+  | Movnt Ps | Movnt Pd | Vinsertf128 | Vextractf128 | Vperm2f128 -> (
+    (* Vector width: 32 bytes if any YMM register operand, else 16. *)
+    let ymm =
+      List.exists
+        (function Operand.Reg r -> Reg.is_ymm r | _ -> false)
+        t.operands
+    in
+    match t.opcode with
+    | Vinsertf128 | Vextractf128 -> 16
+    | _ -> if ymm then 32 else 16)
+  | Cvtdq2pd | Cvtps2pd -> 8
+  | Movs_x Ss | Fadd Ss | Fsub Ss | Fmul Ss | Fdiv Ss | Fsqrt Ss | Fmin Ss
+  | Fmax Ss | Ucomis Ss | Cmp_fp Ss | Round Ss | Rcp Ss | Rsqrt Ss
+  | Cvtss2sd | Vbroadcast Ss | Movd -> 4
+  | Movs_x Sd | Fadd Sd | Fsub Sd | Fmul Sd | Fdiv Sd | Fsqrt Sd | Fmin Sd
+  | Fmax Sd | Ucomis Sd | Cmp_fp Sd | Round Sd | Cvtsd2ss | Vbroadcast Sd
+  | Movq_x -> 8
+  | Vfmadd (_, p) | Vfmsub (_, p) | Vfnmadd (_, p) -> (
+    match p with
+    | Ss -> 4
+    | Sd -> 8
+    | Ps | Pd ->
+      let ymm =
+        List.exists
+          (function Operand.Reg r -> Reg.is_ymm r | _ -> false)
+          t.operands
+      in
+      if ymm then 32 else 16)
+  | Pextr l | Pinsr l -> Opcode.int_lane_bytes l
+  | Cvtsi2 _ | Cvt2si _ -> Width.bytes t.width
+  | _ -> Width.bytes t.width
+
+let mem_accesses t : mem_access list =
+  match t.opcode with
+  | Opcode.Lea | Nop | Jmp | Jcc _ -> []
+  | _ ->
+  let accesses = operand_access t in
+  let size = mem_size t in
+  let pair =
+    try List.combine t.operands accesses with Invalid_argument _ -> []
+  in
+  List.filter_map
+    (fun (op, acc) ->
+      match op with
+      | Operand.Mem m ->
+        let kind =
+          match acc with
+          | Read -> `Load
+          | Write -> `Store
+          | Read_write -> `Load_store
+        in
+        Some { mem = m; kind; size }
+      | _ -> None)
+    pair
+  @
+  (* Push/pop access the stack implicitly. *)
+  match t.opcode with
+  | Opcode.Push ->
+    [ { mem = { base = Some Reg.rsp; index = None; scale = 1; disp = -8L };
+        kind = `Store;
+        size = 8 } ]
+  | Opcode.Pop ->
+    [ { mem = { base = Some Reg.rsp; index = None; scale = 1; disp = 0L };
+        kind = `Load;
+        size = 8 } ]
+  | _ -> []
+
+let has_load t =
+  List.exists (fun a -> a.kind = `Load || a.kind = `Load_store) (mem_accesses t)
+
+let has_store t =
+  List.exists (fun a -> a.kind = `Store || a.kind = `Load_store) (mem_accesses t)
+
+let has_mem t = List.exists Operand.is_mem t.operands
+
+(* Register roots read / written, including implicit and addressing
+   registers. LEA reads its "memory" operand's registers but performs no
+   access; handled by operand_access giving Read to the Mem operand. *)
+let read_roots t : Reg.root list =
+  let accesses = operand_access t in
+  let pair =
+    try List.combine t.operands accesses with Invalid_argument _ -> []
+  in
+  let explicit =
+    List.concat_map
+      (fun (op, acc) ->
+        match (op, acc) with
+        | Operand.Reg r, (Read | Read_write) -> [ Reg.root r ]
+        | Operand.Reg _, Write -> []
+        | Operand.Mem m, _ -> List.map Reg.root (Operand.mem_regs m)
+        | Operand.Imm _, _ -> [])
+      pair
+  in
+  let implicit =
+    List.filter_map
+      (fun (r, acc) ->
+        match acc with Read | Read_write -> Some (Reg.root r) | Write -> None)
+      (implicit_uses t)
+  in
+  List.sort_uniq compare (explicit @ implicit)
+
+let write_roots t : Reg.root list =
+  let accesses = operand_access t in
+  let pair =
+    try List.combine t.operands accesses with Invalid_argument _ -> []
+  in
+  let explicit =
+    List.filter_map
+      (fun (op, acc) ->
+        match (op, acc) with
+        | Operand.Reg r, (Write | Read_write) -> Some (Reg.root r)
+        | _ -> None)
+      pair
+  in
+  let implicit =
+    List.filter_map
+      (fun (r, acc) ->
+        match acc with Write | Read_write -> Some (Reg.root r) | Read -> None)
+      (implicit_uses t)
+  in
+  List.sort_uniq compare (explicit @ implicit)
+
+(* Writing a 32-bit GPR zeroes the upper half, breaking the dependence on
+   the old 64-bit value; 8/16-bit writes merge. Used by renaming. *)
+let partial_register_write t =
+  let accesses = operand_access t in
+  let pair =
+    try List.combine t.operands accesses with Invalid_argument _ -> []
+  in
+  List.exists
+    (fun (op, acc) ->
+      match (op, acc) with
+      | Operand.Reg (Reg.Gpr (_, (Width.B | Width.W))), (Write | Read_write)
+      | Operand.Reg (Reg.Gpr8h _), (Write | Read_write) -> true
+      | _ -> false)
+    pair
+
+(** Dependency-breaking zero idioms: [xor r, r], [sub r, r],
+    [pxor x, x], [xorps x, x, x] (and AVX 3-operand forms with equal
+    sources). The result is architecturally zero regardless of input. *)
+let is_zero_idiom t =
+  match (t.opcode, t.operands) with
+  | (Opcode.Xor | Sub | Pxor | Fxor _ | Psub _), [ Operand.Reg a; Operand.Reg b ] ->
+    Reg.equal a b
+  | (Opcode.Pxor | Fxor _ | Psub _), [ Operand.Reg _; Operand.Reg a; Operand.Reg b ] ->
+    Reg.equal a b
+  | _ -> false
+
+(* Ones idioms (pcmpeq r, r) break dependences but still execute. *)
+let is_ones_idiom t =
+  match (t.opcode, t.operands) with
+  | Opcode.Pcmpeq _, [ Operand.Reg a; Operand.Reg b ] -> Reg.equal a b
+  | Opcode.Pcmpeq _, [ _; Operand.Reg a; Operand.Reg b ] -> Reg.equal a b
+  | _ -> false
+
+let uses_ymm t =
+  List.exists
+    (function Operand.Reg r -> Reg.is_ymm r | _ -> false)
+    t.operands
+
+(* AVX2-class instruction: FMA, or any integer-vector op on YMM. *)
+let requires_avx2 t =
+  Opcode.requires_avx2 t.opcode
+  ||
+  match t.opcode with
+  | Opcode.Padd _ | Psub _ | Pmull _ | Pmuludq | Pmaddwd | Pand | Pandn
+  | Por | Pxor | Pcmpeq _ | Pcmpgt _ | Pmaxs _ | Pmins _ | Pmaxu _
+  | Pminu _ | Pabs _ | Pavg _ | Psll _ | Psrl _ | Psra _ | Pshufd | Pshufb
+  | Palignr | Punpckl _ | Punpckh _ | Packss _ | Packus _ ->
+    uses_ymm t
+  | _ -> false
+
+(* Sanity checks; returns a diagnostic for malformed instructions. *)
+let validate t : (unit, string) result =
+  let n = List.length t.operands in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match t.opcode with
+  | Opcode.Nop | Cdq | Cqo | Ret | Vzeroupper ->
+    if n = 0 then Ok () else err "%s takes no operands" (Opcode.mnemonic t.opcode)
+  | Inc | Dec | Neg | Not | Bswap | Push | Pop | Div | Idiv | Mul_1 | Imul_1
+  | Set _ | Jmp | Jcc _ | Call ->
+    if n = 1 then Ok () else err "%s takes one operand" (Opcode.mnemonic t.opcode)
+  | Imul_rr -> if n = 2 || n = 3 then Ok () else err "imul takes 2 or 3 operands"
+  | Shld | Shrd | Palignr ->
+    if n = 3 || n = 4 then Ok () else err "%s takes 3 operands" (Opcode.mnemonic t.opcode)
+  | Vfmadd _ | Vfmsub _ | Vfnmadd _ ->
+    if n = 3 then Ok () else err "fma takes 3 operands"
+  | _ -> if n >= 1 && n <= 4 then Ok () else err "bad operand count %d" n
+
+let pp fmt t =
+  (* AT&T order: sources first, destination last. *)
+  let ops = List.rev t.operands in
+  let needs_suffix =
+    (not (Opcode.is_vector t.opcode))
+    && (not (Opcode.is_control_flow t.opcode))
+    && (match t.opcode with
+       | Opcode.Nop | Cdq | Cqo | Set _ | Movzx _ | Movsx _ | Movsxd -> false
+       | _ -> true)
+    && List.exists (fun o -> not (Operand.is_reg o)) t.operands
+  in
+  let suffix = if needs_suffix then Width.suffix t.width else "" in
+  let vex_only =
+    match t.opcode with
+    | Opcode.Vfmadd _ | Vfmsub _ | Vfnmadd _ | Vbroadcast _ | Vinsertf128
+    | Vextractf128 | Vperm2f128 | Vzeroupper -> true
+    | _ -> false
+  in
+  let v_prefix =
+    if vex_only || is_avx_3op t || uses_ymm t then "v" else ""
+  in
+  let mnem =
+    match t.opcode with
+    | Opcode.Movzx w -> "movz" ^ Width.suffix w ^ Width.suffix t.width
+    | Opcode.Movsx w -> "movs" ^ Width.suffix w ^ Width.suffix t.width
+    | op -> v_prefix ^ Opcode.mnemonic op ^ suffix
+  in
+  Format.fprintf fmt "%s" mnem;
+  List.iteri
+    (fun i op ->
+      if i = 0 then Format.fprintf fmt " %a" Operand.pp op
+      else Format.fprintf fmt ", %a" Operand.pp op)
+    ops
+
+let to_string t = Format.asprintf "%a" pp t

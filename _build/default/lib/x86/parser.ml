@@ -1,0 +1,395 @@
+(** Assembly text parser accepting both AT&T and Intel syntax.
+
+    Syntax is auto-detected per line: a '%' register sigil or '$' immediate
+    sigil selects AT&T, '[' selects Intel; otherwise register position
+    decides nothing and AT&T suffix rules are tried first. Comments start
+    with '#' or "//". *)
+
+let is_space c = c = ' ' || c = '\t'
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+let strip_comment line =
+  let cut i = String.sub line 0 i in
+  let n = String.length line in
+  let rec scan i =
+    if i >= n then line
+    else if line.[i] = '#' then cut i
+    else if i + 1 < n && line.[i] = '/' && line.[i + 1] = '/' then cut i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Split operand text on top-level commas (commas inside parens or brackets
+   belong to AT&T memory operands). *)
+let split_operands s =
+  let out = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' | ']' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  out := Buffer.contents buf :: !out;
+  List.rev !out |> List.map strip |> List.filter (fun s -> s <> "")
+
+let parse_int64 s : int64 option =
+  let s = strip s in
+  let neg, s =
+    if String.length s > 0 && s.[0] = '-' then
+      (true, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  let v =
+    if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      Int64.of_string_opt ("0x" ^ String.sub s 2 (String.length s - 2))
+    else Int64.of_string_opt s
+  in
+  Option.map (fun v -> if neg then Int64.neg v else v) v
+
+(* --- AT&T operands ------------------------------------------------- *)
+
+let att_reg s =
+  if String.length s > 1 && s.[0] = '%' then
+    Reg.of_name (String.sub s 1 (String.length s - 1))
+  else None
+
+let att_mem s : Operand.t option =
+  (* disp(base, index, scale) with every part optional *)
+  match String.index_opt s '(' with
+  | None -> (
+    (* bare displacement = absolute address *)
+    match parse_int64 s with
+    | Some d -> Some (Operand.Mem { base = None; index = None; scale = 1; disp = d })
+    | None -> None)
+  | Some lp ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then None
+    else
+      let disp_txt = strip (String.sub s 0 lp) in
+      let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+      let disp =
+        if disp_txt = "" then Some 0L else parse_int64 disp_txt
+      in
+      let parts = String.split_on_char ',' inner |> List.map strip in
+      let reg_of = function
+        | "" -> Ok None
+        | r -> (
+          match att_reg r with
+          | Some reg -> Ok (Some reg)
+          | None -> Error ())
+      in
+      let open struct exception Bad end in
+      (try
+         let base, index, scale =
+           match parts with
+           | [ b ] -> (b, "", "1")
+           | [ b; i ] -> (b, i, "1")
+           | [ b; i; s ] -> (b, i, (if s = "" then "1" else s))
+           | _ -> raise Bad
+         in
+         let base = match reg_of base with Ok b -> b | Error () -> raise Bad in
+         let index = match reg_of index with Ok i -> i | Error () -> raise Bad in
+         let scale = match int_of_string_opt scale with Some k -> k | None -> raise Bad in
+         match disp with
+         | Some d when scale = 1 || scale = 2 || scale = 4 || scale = 8 ->
+           Some (Operand.Mem { base; index; scale; disp = d })
+         | _ -> None
+       with Bad -> None)
+
+let att_operand s : Operand.t option =
+  let s = strip s in
+  if s = "" then None
+  else if s.[0] = '$' then
+    Option.map Operand.imm (parse_int64 (String.sub s 1 (String.length s - 1)))
+  else
+    match att_reg s with
+    | Some r -> Some (Operand.Reg r)
+    | None -> att_mem s
+
+(* --- Intel operands ------------------------------------------------ *)
+
+(* Parse the bracket body: terms separated by '+' / '-', each term either a
+   register, reg*scale, scale*reg, or a displacement constant. *)
+let intel_bracket body : Operand.t option =
+  let open struct exception Bad end in
+  try
+    let base = ref None and index = ref None and scale = ref 1 and disp = ref 0L in
+    (* Normalise "a - b" into "a + -b" then split on '+'. *)
+    let buf = Buffer.create (String.length body + 8) in
+    String.iteri
+      (fun k c ->
+        if c = '-' && k > 0 then Buffer.add_string buf "+-"
+        else if c = '-' && k = 0 then Buffer.add_char buf '-'
+        else Buffer.add_char buf c)
+      body;
+    let terms =
+      String.split_on_char '+' (Buffer.contents buf)
+      |> List.map strip
+      |> List.filter (fun t -> t <> "")
+    in
+    let add_reg ?(k = 1) r =
+      if k = 1 && !base = None then base := Some r
+      else if !index = None then (
+        index := Some r;
+        scale := k)
+      else raise Bad
+    in
+    List.iter
+      (fun term ->
+        match String.index_opt term '*' with
+        | Some star ->
+          let a = strip (String.sub term 0 star) in
+          let b = strip (String.sub term (star + 1) (String.length term - star - 1)) in
+          (* either k*reg or reg*k *)
+          (match (int_of_string_opt a, Reg.of_name b) with
+          | Some k, Some r -> add_reg ~k r
+          | _ -> (
+            match (Reg.of_name a, int_of_string_opt b) with
+            | Some r, Some k -> add_reg ~k r
+            | _ -> raise Bad))
+        | None -> (
+          match Reg.of_name term with
+          | Some r -> add_reg r
+          | None -> (
+            match parse_int64 term with
+            | Some d -> disp := Int64.add !disp d
+            | None -> raise Bad)))
+      terms;
+    if !scale <> 1 && !scale <> 2 && !scale <> 4 && !scale <> 8 then raise Bad;
+    Some (Operand.Mem { base = !base; index = !index; scale = !scale; disp = !disp })
+  with Bad -> None
+
+(* Strip "byte/word/dword/qword/xmmword/ymmword ptr" prefixes, returning
+   the implied access width when it is an integer width. *)
+let strip_ptr s : string * Width.t option =
+  let lower = String.lowercase_ascii s in
+  let try_prefix p w =
+    let pl = String.length p in
+    if String.length lower >= pl && String.sub lower 0 pl = p then
+      Some (strip (String.sub s pl (String.length s - pl)), w)
+    else None
+  in
+  let candidates =
+    [ ("byte ptr", Some Width.B); ("word ptr", Some Width.W);
+      ("dword ptr", Some Width.D); ("qword ptr", Some Width.Q);
+      ("xmmword ptr", None); ("ymmword ptr", None); ("ptr", None) ]
+  in
+  let rec go = function
+    | [] -> (s, None)
+    | (p, w) :: rest -> (
+      match try_prefix p w with Some (s', _) -> (s', w) | None -> go rest)
+  in
+  go candidates
+
+let intel_operand s : (Operand.t * Width.t option) option =
+  let s = strip s in
+  if s = "" then None
+  else
+    let s, ptr_width = strip_ptr s in
+    if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']' then
+      Option.map
+        (fun m -> (m, ptr_width))
+        (intel_bracket (String.sub s 1 (String.length s - 2)))
+    else
+      match Reg.of_name s with
+      | Some r -> Some (Operand.Reg r, Some (Reg.width r))
+      | None -> (
+        match parse_int64 s with
+        | Some v -> Some (Operand.Imm v, None)
+        | None -> None)
+
+(* --- Mnemonic resolution ------------------------------------------- *)
+
+(* Plain (unsuffixed) mnemonic table built from [Opcode.all]; includes a
+   'v'-prefixed alias for every vector opcode. *)
+let mnemonic_table : (string, Opcode.t) Hashtbl.t =
+  let tbl = Hashtbl.create 512 in
+  List.iter
+    (fun op ->
+      let m = Opcode.mnemonic op in
+      if not (Hashtbl.mem tbl m) then Hashtbl.add tbl m op;
+      if Opcode.is_vector op then
+        let vm = "v" ^ m in
+        if not (Hashtbl.mem tbl vm) then Hashtbl.add tbl vm op)
+    Opcode.all;
+  (* Aliases *)
+  Hashtbl.replace tbl "movsxd" Opcode.Movsxd;
+  Hashtbl.replace tbl "movzx" (Opcode.Movzx Width.B);
+  Hashtbl.replace tbl "movsx" (Opcode.Movsx Width.B);
+  Hashtbl.replace tbl "cltd" Opcode.Cdq;
+  Hashtbl.replace tbl "cqto" Opcode.Cqo;
+  Hashtbl.replace tbl "cdq" Opcode.Cdq;
+  Hashtbl.replace tbl "cqo" Opcode.Cqo;
+  Hashtbl.replace tbl "vzeroupper" Opcode.Vzeroupper;
+  tbl
+
+let width_of_suffix = function
+  | 'b' -> Some Width.B
+  | 'w' -> Some Width.W
+  | 'l' -> Some Width.D
+  | 'q' -> Some Width.Q
+  | _ -> None
+
+(* movzbl / movswq / movzbq ... : movz/movs + src suffix + dst suffix *)
+let movx_mnemonic m : (Opcode.t * Width.t) option =
+  if String.length m = 6
+     && (String.sub m 0 4 = "movz" || String.sub m 0 4 = "movs")
+  then
+    match (width_of_suffix m.[4], width_of_suffix m.[5]) with
+    | Some src, Some dst when Width.bytes src < Width.bytes dst ->
+      let op =
+        if String.sub m 0 4 = "movz" then Opcode.Movzx src else Opcode.Movsx src
+      in
+      Some (op, dst)
+    | _ -> None
+  else None
+
+(* Resolve a mnemonic to (opcode, width hint). Tries the exact table, then
+   movz/movs forms, then an AT&T width suffix. *)
+let resolve_mnemonic m : (Opcode.t * Width.t option) option =
+  let m = String.lowercase_ascii m in
+  match Hashtbl.find_opt mnemonic_table m with
+  | Some op -> Some (op, None)
+  | None -> (
+    match movx_mnemonic m with
+    | Some (op, w) -> Some (op, Some w)
+    | None ->
+      if m = "movslq" then Some (Opcode.Movsxd, Some Width.Q)
+      else
+        let n = String.length m in
+        if n < 2 then None
+        else
+          match width_of_suffix m.[n - 1] with
+          | Some w -> (
+            let base = String.sub m 0 (n - 1) in
+            match Hashtbl.find_opt mnemonic_table base with
+            | Some op when not (Opcode.is_vector op) -> Some (op, Some w)
+            | _ -> None)
+          | None -> None)
+
+(* Infer integer operation width from register operands. *)
+let infer_width (operands : Operand.t list) : Width.t option =
+  List.fold_left
+    (fun acc op ->
+      match (acc, op) with
+      | Some _, _ -> acc
+      | None, Operand.Reg (Reg.Gpr (_, w)) -> Some w
+      | None, Operand.Reg (Reg.Gpr8h _) -> Some Width.B
+      | None, _ -> None)
+    None operands
+
+type syntax = Att | Intel
+
+let detect_syntax line =
+  if String.contains line '%' || String.contains line '$' then Att
+  else if String.contains line '[' then Intel
+  else Att
+
+let parse_line line : (Inst.t option, string) result =
+  let line = strip (strip_comment line) in
+  if line = "" then Ok None
+  else
+    let msplit =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        (String.sub line 0 i, String.sub line i (String.length line - i))
+    in
+    let mnem, rest = msplit in
+    let mnem = String.lowercase_ascii (strip mnem) in
+    match resolve_mnemonic mnem with
+    | None -> Error (Printf.sprintf "unknown mnemonic %S" mnem)
+    | Some (opcode, width_hint) -> (
+      let texts = split_operands (strip rest) in
+      let syntax = detect_syntax line in
+      let try_att () =
+        let ops = List.map att_operand texts in
+        if List.exists Option.is_none ops then None
+        else
+          (* AT&T lists sources first; convert to Intel order. *)
+          Some (List.rev_map Option.get ops, None)
+      in
+      let try_intel () =
+        let ops = List.map intel_operand texts in
+        if List.exists Option.is_none ops then None
+        else
+          let ops = List.map Option.get ops in
+          let ptr_w =
+            List.fold_left
+              (fun acc (_, w) -> match acc with Some _ -> acc | None -> w)
+              None ops
+          in
+          Some (List.map fst ops, ptr_w)
+      in
+      let parsed =
+        match syntax with
+        | Att -> ( match try_att () with Some p -> Some p | None -> try_intel ())
+        | Intel -> try_intel ()
+      in
+      match parsed with
+      | None -> Error (Printf.sprintf "cannot parse operands of %S" line)
+      | Some (operands, intel_ptr_width) ->
+        let width =
+          match width_hint with
+          | Some w -> w
+          | None -> (
+            match infer_width operands with
+            | Some w -> w
+            | None -> (
+              match intel_ptr_width with Some w -> w | None -> Width.Q))
+        in
+        (* movq/movd are overloaded mnemonics: without a vector register
+           operand they are plain integer moves *)
+        let opcode, width =
+          let has_vec =
+            List.exists
+              (function Operand.Reg r -> Reg.is_vector r | _ -> false)
+              operands
+          in
+          match opcode with
+          | Opcode.Movq_x when not has_vec -> (Opcode.Mov, Width.Q)
+          | Opcode.Movd when not has_vec -> (Opcode.Mov, Width.D)
+          | _ -> (opcode, width)
+        in
+        let inst = Inst.make ~width opcode operands in
+        (match Inst.validate inst with
+        | Ok () -> Ok (Some inst)
+        | Error e -> Error (Printf.sprintf "%s: %s" line e)))
+
+let inst line : (Inst.t, string) result =
+  match parse_line line with
+  | Ok (Some i) -> Ok i
+  | Ok None -> Error "empty line"
+  | Error e -> Error e
+
+(* Parse a whole block: newline- or ';'-separated instructions. *)
+let block text : (Inst.t list, string) result =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ';')
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Ok None -> go acc rest
+      | Ok (Some i) -> go (i :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] lines
+
+let block_exn text =
+  match block text with Ok b -> b | Error e -> failwith ("Parser.block: " ^ e)

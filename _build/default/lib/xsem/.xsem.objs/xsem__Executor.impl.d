@@ -1,0 +1,1 @@
+lib/xsem/executor.ml: Encoder Inst Int64 List Machine_state Memsim Semantics X86

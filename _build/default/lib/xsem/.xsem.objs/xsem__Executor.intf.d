@@ -1,0 +1,1 @@
+lib/xsem/executor.mli: Machine_state Memsim Semantics X86

@@ -1,0 +1,1 @@
+lib/xsem/machine_state.ml: Array Bytes Format Int64 List Printf Reg Width X86

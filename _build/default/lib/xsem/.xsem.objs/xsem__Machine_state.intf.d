@@ -1,0 +1,1 @@
+lib/xsem/machine_state.mli: Bytes Format X86

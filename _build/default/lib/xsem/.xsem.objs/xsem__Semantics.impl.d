@@ -1,0 +1,1 @@
+lib/xsem/semantics.ml: Bytes Char Cond Float Inst Int32 Int64 List Machine_state Memsim Opcode Operand Printf Reg Width X86

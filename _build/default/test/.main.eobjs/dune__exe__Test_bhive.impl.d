@@ -1,0 +1,1 @@
+test/test_bhive.ml: Alcotest Bhive Buffer Corpus Float Format Lazy List Printf Uarch

@@ -1,0 +1,1 @@
+test/test_bstats.ml: Alcotest Array Bstats Float List Printf QCheck QCheck_alcotest String

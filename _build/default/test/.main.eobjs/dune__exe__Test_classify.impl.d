@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array Classify Corpus Float Lazy List Printf String X86

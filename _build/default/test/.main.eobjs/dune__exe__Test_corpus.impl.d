@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Bstats Corpus Lazy List Printf X86

@@ -1,0 +1,1 @@
+test/test_encoder.ml: Alcotest Bstats Bytes Corpus Encoder Inst Int64 List Opcode Operand Parser QCheck QCheck_alcotest Reg String X86

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Bytes Encoder Int64 List Memsim Parser Reg X86 Xsem

@@ -1,0 +1,1 @@
+test/test_exegesis.ml: Alcotest Exegesis Float List Option Printf Uarch X86

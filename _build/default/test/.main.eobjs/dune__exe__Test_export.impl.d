@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Bhive Corpus Filename Float Fun Lazy List Models Sys Uarch X86

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Bstats Corpus Harness Inst Int64 List Opcode Printf Reg Uarch X86

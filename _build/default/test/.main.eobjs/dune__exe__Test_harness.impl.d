@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Corpus Encoder Harness List Memsim Parser Printf Uarch X86 Xsem

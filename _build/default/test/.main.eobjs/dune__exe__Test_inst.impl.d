@@ -1,0 +1,1 @@
+test/test_inst.ml: Alcotest Cond Inst List Opcode Reg Result Width X86

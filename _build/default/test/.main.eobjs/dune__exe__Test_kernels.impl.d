@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Corpus Harness List Printf String Uarch

@@ -1,0 +1,1 @@
+test/test_l2.ml: Alcotest Corpus Harness Int64 Memsim Pipeline Printf Uarch X86 Xsem

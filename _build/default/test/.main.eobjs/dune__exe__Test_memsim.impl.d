@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Int64 Memsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Builder Corpus Float Inst Lazy List Models Opcode Operand Parser Printf Reg Uarch X86

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Bstats Builder Corpus Inst Int64 List Opcode Operand Parser QCheck QCheck_alcotest Reg Result Width X86

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Corpus Float Harness List Pipeline Printf Uarch X86

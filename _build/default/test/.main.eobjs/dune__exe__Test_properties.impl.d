@@ -1,0 +1,1 @@
+test/test_properties.ml: Bstats Bytes Corpus Harness Inst Int64 List Memsim Parser Printf QCheck QCheck_alcotest Reg String Uarch X86 Xsem

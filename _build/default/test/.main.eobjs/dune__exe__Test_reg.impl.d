@@ -1,0 +1,1 @@
+test/test_reg.ml: Alcotest List Reg Width X86

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Bytes Char Float Int32 Int64 List Memsim Parser Reg X86 Xsem

@@ -1,0 +1,1 @@
+test/test_semantics2.ml: Alcotest Bytes Char Int32 Int64 List Memsim Parser Reg X86 Xsem

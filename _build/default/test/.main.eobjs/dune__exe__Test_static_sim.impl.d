@@ -1,0 +1,1 @@
+test/test_static_sim.ml: Alcotest Corpus Inst List Models Opcode Parser Printf String Uarch X86

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Builder Hashtbl Inst List Opcode Operand Printf QCheck QCheck_alcotest Reg Uarch X86

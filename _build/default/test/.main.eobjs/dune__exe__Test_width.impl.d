@@ -1,0 +1,1 @@
+test/test_width.ml: Alcotest Format Int64 List QCheck QCheck_alcotest String Width X86

@@ -1,0 +1,118 @@
+let test_rng_determinism () =
+  let a = Bstats.Rng.create 42L and b = Bstats.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Bstats.Rng.next_u64 a) (Bstats.Rng.next_u64 b)
+  done
+
+let test_rng_ranges () =
+  let rng = Bstats.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Bstats.Rng.int rng 10 in
+    Alcotest.(check bool) "int bound" true (v >= 0 && v < 10);
+    let f = Bstats.Rng.float rng in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_uniformish () =
+  let rng = Bstats.Rng.create 9L in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let v = Bstats.Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d (%d)" i c) true (c > 700 && c < 1300))
+    buckets
+
+let test_seed_of_string () =
+  Alcotest.(check bool) "distinct" true
+    (Bstats.Rng.seed_of_string "foo" <> Bstats.Rng.seed_of_string "bar");
+  Alcotest.(check int64) "stable" (Bstats.Rng.seed_of_string "abc") (Bstats.Rng.seed_of_string "abc")
+
+let test_choose_weighted () =
+  let rng = Bstats.Rng.create 1L in
+  let picks = List.init 1000 (fun _ ->
+      Bstats.Rng.choose_weighted rng [ (9.0, `A); (1.0, `B) ]) in
+  let a = List.length (List.filter (( = ) `A) picks) in
+  Alcotest.(check bool) (Printf.sprintf "weighting (%d)" a) true (a > 800 && a < 980)
+
+let test_relative_error () =
+  Alcotest.(check (float 1e-9)) "exact" 0.0 (Bstats.Error.relative ~predicted:5.0 ~measured:5.0);
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Bstats.Error.relative ~predicted:15.0 ~measured:10.0);
+  Alcotest.(check (float 1e-9)) "under" 0.5 (Bstats.Error.relative ~predicted:5.0 ~measured:10.0)
+
+let test_average_weighted () =
+  Alcotest.(check (float 1e-9)) "avg" 0.25
+    (Bstats.Error.average_relative [ (1.0, 2.0); (1.0, 1.0) ]);
+  Alcotest.(check (float 1e-9)) "weighted ignores light" 0.5
+    (Bstats.Error.weighted_relative [ (1.0, 2.0, 1.0); (1.0, 1.0, 0.0) ])
+
+let test_median_percentile () =
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Bstats.Error.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "median even" 1.5 (Bstats.Error.median [ 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Bstats.Error.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p100" 3.0 (Bstats.Error.percentile 1.0 [ 3.0; 1.0; 2.0 ])
+
+let test_kendall_known () =
+  Alcotest.(check (float 1e-9)) "perfect" 1.0
+    (Bstats.Kendall.tau [ (1.0, 1.0); (2.0, 2.0); (3.0, 3.0) ]);
+  Alcotest.(check (float 1e-9)) "inverted" (-1.0)
+    (Bstats.Kendall.tau [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ]);
+  Alcotest.(check bool) "nan on singleton" true (Float.is_nan (Bstats.Kendall.tau [ (1.0, 1.0) ]))
+
+let test_pairwise_agreement () =
+  Alcotest.(check (float 1e-9)) "perfect" 1.0
+    (Bstats.Kendall.pairwise_agreement [ (1.0, 1.0); (2.0, 2.0); (3.0, 3.0) ]);
+  Alcotest.(check (float 1e-9)) "coin flip structure" 0.0
+    (Bstats.Kendall.pairwise_agreement [ (1.0, 2.0); (2.0, 1.0) ])
+
+let prop_kendall_bounded =
+  QCheck.Test.make ~name:"tau in [-1,1]" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 30) (pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0)))
+    (fun pairs ->
+      let t = Bstats.Kendall.tau pairs in
+      Float.is_nan t || (t >= -1.0 && t <= 1.0))
+
+let test_bootstrap_ci () =
+  let xs = List.init 200 (fun i -> float_of_int (i mod 10)) in
+  let ci = Bstats.Bootstrap.mean_ci xs in
+  Alcotest.(check (float 1e-9)) "mean" 4.5 ci.mean;
+  Alcotest.(check bool) "lo <= mean <= hi" true (ci.lo <= ci.mean && ci.mean <= ci.hi);
+  Alcotest.(check bool) "interval tight for n=200" true (ci.hi -. ci.lo < 1.5);
+  let ci2 = Bstats.Bootstrap.mean_ci xs in
+  Alcotest.(check (float 0.0)) "deterministic" ci.lo ci2.lo;
+  let empty = Bstats.Bootstrap.mean_ci [] in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan empty.mean)
+
+let test_summary () =
+  let s = Bstats.Summary.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "n" 4 s.n;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.max
+
+let test_bar () =
+  Alcotest.(check int) "width" 40 (String.length (Bstats.Summary.bar ~max_value:1.0 0.5));
+  Alcotest.(check string) "empty" (String.make 10 ' ')
+    (Bstats.Summary.bar ~width:10 ~max_value:1.0 0.0);
+  Alcotest.(check string) "full" (String.make 10 '#')
+    (Bstats.Summary.bar ~width:10 ~max_value:1.0 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng uniformish" `Quick test_rng_uniformish;
+    Alcotest.test_case "seed of string" `Quick test_seed_of_string;
+    Alcotest.test_case "choose weighted" `Quick test_choose_weighted;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    Alcotest.test_case "average/weighted" `Quick test_average_weighted;
+    Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+    Alcotest.test_case "kendall known" `Quick test_kendall_known;
+    Alcotest.test_case "pairwise agreement" `Quick test_pairwise_agreement;
+    QCheck_alcotest.to_alcotest prop_kendall_bounded;
+    Alcotest.test_case "bootstrap ci" `Quick test_bootstrap_ci;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "bar" `Quick test_bar;
+  ]

@@ -1,0 +1,137 @@
+let config = { Corpus.Suite.default_config with scale = 800 }
+
+let fitted =
+  lazy
+    (let blocks = Corpus.Suite.generate ~config () in
+     (blocks, Classify.Categories.fit blocks))
+
+let test_lda_counts_consistent () =
+  let _, cls = Lazy.force fitted in
+  let m = cls.model in
+  (* token counts are conserved across doc-topic and topic-word views *)
+  let total_dt = Array.fold_left (fun a row -> a + Array.fold_left ( + ) 0 row) 0 m.doc_topic in
+  let total_tw = Array.fold_left (fun a row -> a + Array.fold_left ( + ) 0 row) 0 m.topic_word in
+  let total_t = Array.fold_left ( + ) 0 m.topic_total in
+  Alcotest.(check int) "doc-topic vs topic-word" total_dt total_tw;
+  Alcotest.(check int) "topic totals" total_dt total_t;
+  Array.iter
+    (fun row -> Array.iter (fun c -> Alcotest.(check bool) "nonneg" true (c >= 0)) row)
+    m.topic_word
+
+let test_phi_is_distribution () =
+  let _, cls = Lazy.force fitted in
+  let m = cls.model in
+  for k = 0 to m.config.topics - 1 do
+    let sum = ref 0.0 in
+    for w = 0 to m.vocab_size - 1 do
+      let p = Classify.Lda.phi m k w in
+      Alcotest.(check bool) "phi in (0,1)" true (p > 0.0 && p < 1.0);
+      sum := !sum +. p
+    done;
+    Alcotest.(check bool) (Printf.sprintf "phi sums to 1 (topic %d: %f)" k !sum)
+      true
+      (Float.abs (!sum -. 1.0) < 1e-9)
+  done
+
+let test_every_block_classified () =
+  let blocks, cls = Lazy.force fitted in
+  let counts = Classify.Categories.category_counts cls blocks in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+  Alcotest.(check int) "all blocks" (List.length blocks) total
+
+let test_six_distinct_labels () =
+  let _, cls = Lazy.force fitted in
+  let labels = Array.to_list cls.labels in
+  Alcotest.(check int) "six topics" 6 (List.length labels);
+  Alcotest.(check int) "distinct labels" 6
+    (List.length (List.sort_uniq compare labels))
+
+let test_deterministic () =
+  let blocks = Corpus.Suite.generate ~config () in
+  let a = Classify.Categories.fit blocks in
+  let b = Classify.Categories.fit blocks in
+  List.iter
+    (fun blk ->
+      Alcotest.(check bool) "same label" true
+        (Classify.Categories.classify a blk = Classify.Categories.classify b blk))
+    blocks
+
+let test_vector_blocks_in_vector_categories () =
+  let blocks, cls = Lazy.force fitted in
+  (* strongly vectorised blocks should rarely land in scalar categories *)
+  let vec_blocks =
+    List.filter
+      (fun (b : Corpus.Block.t) ->
+        let n = Corpus.Block.length b in
+        let v =
+          List.length (List.filter (fun (i : X86.Inst.t) -> X86.Opcode.is_vector i.opcode) b.insts)
+        in
+        n >= 4 && v * 10 >= n * 9)
+      blocks
+  in
+  let in_vec_cat =
+    List.filter
+      (fun b ->
+        match Classify.Categories.classify cls b with
+        | Classify.Categories.Pure_vector | Scalar_vector_mix -> true
+        | _ -> false)
+      vec_blocks
+  in
+  let frac =
+    float_of_int (List.length in_vec_cat) /. float_of_int (max 1 (List.length vec_blocks))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly vector categories (%.2f of %d)" frac (List.length vec_blocks))
+    true (frac > 0.5)
+
+let test_composition_sums_to_100 () =
+  let blocks, cls = Lazy.force fitted in
+  List.iter
+    (fun (row : Classify.Composition.row) ->
+      let total = List.fold_left (fun a (_, p) -> a +. p) 0.0 row.per_category in
+      Alcotest.(check bool) (row.app ^ " sums to 100") true (Float.abs (total -. 100.0) < 0.01))
+    (Classify.Composition.rows cls blocks)
+
+let test_infer_unseen_block () =
+  let _, cls = Lazy.force fitted in
+  let b =
+    Corpus.Block.make ~id:"unseen/1" ~app:"test"
+      (X86.Parser.block_exn "mulps %xmm1, %xmm0\naddps %xmm2, %xmm3\nmulps %xmm4, %xmm5")
+  in
+  (* must classify without raising, into some label *)
+  ignore (Classify.Categories.classify cls b)
+
+let test_exemplars () =
+  let blocks, cls = Lazy.force fitted in
+  let ex = Classify.Categories.exemplars cls blocks in
+  Alcotest.(check bool) "at least 4 categories have exemplars" true (List.length ex >= 4);
+  List.iter
+    (fun (l, b) ->
+      Alcotest.(check bool)
+        (Classify.Categories.label_name l ^ " exemplar from same category")
+        true
+        (Classify.Categories.classify cls b = l))
+    ex
+
+let test_label_metadata () =
+  List.iter
+    (fun l ->
+      let n = Classify.Categories.label_number l in
+      Alcotest.(check bool) "number 1..6" true (n >= 1 && n <= 6);
+      Alcotest.(check bool) "has description" true
+        (String.length (Classify.Categories.label_description l) > 0))
+    Classify.Categories.all_labels
+
+let suite =
+  [
+    Alcotest.test_case "lda counts consistent" `Quick test_lda_counts_consistent;
+    Alcotest.test_case "phi is distribution" `Quick test_phi_is_distribution;
+    Alcotest.test_case "every block classified" `Quick test_every_block_classified;
+    Alcotest.test_case "six distinct labels" `Quick test_six_distinct_labels;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "vector blocks placement" `Quick test_vector_blocks_in_vector_categories;
+    Alcotest.test_case "composition sums" `Quick test_composition_sums_to_100;
+    Alcotest.test_case "infer unseen" `Quick test_infer_unseen_block;
+    Alcotest.test_case "exemplars" `Quick test_exemplars;
+    Alcotest.test_case "label metadata" `Quick test_label_metadata;
+  ]

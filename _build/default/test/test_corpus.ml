@@ -1,0 +1,133 @@
+let small_config = { Corpus.Suite.default_config with scale = 800 }
+
+let suite_blocks = lazy (Corpus.Suite.generate ~config:small_config ())
+
+let test_determinism () =
+  let a = Corpus.Suite.generate ~config:small_config () in
+  let b = Corpus.Suite.generate ~config:small_config () in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Corpus.Block.t) (y : Corpus.Block.t) ->
+      Alcotest.(check string) "id" x.id y.id;
+      Alcotest.(check bool) "same insts" true
+        (List.for_all2 X86.Inst.equal x.insts y.insts))
+    a b
+
+let test_counts_scale () =
+  let blocks = Lazy.force suite_blocks in
+  let counts = Corpus.Suite.count_by_app blocks in
+  Alcotest.(check int) "nine applications" 9 (List.length counts);
+  List.iter
+    (fun (app : Corpus.Apps.t) ->
+      let n = List.assoc app.name counts in
+      Alcotest.(check int)
+        (app.name ^ " scaled count")
+        (max 8 (app.paper_count / small_config.scale))
+        n)
+    Corpus.Apps.suite_apps
+
+let test_no_control_flow () =
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      List.iter
+        (fun (i : X86.Inst.t) ->
+          if X86.Opcode.is_control_flow i.opcode then
+            Alcotest.failf "%s contains control flow: %s" b.id (X86.Inst.to_string i))
+        b.insts)
+    (Lazy.force suite_blocks)
+
+let test_blocks_valid () =
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      List.iter
+        (fun (i : X86.Inst.t) ->
+          match X86.Inst.validate i with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s" b.id e)
+        b.insts)
+    (Lazy.force suite_blocks)
+
+let test_lengths_in_range () =
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      let n = Corpus.Block.length b in
+      if n < 1 || n > 150 then Alcotest.failf "%s: odd length %d" b.id n)
+    (Lazy.force suite_blocks)
+
+let test_mem_free_share () =
+  let blocks = Lazy.force suite_blocks in
+  let free =
+    List.length
+      (List.filter (fun b -> not (Corpus.Block.has_memory_access b)) blocks)
+  in
+  let pct = 100.0 *. float_of_int free /. float_of_int (List.length blocks) in
+  Alcotest.(check bool)
+    (Printf.sprintf "register-only share near paper's 16.65%% (got %.1f%%)" pct)
+    true
+    (pct > 8.0 && pct < 25.0)
+
+let test_frequencies_positive () =
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      Alcotest.(check bool) "freq > 0" true (b.freq > 0))
+    (Lazy.force suite_blocks)
+
+let test_paper_blocks () =
+  Alcotest.(check int) "division len" 3 (List.length Corpus.Paper_blocks.division);
+  Alcotest.(check int) "zero idiom len" 1 (List.length Corpus.Paper_blocks.zero_idiom);
+  Alcotest.(check int) "crc len" 7 (List.length Corpus.Paper_blocks.gzip_crc);
+  Alcotest.(check bool) "tf block is large" true
+    (List.length Corpus.Paper_blocks.tensorflow_ablation > 40);
+  Alcotest.(check bool) "tf block code > 32KB/100" true
+    (X86.Encoder.block_length Corpus.Paper_blocks.tensorflow_ablation * 100 > 32 * 1024)
+
+let test_tracer () =
+  let rng = Bstats.Rng.create 7L in
+  let header = X86.Parser.block_exn "mov $0, %eax" in
+  let body = X86.Parser.block_exn "add $1, %rax\nadd $1, %rbx" in
+  let exit_block = X86.Parser.block_exn "mov %eax, %edx" in
+  let program = Corpus.Program.loop ~name:"toy" ~header ~body ~exit_block ~iters:50 in
+  let records = Corpus.Tracer.trace rng program in
+  Alcotest.(check int) "three blocks observed" 3 (List.length records);
+  let body_rec = List.nth records 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loop body hot (%d)" body_rec.count)
+    true (body_rec.count > 5);
+  (* blocks come back through the encoder unchanged *)
+  Alcotest.(check bool) "decoded body matches" true
+    (List.for_all2 X86.Inst.equal body body_rec.block.insts)
+
+let test_tracer_rejects_control_flow_in_body () =
+  let bad = X86.Parser.block_exn "jmp $0" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Corpus.Program.make ~name:"bad" [| { body = bad; term = Corpus.Program.Return } |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_google_corpora () =
+  let google = Corpus.Suite.generate_google ~config:small_config () in
+  let spanner = List.filter (fun (b : Corpus.Block.t) -> b.app = "spanner") google in
+  let dremel = List.filter (fun (b : Corpus.Block.t) -> b.app = "dremel") google in
+  Alcotest.(check bool) "spanner present" true (List.length spanner > 0);
+  Alcotest.(check bool) "dremel present" true (List.length dremel > 0)
+
+let test_scale_env () =
+  let c = Corpus.Suite.config_from_env () in
+  Alcotest.(check bool) "default scale" true (c.scale >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "counts scale" `Quick test_counts_scale;
+    Alcotest.test_case "no control flow" `Quick test_no_control_flow;
+    Alcotest.test_case "blocks valid" `Quick test_blocks_valid;
+    Alcotest.test_case "lengths in range" `Quick test_lengths_in_range;
+    Alcotest.test_case "register-only share" `Quick test_mem_free_share;
+    Alcotest.test_case "frequencies positive" `Quick test_frequencies_positive;
+    Alcotest.test_case "paper blocks" `Quick test_paper_blocks;
+    Alcotest.test_case "tracer" `Quick test_tracer;
+    Alcotest.test_case "tracer validation" `Quick test_tracer_rejects_control_flow_in_body;
+    Alcotest.test_case "google corpora" `Quick test_google_corpora;
+    Alcotest.test_case "scale env" `Quick test_scale_env;
+  ]

@@ -1,0 +1,103 @@
+open X86
+
+let test_known_lengths () =
+  (* Lengths verified against real x86-64 encodings. *)
+  let check text expected =
+    let i = match Parser.inst text with Ok i -> i | Error e -> Alcotest.fail e in
+    Alcotest.(check int) text expected (Encoder.encoded_length i)
+  in
+  check "add $1, %rdi" 4 (* 48 83 C7 01 *);
+  check "mov %edx, %eax" 2 (* 89 D0 *);
+  check "shr $8, %rdx" 4 (* 48 C1 EA 08 *);
+  check "xorb -1(%rdi), %al" 3 (* 32 47 FF *);
+  check "movzbl %al, %eax" 3 (* 0F B6 C0 *);
+  check "xor 0x4110a(, %rax, 8), %rdx" 8 (* 48 33 14 C5 0A 11 04 00 *);
+  check "cmp %rcx, %rdi" 3 (* 48 39 CF *);
+  check "nop" 1;
+  check "ret" 1;
+  check "push %rax" 1;
+  check "push %r9" 2 (* REX + push *)
+
+let test_length_positive () =
+  List.iter
+    (fun op ->
+      let inst =
+        (* build a plausible register form for every opcode *)
+        match op with
+        | Opcode.Nop | Cdq | Cqo | Ret | Vzeroupper -> Inst.make op []
+        | _ when Opcode.is_vector op ->
+          Inst.make op [ Operand.Reg (Reg.Xmm 0); Operand.Reg (Reg.Xmm 1) ]
+        | _ -> Inst.make op [ Operand.Reg Reg.rax; Operand.Reg Reg.rbx ]
+      in
+      let n = Encoder.encoded_length inst in
+      if n < 1 || n > 15 then
+        Alcotest.failf "%s: length %d out of x86 range" (Opcode.mnemonic op) n)
+    Opcode.all
+
+let test_roundtrip_block () =
+  let block =
+    Parser.block_exn
+      {|
+        add $1, %rdi
+        mov %edx, %eax
+        shr $8, %rdx
+        xorb -1(%rdi), %al
+        movzbl %al, %eax
+        xor 0x41108(, %rax, 8), %rdx
+        cmp %rcx, %rdi
+        vxorps %xmm2, %xmm2, %xmm2
+        movups 32(%rsp), %xmm3
+      |}
+  in
+  let decoded = Encoder.decode_block (Encoder.encode_block block) in
+  Alcotest.(check int) "count" (List.length block) (List.length decoded);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) (Inst.to_string a) true (Inst.equal a b))
+    block decoded
+
+let test_decode_errors () =
+  Alcotest.check_raises "truncated"
+    (Encoder.Decode_error "bad record length 200 at 0")
+    (fun () -> ignore (Encoder.decode_block (Bytes.make 4 '\xc8')))
+
+let test_block_length_additive () =
+  let a = Parser.block_exn "add $1, %rax" in
+  let b = Parser.block_exn "add $1, %rax\nadd $1, %rax" in
+  Alcotest.(check int) "additive" (2 * Encoder.block_length a) (Encoder.block_length b)
+
+let arbitrary_block =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let rng = Bstats.Rng.create (Int64.of_int seed) in
+      let mix = Corpus.Apps.(llvm.mix @ tensorflow.mix @ ffmpeg.mix) in
+      return (Corpus.Gen.block ~rng ~mix ~min_len:1 ~max_len:12))
+  in
+  QCheck.make
+    ~print:(fun b -> String.concat "; " (List.map Inst.to_string b))
+    gen
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:200 arbitrary_block
+    (fun block ->
+      let decoded = Encoder.decode_block (Encoder.encode_block block) in
+      List.length decoded = List.length block
+      && List.for_all2 Inst.equal block decoded)
+
+let prop_record_length_covers_x86 =
+  QCheck.Test.make ~name:"record >= modelled x86 length" ~count:200
+    arbitrary_block (fun block ->
+      List.for_all
+        (fun i -> Bytes.length (Encoder.encode i) >= Encoder.encoded_length i)
+        block)
+
+let suite =
+  [
+    Alcotest.test_case "known lengths" `Quick test_known_lengths;
+    Alcotest.test_case "length sane for all opcodes" `Quick test_length_positive;
+    Alcotest.test_case "roundtrip block" `Quick test_roundtrip_block;
+    Alcotest.test_case "decode errors" `Quick test_decode_errors;
+    Alcotest.test_case "block length additive" `Quick test_block_length_additive;
+    QCheck_alcotest.to_alcotest prop_encode_decode_roundtrip;
+    QCheck_alcotest.to_alcotest prop_record_length_covers_x86;
+  ]

@@ -1,0 +1,128 @@
+open X86
+
+let make_env () =
+  let st = Xsem.Machine_state.create () in
+  let mmu = Memsim.Mmu.create () in
+  for vpn = 0x10 to 0x14 do
+    ignore (Memsim.Mmu.map_fresh mmu (Int64.of_int vpn))
+  done;
+  (st, mmu)
+
+let test_fault_position () =
+  let st, mmu = make_env () in
+  Xsem.Machine_state.set_reg st Reg.rbx 0x10000L;
+  Xsem.Machine_state.set_reg st Reg.rcx 0x900000L (* unmapped *);
+  let block =
+    Parser.block_exn "add $1, %rax\nmovq (%rbx), %rdx\nmovq (%rcx), %rsi\nadd $2, %rax"
+  in
+  match Xsem.Executor.run st mmu block with
+  | Xsem.Executor.Faulted { at; steps; fault } ->
+    Alcotest.(check int) "faults at index 2" 2 at;
+    Alcotest.(check int) "two steps completed" 2 (List.length steps);
+    (match fault with
+    | Memsim.Fault.Segfault a -> Alcotest.(check int64) "fault addr" 0x900000L a
+    | _ -> Alcotest.fail "expected segfault")
+  | Completed _ -> Alcotest.fail "expected fault"
+
+let test_partial_state_after_fault () =
+  let st, mmu = make_env () in
+  Xsem.Machine_state.set_reg st Reg.rcx 0x900000L;
+  let block = Parser.block_exn "mov $42, %rax\nmovq (%rcx), %rsi" in
+  (match Xsem.Executor.run st mmu block with
+  | Xsem.Executor.Faulted _ -> ()
+  | Completed _ -> Alcotest.fail "expected fault");
+  (* effects before the fault are visible, as for a real SIGSEGV *)
+  Alcotest.(check int64) "rax written" 42L (Xsem.Machine_state.get_reg st Reg.rax)
+
+let test_rip_advances () =
+  let st, mmu = make_env () in
+  let block = Parser.block_exn "add $1, %rax\nadd $2, %rbx" in
+  (match Xsem.Executor.run st mmu block with
+  | Xsem.Executor.Completed _ -> ()
+  | Faulted _ -> Alcotest.fail "fault");
+  let expected = Int64.of_int (Encoder.block_length block) in
+  Alcotest.(check int64) "rip = code length" expected st.rip
+
+let test_unrolled_accesses () =
+  let st, mmu = make_env () in
+  Xsem.Machine_state.set_reg st Reg.rbx 0x10000L;
+  let block = Parser.block_exn "movq (%rbx), %rax\nadd $8, %rbx" in
+  match Xsem.Executor.run_unrolled st mmu block ~unroll:5 with
+  | Xsem.Executor.Completed steps ->
+    Alcotest.(check int) "10 steps" 10 (List.length steps);
+    let accesses = List.concat_map (fun (s : Xsem.Executor.step) -> s.accesses) steps in
+    Alcotest.(check int) "5 loads" 5 (List.length accesses);
+    (* addresses advance by 8 each iteration *)
+    List.iteri
+      (fun k (a : Memsim.Mmu.access) ->
+        Alcotest.(check int64) "address" (Int64.of_int (0x10000 + (8 * k))) a.vaddr)
+      accesses
+  | Faulted _ -> Alcotest.fail "fault"
+
+let test_step_indices () =
+  let st, mmu = make_env () in
+  let block = Parser.block_exn "add $1, %rax\nadd $1, %rbx\nadd $1, %rcx" in
+  match Xsem.Executor.run st mmu block with
+  | Xsem.Executor.Completed steps ->
+    List.iteri
+      (fun k (s : Xsem.Executor.step) -> Alcotest.(check int) "index" k s.index)
+      steps
+  | Faulted _ -> Alcotest.fail "fault"
+
+let test_events_collected () =
+  let st, mmu = make_env () in
+  Xsem.Machine_state.set_reg st Reg.rcx 3L;
+  Xsem.Machine_state.set_reg st Reg.rax 10L;
+  Xsem.Machine_state.set_reg st Reg.rdx 0L;
+  let block = Parser.block_exn "divq %rcx" in
+  let result = Xsem.Executor.run st mmu block in
+  Alcotest.(check bool) "completed" true (Xsem.Executor.completed result);
+  Alcotest.(check bool) "fast path event" true
+    (List.mem Xsem.Semantics.Div_fast_path (Xsem.Executor.all_events result))
+
+let test_store_then_load_roundtrip_across_iterations () =
+  let st, mmu = make_env () in
+  Xsem.Machine_state.set_reg st Reg.rbx 0x10080L;
+  Xsem.Machine_state.set_reg st Reg.rax 7L;
+  (* accumulate through memory across unrolled iterations *)
+  let block = Parser.block_exn "movq %rax, (%rbx)\naddq (%rbx), %rax" in
+  match Xsem.Executor.run_unrolled st mmu block ~unroll:3 with
+  | Xsem.Executor.Completed _ ->
+    (* 7 -> 14 -> 28 -> 56 *)
+    Alcotest.(check int64) "accumulated" 56L (Xsem.Machine_state.get_reg st Reg.rax)
+  | Faulted _ -> Alcotest.fail "fault"
+
+let test_state_copy_independent () =
+  let st, _ = make_env () in
+  Xsem.Machine_state.set_reg st Reg.rax 1L;
+  let snapshot = Xsem.Machine_state.copy st in
+  Xsem.Machine_state.set_reg st Reg.rax 2L;
+  Alcotest.(check int64) "snapshot unchanged" 1L
+    (Xsem.Machine_state.get_reg snapshot Reg.rax);
+  Xsem.Machine_state.copy_into ~src:snapshot ~dst:st;
+  Alcotest.(check int64) "restored" 1L (Xsem.Machine_state.get_reg st Reg.rax)
+
+let test_init_constant () =
+  let st = Xsem.Machine_state.create () in
+  Xsem.Machine_state.init_constant st 0x12345600L;
+  List.iter
+    (fun g ->
+      Alcotest.(check int64) "gpr init" 0x12345600L
+        (Xsem.Machine_state.get_gpr64 st g))
+    Reg.all_gprs;
+  let v = Xsem.Machine_state.get_vec st (Reg.Xmm 3) in
+  Alcotest.(check int32) "vec fill" 0x12345600l (Bytes.get_int32_le v 0);
+  Alcotest.(check int32) "vec fill repeats" 0x12345600l (Bytes.get_int32_le v 12)
+
+let suite =
+  [
+    Alcotest.test_case "fault position" `Quick test_fault_position;
+    Alcotest.test_case "partial state after fault" `Quick test_partial_state_after_fault;
+    Alcotest.test_case "rip advances" `Quick test_rip_advances;
+    Alcotest.test_case "unrolled accesses" `Quick test_unrolled_accesses;
+    Alcotest.test_case "step indices" `Quick test_step_indices;
+    Alcotest.test_case "events collected" `Quick test_events_collected;
+    Alcotest.test_case "memory accumulate" `Quick test_store_then_load_roundtrip_across_iterations;
+    Alcotest.test_case "state copy" `Quick test_state_copy_independent;
+    Alcotest.test_case "init constant" `Quick test_init_constant;
+  ]

@@ -1,0 +1,141 @@
+(* Invariants of the corpus generator combinators, which the Table I/II
+   calibration depends on: pointer-register discipline, access alignment,
+   and divisor safety. *)
+
+open X86
+
+let with_ctx seed f =
+  let rng = Bstats.Rng.create (Int64.of_int seed) in
+  let ctx = Corpus.Gen.create rng in
+  f ctx;
+  Corpus.Gen.finish ctx
+
+let test_pointer_discipline () =
+  (* after arbitrary snippet emission, every remaining pointer register
+     must not have been written by a non-pointer-arithmetic instruction *)
+  for seed = 0 to 30 do
+    let rng = Bstats.Rng.create (Int64.of_int seed) in
+    let ctx = Corpus.Gen.create rng in
+    for _ = 1 to 10 do
+      let snippet =
+        Bstats.Rng.choose rng
+          [ Corpus.Gen.alu_chain; Corpus.Gen.load; Corpus.Gen.load_op;
+            Corpus.Gen.bit_mix; Corpus.Gen.div_pattern; Corpus.Gen.table_lookup ]
+      in
+      snippet ctx
+    done;
+    let block = Corpus.Gen.finish ctx in
+    (* remaining pointers: only pointer_bump-style writes allowed *)
+    List.iter
+      (fun p ->
+        List.iter
+          (fun (inst : Inst.t) ->
+            let writes_p = List.mem (Reg.root p) (Inst.write_roots inst) in
+            if writes_p then
+              match inst.opcode with
+              | Opcode.Add | Sub -> () (* bounded pointer arithmetic *)
+              | op ->
+                Alcotest.failf "seed %d: pointer %s clobbered by %s" seed
+                  (Reg.name p) (Opcode.mnemonic op))
+          block)
+      ctx.pointers
+  done
+
+let test_div_pattern_safe () =
+  (* every div the generator emits must be preceded by a zeroed edx and
+     use a never-clobbered (nonzero) divisor *)
+  let block =
+    with_ctx 5 (fun ctx ->
+        Corpus.Gen.alu_chain ctx;
+        Corpus.Gen.div_pattern ctx)
+  in
+  let rec scan = function
+    | (a : Inst.t) :: (b : Inst.t) :: rest ->
+      if b.opcode = Opcode.Div then
+        Alcotest.(check bool) "xor edx precedes div" true
+          (Inst.is_zero_idiom a
+          && List.mem (Reg.root Reg.rdx) (Inst.write_roots a));
+      scan (b :: rest)
+    | _ -> ()
+  in
+  scan block
+
+let test_generated_blocks_align () =
+  (* generated blocks must essentially never trip the misalignment
+     filter (paper drop rate: 0.183%) *)
+  let config = { Corpus.Suite.default_config with scale = 400 } in
+  let blocks = Corpus.Suite.generate ~config () in
+  let misaligned =
+    List.length
+      (List.filter
+         (fun (b : Corpus.Block.t) ->
+           match
+             Harness.Profiler.profile Harness.Environment.default
+               Uarch.All.haswell b.insts
+           with
+           | Ok p -> p.reject = Some Harness.Profiler.Misaligned_access
+           | Error _ -> false)
+         blocks)
+  in
+  let rate = float_of_int misaligned /. float_of_int (List.length blocks) in
+  Alcotest.(check bool)
+    (Printf.sprintf "misaligned rate %.3f%% below 1.5%%" (100.0 *. rate))
+    true (rate < 0.015)
+
+let test_store_burst_shape () =
+  let block = with_ctx 11 Corpus.Gen.store_burst in
+  Alcotest.(check bool) "at least 2 stores" true (List.length block >= 2);
+  List.iter
+    (fun (i : Inst.t) ->
+      Alcotest.(check bool) "all stores" true (Inst.has_store i))
+    block
+
+let test_load_burst_distinct_destinations () =
+  let block = with_ctx 13 Corpus.Gen.load_burst in
+  List.iter
+    (fun (i : Inst.t) -> Alcotest.(check bool) "all loads" true (Inst.has_load i))
+    block
+
+let test_zipf_weights_decrease () =
+  let rng = Bstats.Rng.create 3L in
+  let w0 = Corpus.Gen.zipf_freq rng ~rank:0 in
+  let w100 = Corpus.Gen.zipf_freq rng ~rank:100 in
+  let w1000 = Corpus.Gen.zipf_freq rng ~rank:1000 in
+  Alcotest.(check bool) "decreasing" true (w0 > w100 && w100 > w1000 && w1000 >= 1);
+  (* not absurdly skewed: the top block is not more than ~6% of a
+     2000-block corpus's total weight *)
+  let rng = Bstats.Rng.create 4L in
+  let weights = List.init 2000 (fun rank -> Corpus.Gen.zipf_freq rng ~rank) in
+  let total = List.fold_left ( + ) 0 weights in
+  let top = List.hd weights in
+  Alcotest.(check bool)
+    (Printf.sprintf "top share %.2f%%" (100.0 *. float_of_int top /. float_of_int total))
+    true
+    (float_of_int top /. float_of_int total < 0.06)
+
+let test_mem_free_blocks_have_no_accesses () =
+  (* the register-only mixes must not sneak in memory operands *)
+  let config = { Corpus.Suite.default_config with scale = 400 } in
+  let blocks = Corpus.Suite.generate ~config () in
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      if not (Corpus.Block.has_memory_access b) then
+        List.iter
+          (fun i ->
+            Alcotest.(check int)
+              (b.id ^ " access count")
+              0
+              (List.length (Inst.mem_accesses i)))
+          b.insts)
+    blocks
+
+let suite =
+  [
+    Alcotest.test_case "pointer discipline" `Quick test_pointer_discipline;
+    Alcotest.test_case "div pattern safe" `Quick test_div_pattern_safe;
+    Alcotest.test_case "alignment rate" `Quick test_generated_blocks_align;
+    Alcotest.test_case "store burst shape" `Quick test_store_burst_shape;
+    Alcotest.test_case "load burst shape" `Quick test_load_burst_distinct_destinations;
+    Alcotest.test_case "zipf weights" `Quick test_zipf_weights_decrease;
+    Alcotest.test_case "register-only blocks" `Quick test_mem_free_blocks_have_no_accesses;
+  ]

@@ -1,0 +1,126 @@
+open X86
+open X86.Builder
+
+let test_zero_idiom () =
+  let t b i = Alcotest.(check bool) (Inst.to_string i) b (Inst.is_zero_idiom i) in
+  t true (xor (r Reg.rax) (r Reg.rax));
+  t true (sub (r Reg.rcx) (r Reg.rcx));
+  t true (pxor (r (Reg.Xmm 2)) (r (Reg.Xmm 2)));
+  t true (xorps (r (Reg.Xmm 1)) (r (Reg.Xmm 1)));
+  t true (vxorps (r (Reg.Xmm 2)) (r (Reg.Xmm 2)) (r (Reg.Xmm 2)));
+  t false (xor (r Reg.rax) (r Reg.rbx));
+  t false (add (r Reg.rax) (r Reg.rax));
+  t false (vxorps (r (Reg.Xmm 0)) (r (Reg.Xmm 1)) (r (Reg.Xmm 2)))
+
+let test_ones_idiom () =
+  Alcotest.(check bool) "pcmpeq same" true
+    (Inst.is_ones_idiom (pcmpeqd (r (Reg.Xmm 3)) (r (Reg.Xmm 3))));
+  Alcotest.(check bool) "pcmpeq diff" false
+    (Inst.is_ones_idiom (pcmpeqd (r (Reg.Xmm 3)) (r (Reg.Xmm 4))))
+
+let test_mem_accesses () =
+  let load = mov (r Reg.rax) (mb ~base:Reg.rbx ()) in
+  let store = mov (mb ~base:Reg.rbx ()) (r Reg.rax) in
+  let rmw = add (mb ~base:Reg.rbx ()) (i 1) in
+  Alcotest.(check bool) "load" true (Inst.has_load load && not (Inst.has_store load));
+  Alcotest.(check bool) "store" true (Inst.has_store store && not (Inst.has_load store));
+  Alcotest.(check bool) "rmw" true (Inst.has_load rmw && Inst.has_store rmw);
+  Alcotest.(check int) "load count" 1 (List.length (Inst.mem_accesses load))
+
+let test_lea_no_access () =
+  let l = lea (r Reg.rax) (mb ~base:Reg.rbx ~index:Reg.rcx ~scale:4 ()) in
+  Alcotest.(check int) "lea accesses" 0 (List.length (Inst.mem_accesses l));
+  Alcotest.(check bool) "lea reads base+index" true
+    (List.mem (Reg.root Reg.rbx) (Inst.read_roots l)
+    && List.mem (Reg.root Reg.rcx) (Inst.read_roots l))
+
+let test_push_pop_stack () =
+  Alcotest.(check int) "push accesses" 1 (List.length (Inst.mem_accesses (push (r Reg.rax))));
+  Alcotest.(check bool) "push stores" true (Inst.has_store (push (r Reg.rax)));
+  Alcotest.(check bool) "pop loads" true (Inst.has_load (pop (r Reg.rax)));
+  Alcotest.(check bool) "push writes rsp" true
+    (List.mem (Reg.root Reg.rsp) (Inst.write_roots (push (r Reg.rax))))
+
+let test_read_write_roots () =
+  let i1 = add (r Reg.rax) (r Reg.rbx) in
+  Alcotest.(check bool) "add reads both" true
+    (List.mem (Reg.root Reg.rax) (Inst.read_roots i1)
+    && List.mem (Reg.root Reg.rbx) (Inst.read_roots i1));
+  Alcotest.(check bool) "add writes dst only" true
+    (Inst.write_roots i1 = [ Reg.root Reg.rax ]);
+  let m = mov (r Reg.rax) (r Reg.rbx) in
+  Alcotest.(check bool) "mov does not read dst" true
+    (not (List.mem (Reg.root Reg.rax) (Inst.read_roots m)));
+  let d = div (r Reg.ecx) ~w:Width.D in
+  Alcotest.(check bool) "div reads rax rdx rcx" true
+    (List.mem (Reg.root Reg.rax) (Inst.read_roots d)
+    && List.mem (Reg.root Reg.rdx) (Inst.read_roots d)
+    && List.mem (Reg.root Reg.rcx) (Inst.read_roots d));
+  Alcotest.(check bool) "div writes rax rdx" true
+    (List.mem (Reg.root Reg.rax) (Inst.write_roots d)
+    && List.mem (Reg.root Reg.rdx) (Inst.write_roots d))
+
+let test_flags () =
+  Alcotest.(check bool) "add writes flags" true (Opcode.writes_flags Opcode.Add);
+  Alcotest.(check bool) "mov no flags" false (Opcode.writes_flags Opcode.Mov);
+  Alcotest.(check bool) "adc reads flags" true (Opcode.reads_flags Opcode.Adc);
+  Alcotest.(check bool) "cmov reads flags" true (Opcode.reads_flags (Opcode.Cmov Cond.E));
+  Alcotest.(check bool) "lea no flags" false (Opcode.writes_flags Opcode.Lea)
+
+let test_mem_size () =
+  Alcotest.(check int) "movzx bl source" 1
+    (Inst.mem_size (movzx ~from:Width.B ~w:Width.D (r Reg.eax) (mb ~base:Reg.rbx ())));
+  Alcotest.(check int) "movaps xmm" 16 (Inst.mem_size (movaps (r (Reg.Xmm 0)) (mb ~base:Reg.rbx ())));
+  Alcotest.(check int) "vmovaps ymm" 32
+    (Inst.mem_size (mk (Opcode.Movap Opcode.Ps) [ r (Reg.Ymm 0); mb ~base:Reg.rbx () ]));
+  Alcotest.(check int) "movss" 4 (Inst.mem_size (movss (r (Reg.Xmm 0)) (mb ~base:Reg.rbx ())));
+  Alcotest.(check int) "movsd" 8 (Inst.mem_size (movsd_x (r (Reg.Xmm 0)) (mb ~base:Reg.rbx ())))
+
+let test_avx2_detection () =
+  Alcotest.(check bool) "fma is avx2" true
+    (Inst.requires_avx2 (vfmadd231ps (r (Reg.Xmm 0)) (r (Reg.Xmm 1)) (r (Reg.Xmm 2))));
+  Alcotest.(check bool) "ymm int is avx2" true
+    (Inst.requires_avx2 (mk (Opcode.Padd Opcode.I32) [ r (Reg.Ymm 0); r (Reg.Ymm 1) ]));
+  Alcotest.(check bool) "ymm fp is avx1" false
+    (Inst.requires_avx2 (mk (Opcode.Fadd Opcode.Ps) [ r (Reg.Ymm 0); r (Reg.Ymm 1) ]));
+  Alcotest.(check bool) "xmm int is sse" false
+    (Inst.requires_avx2 (paddd (r (Reg.Xmm 0)) (r (Reg.Xmm 1))))
+
+let test_validate () =
+  Alcotest.(check bool) "good add" true (Inst.validate (add (r Reg.rax) (i 1)) = Ok ());
+  Alcotest.(check bool) "bad nop" true
+    (Result.is_error (Inst.validate (mk Opcode.Nop [ r Reg.rax ])));
+  Alcotest.(check bool) "bad inc" true
+    (Result.is_error (Inst.validate (mk Opcode.Inc [ r Reg.rax; r Reg.rbx ])))
+
+let test_partial_write () =
+  Alcotest.(check bool) "al write partial" true
+    (Inst.partial_register_write (mov ~w:Width.B (r Reg.al) (i 1)));
+  Alcotest.(check bool) "eax write not partial" false
+    (Inst.partial_register_write (mov ~w:Width.D (r Reg.eax) (i 1)))
+
+let test_printing () =
+  let p i = Inst.to_string i in
+  Alcotest.(check string) "att order" "addq $1, %rdi" (p (add (r Reg.rdi) (i 1)));
+  Alcotest.(check string) "suffix on mem" "movl %eax, 0x10(%rbx)"
+    (p (mov ~w:Width.D (mb ~base:Reg.rbx ~disp:16 ()) (r Reg.eax)));
+  Alcotest.(check string) "vex 3op" "vxorps %xmm2, %xmm2, %xmm2"
+    (p (vxorps (r (Reg.Xmm 2)) (r (Reg.Xmm 2)) (r (Reg.Xmm 2))));
+  Alcotest.(check string) "movzx" "movzbl %al, %eax"
+    (p (movzx ~from:Width.B ~w:Width.D (r Reg.eax) (r Reg.al)))
+
+let suite =
+  [
+    Alcotest.test_case "zero idiom" `Quick test_zero_idiom;
+    Alcotest.test_case "ones idiom" `Quick test_ones_idiom;
+    Alcotest.test_case "mem accesses" `Quick test_mem_accesses;
+    Alcotest.test_case "lea no access" `Quick test_lea_no_access;
+    Alcotest.test_case "push/pop stack" `Quick test_push_pop_stack;
+    Alcotest.test_case "read/write roots" `Quick test_read_write_roots;
+    Alcotest.test_case "flags" `Quick test_flags;
+    Alcotest.test_case "mem size" `Quick test_mem_size;
+    Alcotest.test_case "avx2 detection" `Quick test_avx2_detection;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "partial write" `Quick test_partial_write;
+    Alcotest.test_case "printing" `Quick test_printing;
+  ]

@@ -1,0 +1,71 @@
+(* The hand-written kernels must all be profilable and show the expected
+   performance characteristics. *)
+
+let hsw = Uarch.All.haswell
+
+let profile insts =
+  match Harness.Profiler.profile Harness.Environment.default hsw insts with
+  | Ok p -> p
+  | Error f -> Alcotest.failf "profile: %s" (Harness.Profiler.failure_to_string f)
+
+let test_all_profilable () =
+  List.iter
+    (fun (name, _, insts) ->
+      let p = profile insts in
+      if not p.accepted then Alcotest.failf "%s not accepted" name;
+      if p.throughput <= 0.0 then Alcotest.failf "%s: bad throughput" name)
+    Corpus.Kernels.all
+
+let tp insts = (profile insts).throughput
+
+let test_memcpy_store_bound () =
+  (* two 16-byte stores per iteration on one store-data port *)
+  let t = tp Corpus.Kernels.memcpy_sse in
+  Alcotest.(check bool) (Printf.sprintf "memcpy ~2 (%.2f)" t) true (t >= 1.8 && t <= 2.6)
+
+let test_fnv1a_latency_bound () =
+  (* serial imul chain: at least the multiply latency per byte *)
+  let t = tp Corpus.Kernels.fnv1a in
+  Alcotest.(check bool) (Printf.sprintf "fnv1a >= 4 (%.2f)" t) true (t >= 4.0)
+
+let test_xxhash_chain () =
+  let t = tp Corpus.Kernels.xxhash_round in
+  Alcotest.(check bool) (Printf.sprintf "xxhash chain >= 5 (%.2f)" t) true (t >= 5.0)
+
+let test_dot_product_throughput_bound () =
+  (* one FMA + one load-FMA per iteration: should stream near 1-2
+     cycles, nowhere near the 5-cycle FMA latency chain *)
+  let t = tp Corpus.Kernels.dot_product_fma in
+  Alcotest.(check bool) (Printf.sprintf "dot product streams (%.2f)" t) true (t <= 5.5)
+
+let test_bignum_carry_chain () =
+  (* adc chains through the flags: slower than the plain add version *)
+  let t = tp Corpus.Kernels.bignum_add in
+  Alcotest.(check bool) (Printf.sprintf "bignum carry >= 2 (%.2f)" t) true (t >= 2.0)
+
+let test_kernels_in_suite () =
+  let config = { Corpus.Suite.default_config with scale = 100 } in
+  let blocks = Corpus.Suite.generate ~config () in
+  let kernel_blocks =
+    List.filter (fun (b : Corpus.Block.t) -> String.contains b.id ':') blocks
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "kernels present (%d)" (List.length kernel_blocks))
+    true
+    (List.length kernel_blocks > 20)
+
+let test_for_app () =
+  Alcotest.(check bool) "openblas has kernels" true (Corpus.Kernels.for_app "openblas" <> []);
+  Alcotest.(check bool) "unknown app empty" true (Corpus.Kernels.for_app "nosuch" = [])
+
+let suite =
+  [
+    Alcotest.test_case "all profilable" `Quick test_all_profilable;
+    Alcotest.test_case "memcpy store bound" `Quick test_memcpy_store_bound;
+    Alcotest.test_case "fnv1a latency bound" `Quick test_fnv1a_latency_bound;
+    Alcotest.test_case "xxhash chain" `Quick test_xxhash_chain;
+    Alcotest.test_case "dot product streams" `Quick test_dot_product_throughput_bound;
+    Alcotest.test_case "bignum carry chain" `Quick test_bignum_carry_chain;
+    Alcotest.test_case "kernels in suite" `Quick test_kernels_in_suite;
+    Alcotest.test_case "for_app" `Quick test_for_app;
+  ]

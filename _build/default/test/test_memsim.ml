@@ -1,0 +1,120 @@
+let test_valid_addresses () =
+  let v = Memsim.Fault.is_valid_address in
+  Alcotest.(check bool) "null page" false (v 0L);
+  Alcotest.(check bool) "low" false (v 0xFFFL);
+  Alcotest.(check bool) "first valid" true (v 0x1000L);
+  Alcotest.(check bool) "typical" true (v 0x12345600L);
+  Alcotest.(check bool) "too high" false (v 0x7FFF_FFFF_F000L);
+  Alcotest.(check bool) "non canonical" false (v 0x1234560012345600L);
+  Alcotest.(check bool) "negative" false (v (-1L))
+
+let test_page_arith () =
+  Alcotest.(check int64) "page" 0x12345L (Memsim.Fault.page_of_address 0x12345600L);
+  Alcotest.(check int64) "addr" 0x12345000L (Memsim.Fault.address_of_page 0x12345L);
+  Alcotest.(check int) "offset" 0x600 (Memsim.Fault.offset_in_page 0x12345600L)
+
+let test_phys_fill () =
+  let p = Memsim.Phys_mem.create () in
+  let pfn = Memsim.Phys_mem.allocate p in
+  Memsim.Phys_mem.fill_const p pfn 0x12345600l;
+  Alcotest.(check int) "byte 0" 0x00 (Memsim.Phys_mem.read_byte p pfn 0);
+  Alcotest.(check int) "byte 1" 0x56 (Memsim.Phys_mem.read_byte p pfn 1);
+  Alcotest.(check int) "byte 2" 0x34 (Memsim.Phys_mem.read_byte p pfn 2);
+  Alcotest.(check int) "byte 3" 0x12 (Memsim.Phys_mem.read_byte p pfn 3);
+  Alcotest.(check int) "repeats" 0x56 (Memsim.Phys_mem.read_byte p pfn 4093)
+
+let test_page_table_aliasing () =
+  let t = Memsim.Page_table.create () in
+  Memsim.Page_table.map t ~vpn:1L ~pfn:42L;
+  Memsim.Page_table.map t ~vpn:2L ~pfn:42L;
+  Memsim.Page_table.map t ~vpn:3L ~pfn:43L;
+  Alcotest.(check int) "count" 3 (Memsim.Page_table.count t);
+  Alcotest.(check int) "frames" 2 (Memsim.Page_table.distinct_frames t);
+  Alcotest.(check bool) "translate" true (Memsim.Page_table.translate_page t 2L = Some 42L);
+  Memsim.Page_table.unmap t 2L;
+  Alcotest.(check bool) "unmapped" true (Memsim.Page_table.translate_page t 2L = None)
+
+let test_mmu_fault () =
+  let mmu = Memsim.Mmu.create () in
+  (match Memsim.Mmu.read_bytes mmu 0x5000L 4 with
+  | exception Memsim.Fault.Fault (Memsim.Fault.Segfault a) ->
+    Alcotest.(check int64) "fault addr" 0x5000L a
+  | _ -> Alcotest.fail "expected segfault");
+  match Memsim.Mmu.read_bytes mmu 0x1234560012345600L 8 with
+  | exception Memsim.Fault.Fault (Memsim.Fault.Non_canonical _) -> ()
+  | _ -> Alcotest.fail "expected non-canonical"
+
+let test_mmu_rw () =
+  let mmu = Memsim.Mmu.create () in
+  ignore (Memsim.Mmu.map_fresh mmu 5L);
+  Memsim.Mmu.write_u64 mmu 0x5010L 0xDEADBEEFCAFEBABEL;
+  Alcotest.(check int64) "read back" 0xDEADBEEFCAFEBABEL (Memsim.Mmu.read_u64 mmu 0x5010L)
+
+let test_mmu_aliasing_shares_data () =
+  let mmu = Memsim.Mmu.create () in
+  let pfn = Memsim.Phys_mem.allocate (Memsim.Mmu.phys mmu) in
+  Memsim.Mmu.map_aliased mmu ~vpn:5L ~pfn;
+  Memsim.Mmu.map_aliased mmu ~vpn:9L ~pfn;
+  Memsim.Mmu.write_u64 mmu 0x5040L 77L;
+  Alcotest.(check int64) "aliased read" 77L (Memsim.Mmu.read_u64 mmu 0x9040L)
+
+let test_cache_basic () =
+  let c = Memsim.Cache.l1_default () in
+  Alcotest.(check int) "first access misses" 1 (Memsim.Cache.access c ~addr:0x1000L ~size:8);
+  Alcotest.(check int) "second access hits" 0 (Memsim.Cache.access c ~addr:0x1000L ~size:8);
+  Alcotest.(check int) "same line hits" 0 (Memsim.Cache.access c ~addr:0x1030L ~size:8);
+  Alcotest.(check int) "next line misses" 1 (Memsim.Cache.access c ~addr:0x1040L ~size:8)
+
+let test_cache_split_access () =
+  let c = Memsim.Cache.l1_default () in
+  Alcotest.(check bool) "crossing" true (Memsim.Cache.crosses_line c ~addr:0x103CL ~size:8);
+  Alcotest.(check bool) "not crossing" false (Memsim.Cache.crosses_line c ~addr:0x1038L ~size:8);
+  Alcotest.(check int) "split costs 2 lines" 2 (Memsim.Cache.access c ~addr:0x103CL ~size:8)
+
+let test_cache_capacity () =
+  let c = Memsim.Cache.create ~size_bytes:512 ~ways:2 ~line_bytes:64 in
+  (* 4 sets x 2 ways; touching 3 lines of the same set evicts *)
+  let addr set way = Int64.of_int ((way * 4 * 64) + (set * 64)) in
+  ignore (Memsim.Cache.access c ~addr:(addr 0 0) ~size:1);
+  ignore (Memsim.Cache.access c ~addr:(addr 0 1) ~size:1);
+  Alcotest.(check int) "way0 still resident" 0 (Memsim.Cache.access c ~addr:(addr 0 0) ~size:1);
+  ignore (Memsim.Cache.access c ~addr:(addr 0 2) ~size:1);
+  (* LRU: way1 evicted *)
+  Alcotest.(check int) "LRU victim" 1 (Memsim.Cache.access c ~addr:(addr 0 1) ~size:1)
+
+let test_cache_single_page_fits () =
+  (* the BHive invariant: one 4 KiB frame fits entirely in a 32 KiB
+     8-way L1 (64 lines in 64 distinct sets) *)
+  let c = Memsim.Cache.l1_default () in
+  for k = 0 to 63 do
+    ignore (Memsim.Cache.access c ~addr:(Int64.of_int (k * 64)) ~size:8)
+  done;
+  Memsim.Cache.reset_stats c;
+  for k = 0 to 63 do
+    ignore (Memsim.Cache.access c ~addr:(Int64.of_int (k * 64)) ~size:8)
+  done;
+  Alcotest.(check int) "no misses warm" 0 (Memsim.Cache.misses c)
+
+let prop_cache_miss_bound =
+  QCheck.Test.make ~name:"access misses at most 2 lines" ~count:300
+    QCheck.(pair (int_bound 100000) (int_range 1 32))
+    (fun (addr, size) ->
+      let c = Memsim.Cache.l1_default () in
+      let m = Memsim.Cache.access c ~addr:(Int64.of_int addr) ~size in
+      m >= 1 && m <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "valid addresses" `Quick test_valid_addresses;
+    Alcotest.test_case "page arithmetic" `Quick test_page_arith;
+    Alcotest.test_case "phys fill" `Quick test_phys_fill;
+    Alcotest.test_case "page table aliasing" `Quick test_page_table_aliasing;
+    Alcotest.test_case "mmu faults" `Quick test_mmu_fault;
+    Alcotest.test_case "mmu read/write" `Quick test_mmu_rw;
+    Alcotest.test_case "aliasing shares data" `Quick test_mmu_aliasing_shares_data;
+    Alcotest.test_case "cache basic" `Quick test_cache_basic;
+    Alcotest.test_case "cache split access" `Quick test_cache_split_access;
+    Alcotest.test_case "cache capacity/LRU" `Quick test_cache_capacity;
+    Alcotest.test_case "single page fits L1" `Quick test_cache_single_page_fits;
+    QCheck_alcotest.to_alcotest prop_cache_miss_bound;
+  ]

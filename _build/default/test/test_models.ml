@@ -1,0 +1,177 @@
+open X86
+
+let hsw = Uarch.All.haswell
+let iaca = lazy (Models.Iaca.create hsw)
+let mca = lazy (Models.Llvm_mca.create hsw)
+let osaca = lazy (Models.Osaca.create hsw)
+
+let predict model block =
+  match (Lazy.force model).Models.Model_intf.predict block with
+  | Models.Model_intf.Throughput tp -> tp
+  | Models.Model_intf.Unsupported r -> Alcotest.failf "unsupported: %s" r
+
+let div_block = Corpus.Paper_blocks.division
+let zero_block = Corpus.Paper_blocks.zero_idiom
+let crc_block = Corpus.Paper_blocks.gzip_crc
+
+(* Case-study assertions: the documented failure modes. *)
+let test_division_bug () =
+  (* IACA and llvm-mca grossly over-predict div r32 (paper: 98 and 99 for
+     a measured 21.62) *)
+  let i = predict iaca div_block and m = predict mca div_block in
+  Alcotest.(check bool) (Printf.sprintf "iaca over-predicts (%.1f)" i) true (i > 60.0);
+  Alcotest.(check bool) (Printf.sprintf "mca over-predicts (%.1f)" m) true (m > 60.0);
+  (* OSACA under-predicts (paper: 12.25) *)
+  let o = predict osaca div_block in
+  Alcotest.(check bool) (Printf.sprintf "osaca under-predicts (%.1f)" o) true
+    (o < 16.0 && o > 4.0)
+
+let test_zero_idiom_knowledge () =
+  let i = predict iaca zero_block in
+  Alcotest.(check bool) (Printf.sprintf "iaca knows idiom (%.2f)" i) true (i < 0.5);
+  let m = predict mca zero_block in
+  Alcotest.(check (float 0.01)) "mca full cycle" 1.0 m;
+  let o = predict osaca zero_block in
+  Alcotest.(check (float 0.01)) "osaca full cycle" 1.0 o
+
+let test_crc_scheduling () =
+  (* llvm-mca mis-schedules the fused load (paper: 13.03 vs measured
+     8.25; IACA predicts 8.0) *)
+  let i = predict iaca crc_block and m = predict mca crc_block in
+  Alcotest.(check bool) (Printf.sprintf "iaca close (%.1f)" i) true (i >= 5.0 && i <= 9.0);
+  Alcotest.(check bool) (Printf.sprintf "mca over (%.1f)" m) true (m > 1.5 *. i)
+
+let test_osaca_parser_failures () =
+  (match (Lazy.force osaca).predict crc_block with
+  | Models.Model_intf.Unsupported _ -> ()
+  | Models.Model_intf.Throughput tp ->
+    Alcotest.failf "osaca should fail on byte-mem ALU, got %.2f" tp);
+  (* imm->mem forms parsed as nops: adding them must not increase the
+     prediction *)
+  let base = Parser.block_exn "add %rbx, %rax\nimul %rcx, %rdx" in
+  let with_nop =
+    base @ Parser.block_exn "movq $1, (%rbx)\naddq $1, 8(%rbx)"
+  in
+  let o1 = predict osaca base and o2 = predict osaca with_nop in
+  Alcotest.(check (float 0.001)) "imm->mem ignored" o1 o2
+
+let test_mca_skl_degradation () =
+  (* llvm-mca's table is noticeably staler for Skylake *)
+  let block = Parser.block_exn "add %rbx, %rax\nmulps %xmm1, %xmm0\nmov (%rcx), %rdx" in
+  ignore block;
+  let count_perturbed uarch =
+    let model = Models.Llvm_mca.table uarch in
+    List.length
+      (List.filter
+         (fun op ->
+           match op with
+           | Opcode.Nop | Cdq | Cqo | Ret | Vzeroupper -> false
+           | _ ->
+             let inst =
+               if Opcode.is_vector op then
+                 Inst.make op [ Operand.Reg (Reg.Xmm 0); Operand.Reg (Reg.Xmm 1) ]
+               else Inst.make op [ Operand.Reg Reg.rax; Operand.Reg Reg.rbx ]
+             in
+             let base = Uarch.Descriptor.decompose uarch inst in
+             let entry = model inst in
+             (match (base.uops, entry.uops) with
+             | (b0 :: _), (e0 :: _) -> b0.latency <> e0.latency
+             | _ -> false))
+         Opcode.all)
+  in
+  let skl = count_perturbed Uarch.All.skylake in
+  let hsw_n = count_perturbed hsw in
+  Alcotest.(check bool)
+    (Printf.sprintf "more SKL entries perturbed (%d vs %d)" skl hsw_n)
+    true (skl > hsw_n)
+
+let test_ithemal_learns () =
+  (* train on synthetic additive data; must recover it approximately *)
+  let mk n =
+    List.init n (fun _ -> Builder.add (Builder.r Reg.rax) (Builder.i 1))
+  in
+  let dataset = List.init 20 (fun k -> (mk (k + 1), float_of_int (k + 1))) in
+  let t = Models.Ithemal.train dataset in
+  let pred = Models.Ithemal.predict_block t (mk 10) in
+  Alcotest.(check bool) (Printf.sprintf "pred ~10 (%.2f)" pred) true
+    (pred > 7.0 && pred < 13.0)
+
+let test_ithemal_no_schedule () =
+  let t = Models.Ithemal.train [] in
+  let m = Models.Ithemal.create t in
+  Alcotest.(check bool) "black box" true (m.schedule = None)
+
+let test_ithemal_empty_training () =
+  let t = Models.Ithemal.train [] in
+  let p = Models.Ithemal.predict_block t div_block in
+  Alcotest.(check bool) "clamped positive" true (p >= 0.2)
+
+let test_predictions_positive () =
+  let blocks =
+    Corpus.Suite.generate ~config:{ Corpus.Suite.default_config with scale = 3000 } ()
+  in
+  List.iter
+    (fun (b : Corpus.Block.t) ->
+      List.iter
+        (fun model ->
+          match (Lazy.force model).Models.Model_intf.predict b.insts with
+          | Models.Model_intf.Throughput tp ->
+            if not (Float.is_finite tp) || tp <= 0.0 then
+              Alcotest.failf "%s: bad prediction %f on %s"
+                (Lazy.force model).name tp b.id
+          | Models.Model_intf.Unsupported _ -> ())
+        [ iaca; mca; osaca ])
+    blocks
+
+let test_schedules_available () =
+  Alcotest.(check bool) "iaca schedules" true ((Lazy.force iaca).schedule <> None);
+  Alcotest.(check bool) "mca schedules" true ((Lazy.force mca).schedule <> None);
+  Alcotest.(check bool) "osaca no schedule" true ((Lazy.force osaca).schedule = None)
+
+let test_schedule_shape () =
+  match (Lazy.force iaca).schedule with
+  | None -> Alcotest.fail "no scheduler"
+  | Some f ->
+    let entries = f crc_block in
+    Alcotest.(check bool) "non-empty" true (entries <> []);
+    List.iter
+      (fun (e : Models.Model_intf.schedule_entry) ->
+        Alcotest.(check bool) "ordering" true (e.complete >= e.dispatch);
+        Alcotest.(check bool) "inst index" true
+          (e.inst_index >= 0 && e.inst_index < List.length crc_block))
+      entries
+
+let test_table_noise_deterministic () =
+  let l1 = Models.Table_noise.latency ~seed:1L ~fraction:0.5 ~amplitude:0.5 Opcode.Add 3 in
+  let l2 = Models.Table_noise.latency ~seed:1L ~fraction:0.5 ~amplitude:0.5 Opcode.Add 3 in
+  Alcotest.(check int) "same seed same noise" l1 l2;
+  Alcotest.(check bool) "positive" true (l1 >= 1);
+  let n_hit =
+    List.length
+      (List.filter
+         (fun op ->
+           Models.Table_noise.latency ~seed:1L ~fraction:0.5 ~amplitude:0.5 op 10 <> 10)
+         Opcode.all)
+  in
+  let total = List.length Opcode.all in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly half perturbed (%d/%d)" n_hit total)
+    true
+    (float_of_int n_hit > 0.3 *. float_of_int total
+    && float_of_int n_hit < 0.7 *. float_of_int total)
+
+let suite =
+  [
+    Alcotest.test_case "division bug" `Quick test_division_bug;
+    Alcotest.test_case "zero idiom knowledge" `Quick test_zero_idiom_knowledge;
+    Alcotest.test_case "crc scheduling" `Quick test_crc_scheduling;
+    Alcotest.test_case "osaca parser failures" `Quick test_osaca_parser_failures;
+    Alcotest.test_case "mca skl degradation" `Quick test_mca_skl_degradation;
+    Alcotest.test_case "ithemal learns" `Quick test_ithemal_learns;
+    Alcotest.test_case "ithemal black box" `Quick test_ithemal_no_schedule;
+    Alcotest.test_case "ithemal empty training" `Quick test_ithemal_empty_training;
+    Alcotest.test_case "predictions positive" `Quick test_predictions_positive;
+    Alcotest.test_case "schedules available" `Quick test_schedules_available;
+    Alcotest.test_case "schedule shape" `Quick test_schedule_shape;
+    Alcotest.test_case "table noise deterministic" `Quick test_table_noise_deterministic;
+  ]

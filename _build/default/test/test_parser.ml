@@ -1,0 +1,136 @@
+open X86
+
+let inst_t = Alcotest.testable Inst.pp Inst.equal
+
+let parse s =
+  match Parser.inst s with
+  | Ok i -> i
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_att_basic () =
+  Alcotest.check inst_t "add" (Builder.add (Builder.r Reg.rdi) (Builder.i 1))
+    (parse "add $1, %rdi");
+  Alcotest.check inst_t "mov"
+    (Builder.mov ~w:Width.D (Builder.r Reg.eax) (Builder.r Reg.edx))
+    (parse "mov %edx, %eax");
+  Alcotest.check inst_t "shr"
+    (Builder.shr (Builder.r Reg.rdx) (Builder.i 8))
+    (parse "shr $8, %rdx")
+
+let test_att_memory () =
+  let i = parse "xorb -1(%rdi), %al" in
+  Alcotest.(check string) "print" "xorb -0x1(%rdi), %al" (Inst.to_string i);
+  let i2 = parse "xor 0x4110a(, %rax, 8), %rdx" in
+  (match i2.operands with
+  | [ _; Operand.Mem m ] ->
+    Alcotest.(check bool) "no base" true (m.base = None);
+    Alcotest.(check bool) "index rax" true (m.index = Some Reg.rax);
+    Alcotest.(check int) "scale" 8 m.scale;
+    Alcotest.(check int64) "disp" 0x4110aL m.disp
+  | _ -> Alcotest.fail "expected mem operand");
+  let i3 = parse "movq 16(%rsp,%rcx,4), %rax" in
+  (match i3.operands with
+  | [ _; Operand.Mem m ] ->
+    Alcotest.(check bool) "base rsp" true (m.base = Some Reg.rsp);
+    Alcotest.(check int) "scale 4" 4 m.scale
+  | _ -> Alcotest.fail "expected mem operand")
+
+let test_att_width_suffixes () =
+  Alcotest.(check bool) "movl width D" true
+    (Width.equal (parse "movl $1, (%rax)").width Width.D);
+  Alcotest.(check bool) "movq width Q" true
+    (Width.equal (parse "movq $1, (%rax)").width Width.Q);
+  Alcotest.(check bool) "addb width B" true
+    (Width.equal (parse "addb $1, (%rax)").width Width.B)
+
+let test_intel_basic () =
+  Alcotest.check inst_t "xor edx edx"
+    (Builder.xor ~w:Width.D (Builder.r Reg.edx) (Builder.r Reg.edx))
+    (parse "xor edx, edx");
+  Alcotest.check inst_t "div ecx"
+    (Builder.div ~w:Width.D (Builder.r Reg.ecx))
+    (parse "div ecx");
+  let i = parse "xor rdx, [8*rax + 0x4110a]" in
+  (match i.operands with
+  | [ Operand.Reg r; Operand.Mem m ] ->
+    Alcotest.(check bool) "dst rdx" true (Reg.equal r Reg.rdx);
+    Alcotest.(check int) "scale" 8 m.scale;
+    Alcotest.(check int64) "disp" 0x4110aL m.disp
+  | _ -> Alcotest.fail "operands")
+
+let test_intel_ptr () =
+  Alcotest.(check bool) "qword ptr" true
+    (Width.equal (parse "mov qword ptr [rax], 1").width Width.Q);
+  Alcotest.(check bool) "byte ptr" true
+    (Width.equal (parse "mov byte ptr [rax], 1").width Width.B)
+
+let test_vector () =
+  Alcotest.check inst_t "vxorps"
+    (Builder.vxorps (Builder.r (Reg.Xmm 2)) (Builder.r (Reg.Xmm 2)) (Builder.r (Reg.Xmm 2)))
+    (parse "vxorps %xmm2, %xmm2, %xmm2");
+  Alcotest.check inst_t "movaps"
+    (Builder.movaps (Builder.r (Reg.Xmm 1)) (Builder.r (Reg.Xmm 0)))
+    (parse "movaps %xmm0, %xmm1");
+  let fma = parse "vfmadd231ps %ymm1, %ymm2, %ymm3" in
+  Alcotest.(check bool) "fma opcode" true (fma.opcode = Opcode.Vfmadd (231, Opcode.Ps))
+
+let test_movzx_forms () =
+  Alcotest.check inst_t "movzbl"
+    (Builder.movzx ~from:Width.B ~w:Width.D (Builder.r Reg.eax) (Builder.r Reg.al))
+    (parse "movzbl %al, %eax");
+  Alcotest.check inst_t "movzwq"
+    (Builder.movzx ~from:Width.W ~w:Width.Q (Builder.r Reg.rax) (Builder.r Reg.ax))
+    (parse "movzwq %ax, %rax");
+  Alcotest.(check bool) "intel movzx" true
+    ((parse "movzx eax, al").opcode = Opcode.Movzx Width.B)
+
+let test_errors () =
+  Alcotest.(check bool) "unknown mnemonic" true (Result.is_error (Parser.inst "frobnicate %rax"));
+  Alcotest.(check bool) "garbage operand" true (Result.is_error (Parser.inst "add $1, %nosuch"));
+  Alcotest.(check bool) "empty" true (Result.is_error (Parser.inst ""))
+
+let test_block () =
+  let b = Parser.block_exn "add $1, %rax\n# comment\n\nsub $2, %rbx; inc %rcx" in
+  Alcotest.(check int) "3 insts" 3 (List.length b);
+  Alcotest.(check bool) "bad block" true (Result.is_error (Parser.block "add $1, %rax\nbogus"))
+
+let test_comments () =
+  let b = Parser.block_exn "add $1, %rax # trailing\n// whole line\nsub $1, %rbx" in
+  Alcotest.(check int) "comments stripped" 2 (List.length b)
+
+(* Round trip: print then reparse equals original, over all printable
+   generator output. *)
+let arbitrary_inst : Inst.t QCheck.arbitrary =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let rng = Bstats.Rng.create (Int64.of_int seed) in
+      let mix =
+        Corpus.Apps.(List.concat_map (fun a -> a.mix) [ Corpus.Apps.llvm; Corpus.Apps.openblas ])
+      in
+      let block = Corpus.Gen.block ~rng ~mix ~min_len:1 ~max_len:3 in
+      return (List.hd block))
+  in
+  QCheck.make ~print:Inst.to_string gen
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300 arbitrary_inst
+    (fun inst ->
+      match Parser.inst (Inst.to_string inst) with
+      | Ok parsed -> Inst.equal inst parsed
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "att basic" `Quick test_att_basic;
+    Alcotest.test_case "att memory" `Quick test_att_memory;
+    Alcotest.test_case "att width suffixes" `Quick test_att_width_suffixes;
+    Alcotest.test_case "intel basic" `Quick test_intel_basic;
+    Alcotest.test_case "intel ptr" `Quick test_intel_ptr;
+    Alcotest.test_case "vector" `Quick test_vector;
+    Alcotest.test_case "movzx forms" `Quick test_movzx_forms;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "block" `Quick test_block;
+    Alcotest.test_case "comments" `Quick test_comments;
+    QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+  ]

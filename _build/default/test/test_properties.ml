@@ -1,0 +1,190 @@
+(* Property-based tests over the architectural semantics: algebraic
+   identities that must hold for arbitrary register values, plus
+   robustness properties of the decoders. *)
+
+open X86
+
+let exec_with ~rax ~rbx text =
+  let st = Xsem.Machine_state.create () in
+  let mmu = Memsim.Mmu.create () in
+  for vpn = 0x10 to 0x14 do
+    ignore (Memsim.Mmu.map_fresh mmu (Int64.of_int vpn))
+  done;
+  Xsem.Machine_state.set_reg st Reg.rax rax;
+  Xsem.Machine_state.set_reg st Reg.rbx rbx;
+  match Xsem.Executor.run st mmu (Parser.block_exn text) with
+  | Xsem.Executor.Completed _ -> st
+  | Faulted _ -> QCheck.Test.fail_report "unexpected fault"
+
+let reg st r = Xsem.Machine_state.get_reg st r
+
+let pair64 = QCheck.(pair int64 int64)
+
+let prop name count gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let add_sub_identity =
+  prop "add then sub is identity" 200 pair64 (fun (a, b) ->
+      let st = exec_with ~rax:a ~rbx:b "add %rbx, %rax\nsub %rbx, %rax" in
+      Int64.equal (reg st Reg.rax) a)
+
+let xor_twice_identity =
+  prop "xor twice is identity" 200 pair64 (fun (a, b) ->
+      let st = exec_with ~rax:a ~rbx:b "xor %rbx, %rax\nxor %rbx, %rax" in
+      Int64.equal (reg st Reg.rax) a)
+
+let not_twice_identity =
+  prop "not twice is identity" 200 QCheck.int64 (fun a ->
+      let st = exec_with ~rax:a ~rbx:0L "not %rax\nnot %rax" in
+      Int64.equal (reg st Reg.rax) a)
+
+let neg_twice_identity =
+  prop "neg twice is identity" 200 QCheck.int64 (fun a ->
+      let st = exec_with ~rax:a ~rbx:0L "neg %rax\nneg %rax" in
+      Int64.equal (reg st Reg.rax) a)
+
+let bswap_twice_identity =
+  prop "bswap twice is identity" 200 QCheck.int64 (fun a ->
+      let st = exec_with ~rax:a ~rbx:0L "bswap %rax\nbswap %rax" in
+      Int64.equal (reg st Reg.rax) a)
+
+let add_commutes =
+  prop "addition commutes" 200 pair64 (fun (a, b) ->
+      let s1 = exec_with ~rax:a ~rbx:b "add %rbx, %rax" in
+      let s2 = exec_with ~rax:b ~rbx:a "add %rbx, %rax" in
+      Int64.equal (reg s1 Reg.rax) (reg s2 Reg.rax))
+
+let lea_matches_arithmetic =
+  prop "lea = base + 4*index + disp" 200
+    QCheck.(pair int64 (int_bound 1000))
+    (fun (b, idx) ->
+      let idx64 = Int64.of_int idx in
+      let st =
+        let stt = Xsem.Machine_state.create () in
+        Xsem.Machine_state.set_reg stt Reg.rbx b;
+        Xsem.Machine_state.set_reg stt Reg.rcx idx64;
+        let mmu = Memsim.Mmu.create () in
+        match
+          Xsem.Executor.run stt mmu (Parser.block_exn "lea 16(%rbx, %rcx, 4), %rax")
+        with
+        | Xsem.Executor.Completed _ -> stt
+        | Faulted _ -> QCheck.Test.fail_report "fault"
+      in
+      Int64.equal (reg st Reg.rax)
+        (Int64.add (Int64.add b (Int64.mul idx64 4L)) 16L))
+
+let movzx_bounds =
+  prop "movzbl result fits in a byte" 200 QCheck.int64 (fun a ->
+      let st = exec_with ~rax:0L ~rbx:a "movzbl %bl, %eax" in
+      let v = reg st Reg.rax in
+      Int64.compare v 0L >= 0 && Int64.compare v 256L < 0)
+
+let store_load_roundtrip =
+  prop "store/load roundtrip" 200
+    QCheck.(pair int64 (int_bound 400))
+    (fun (v, off) ->
+      let off = off * 8 in
+      let st =
+        let stt = Xsem.Machine_state.create () in
+        Xsem.Machine_state.set_reg stt Reg.rax v;
+        Xsem.Machine_state.set_reg stt Reg.rbx 0x10000L;
+        let mmu = Memsim.Mmu.create () in
+        for vpn = 0x10 to 0x14 do
+          ignore (Memsim.Mmu.map_fresh mmu (Int64.of_int vpn))
+        done;
+        match
+          Xsem.Executor.run stt mmu
+            (Parser.block_exn (Printf.sprintf "movq %%rax, %d(%%rbx)\nmovq %d(%%rbx), %%rcx" off off))
+        with
+        | Xsem.Executor.Completed _ -> stt
+        | Faulted _ -> QCheck.Test.fail_report "fault"
+      in
+      Int64.equal (reg st Reg.rcx) v)
+
+let shifts_compose =
+  prop "shl k then shr k masks high bits" 200
+    QCheck.(pair int64 (int_range 1 31))
+    (fun (a, k) ->
+      let st =
+        exec_with ~rax:a ~rbx:0L (Printf.sprintf "shl $%d, %%rax\nshr $%d, %%rax" k k)
+      in
+      let expected =
+        Int64.shift_right_logical (Int64.shift_left a k) k
+      in
+      Int64.equal (reg st Reg.rax) expected)
+
+let popcnt_bounds =
+  prop "popcnt in [0,64]" 200 QCheck.int64 (fun a ->
+      let st = exec_with ~rax:0L ~rbx:a "popcnt %rbx, %rax" in
+      let v = Int64.to_int (reg st Reg.rax) in
+      v >= 0 && v <= 64)
+
+let div_mul_reconstruct =
+  prop "q*d + r = dividend" 200
+    QCheck.(pair (map Int64.abs int64) (int_range 1 100000))
+    (fun (dividend, divisor) ->
+      let dividend = Int64.logand dividend 0x7FFFFFFFFFFFFFFFL in
+      let st =
+        let stt = Xsem.Machine_state.create () in
+        Xsem.Machine_state.set_reg stt Reg.rax dividend;
+        Xsem.Machine_state.set_reg stt Reg.rdx 0L;
+        Xsem.Machine_state.set_reg stt Reg.rcx (Int64.of_int divisor);
+        let mmu = Memsim.Mmu.create () in
+        match Xsem.Executor.run stt mmu (Parser.block_exn "divq %rcx") with
+        | Xsem.Executor.Completed _ -> stt
+        | Faulted _ -> QCheck.Test.fail_report "fault"
+      in
+      let q = reg st Reg.rax and r = reg st Reg.rdx in
+      Int64.equal dividend (Int64.add (Int64.mul q (Int64.of_int divisor)) r)
+      && Int64.unsigned_compare r (Int64.of_int divisor) < 0)
+
+(* decoder robustness: arbitrary bytes either decode or raise
+   Decode_error, never anything else *)
+let decoder_total =
+  prop "decoder is total" 300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s ->
+      match X86.Encoder.decode_block (Bytes.of_string s) with
+      | _ -> true
+      | exception X86.Encoder.Decode_error _ -> true
+      | exception _ -> false)
+
+(* profiled throughput is never below the theoretical front-end bound *)
+let throughput_lower_bound =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 0 100000 in
+      let rng = Bstats.Rng.create (Int64.of_int seed) in
+      return (Corpus.Gen.block ~rng ~mix:Corpus.Apps.llvm.mix ~min_len:1 ~max_len:6))
+  in
+  prop "throughput >= rename bound" 40
+    (QCheck.make ~print:(fun b -> String.concat "; " (List.map Inst.to_string b)) gen)
+    (fun block ->
+      match Harness.Profiler.profile Harness.Environment.default Uarch.All.haswell block with
+      | Ok p when p.accepted ->
+        let slots =
+          List.fold_left
+            (fun acc i ->
+              acc + (Uarch.Descriptor.decompose Uarch.All.haswell i).fused_slots)
+            0 block
+        in
+        let bound = float_of_int slots /. 4.0 in
+        p.throughput >= bound -. 0.3
+      | _ -> true)
+
+let suite =
+  [
+    add_sub_identity;
+    xor_twice_identity;
+    not_twice_identity;
+    neg_twice_identity;
+    bswap_twice_identity;
+    add_commutes;
+    lea_matches_arithmetic;
+    movzx_bounds;
+    store_load_roundtrip;
+    shifts_compose;
+    popcnt_bounds;
+    div_mul_reconstruct;
+    decoder_total;
+    throughput_lower_bound;
+  ]

@@ -1,0 +1,84 @@
+open X86
+
+let reg = Alcotest.testable Reg.pp Reg.equal
+
+let test_names () =
+  Alcotest.(check string) "rax" "rax" (Reg.name Reg.rax);
+  Alcotest.(check string) "eax" "eax" (Reg.name Reg.eax);
+  Alcotest.(check string) "ax" "ax" (Reg.name Reg.ax);
+  Alcotest.(check string) "al" "al" (Reg.name Reg.al);
+  Alcotest.(check string) "ah" "ah" (Reg.name (Reg.Gpr8h Reg.RAX));
+  Alcotest.(check string) "sil" "sil" (Reg.name (Reg.Gpr (Reg.RSI, B)));
+  Alcotest.(check string) "r10d" "r10d" (Reg.name (Reg.Gpr (Reg.R10, D)));
+  Alcotest.(check string) "r8b" "r8b" (Reg.name (Reg.Gpr (Reg.R8, B)));
+  Alcotest.(check string) "xmm7" "xmm7" (Reg.name (Reg.Xmm 7));
+  Alcotest.(check string) "ymm15" "ymm15" (Reg.name (Reg.Ymm 15))
+
+let test_of_name_roundtrip () =
+  let all =
+    List.concat_map
+      (fun g -> List.map (fun w -> Reg.Gpr (g, w)) Width.all)
+      Reg.all_gprs
+    @ List.map (fun g -> Reg.Gpr8h g) [ Reg.RAX; Reg.RCX; Reg.RDX; Reg.RBX ]
+    @ List.init 16 (fun i -> Reg.Xmm i)
+    @ List.init 16 (fun i -> Reg.Ymm i)
+    @ [ Reg.Rip ]
+  in
+  List.iter
+    (fun r ->
+      match Reg.of_name (Reg.name r) with
+      | Some r' -> Alcotest.check reg (Reg.name r) r r'
+      | None -> Alcotest.failf "of_name failed for %s" (Reg.name r))
+    all
+
+let test_of_name_invalid () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Reg.of_name s = None))
+    [ "foo"; "xmm16"; "ymm99"; "r16"; "rxx"; "" ]
+
+let test_aliasing () =
+  let same a b =
+    Alcotest.(check bool) "same root" true (Reg.root a = Reg.root b)
+  in
+  same Reg.rax Reg.eax;
+  same Reg.rax Reg.al;
+  same Reg.rax (Reg.Gpr8h Reg.RAX);
+  same (Reg.Xmm 3) (Reg.Ymm 3);
+  Alcotest.(check bool) "different roots" true (Reg.root Reg.rax <> Reg.root Reg.rbx)
+
+let test_root_index_dense () =
+  let indices =
+    List.map Reg.root_index
+      (List.map (fun g -> Reg.Root_gpr g) Reg.all_gprs
+      @ List.init 16 (fun i -> Reg.Root_vec i)
+      @ [ Reg.Root_rip ])
+  in
+  Alcotest.(check int) "count" Reg.num_roots (List.length indices);
+  Alcotest.(check bool) "unique" true
+    (List.length (List.sort_uniq compare indices) = Reg.num_roots);
+  Alcotest.(check bool) "dense" true
+    (List.for_all (fun i -> i >= 0 && i < Reg.num_roots) indices)
+
+let test_byte_size () =
+  Alcotest.(check int) "xmm" 16 (Reg.byte_size (Reg.Xmm 0));
+  Alcotest.(check int) "ymm" 32 (Reg.byte_size (Reg.Ymm 0));
+  Alcotest.(check int) "gpr q" 8 (Reg.byte_size Reg.rax);
+  Alcotest.(check int) "gpr b" 1 (Reg.byte_size Reg.al)
+
+let test_classes () =
+  Alcotest.(check bool) "gpr" true (Reg.is_gpr Reg.rax);
+  Alcotest.(check bool) "not vector" false (Reg.is_vector Reg.rax);
+  Alcotest.(check bool) "vector" true (Reg.is_vector (Reg.Xmm 1));
+  Alcotest.(check bool) "ymm" true (Reg.is_ymm (Reg.Ymm 1));
+  Alcotest.(check bool) "xmm not ymm" false (Reg.is_ymm (Reg.Xmm 1))
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "of_name roundtrip" `Quick test_of_name_roundtrip;
+    Alcotest.test_case "of_name invalid" `Quick test_of_name_invalid;
+    Alcotest.test_case "aliasing" `Quick test_aliasing;
+    Alcotest.test_case "root index dense" `Quick test_root_index_dense;
+    Alcotest.test_case "byte size" `Quick test_byte_size;
+    Alcotest.test_case "classes" `Quick test_classes;
+  ]

@@ -1,0 +1,404 @@
+(* Second semantics battery: the opcode families not covered by the
+   first suite — rotates, double shifts, saturating packs, averages,
+   sign-dependent vector comparisons, conversions, lane inserts,
+   haddps, blends, byte shifts, AVX lane operations, and flag details. *)
+
+open X86
+
+let run ?(regs = []) ?(ftz = true) text =
+  let st = Xsem.Machine_state.create () in
+  st.ftz <- ftz;
+  let mmu = Memsim.Mmu.create () in
+  for vpn = 0x10 to 0x20 do
+    ignore (Memsim.Mmu.map_fresh mmu (Int64.of_int vpn))
+  done;
+  List.iter (fun (r, v) -> Xsem.Machine_state.set_reg st r v) regs;
+  match Xsem.Executor.run st mmu (Parser.block_exn text) with
+  | Xsem.Executor.Completed _ -> st
+  | Faulted { fault; _ } -> Alcotest.failf "fault: %s" (Memsim.Fault.to_string fault)
+
+let gpr st r = Xsem.Machine_state.get_reg st r
+let check64 = Alcotest.(check int64)
+
+let set_bytes st i (data : int list) =
+  let b = Bytes.create 16 in
+  List.iteri (fun k v -> Bytes.set b k (Char.chr (v land 0xFF))) data;
+  if List.length data < 16 then
+    for k = List.length data to 15 do Bytes.set b k '\000' done;
+  Xsem.Machine_state.set_vec st (Reg.Xmm i) b
+
+let set_i32s st i (a, b, c, d) =
+  let buf = Bytes.create 16 in
+  List.iteri (fun k v -> Bytes.set_int32_le buf (4 * k) v) [ a; b; c; d ];
+  Xsem.Machine_state.set_vec st (Reg.Xmm i) buf
+
+let get_i32s st i =
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm i) in
+  ( Bytes.get_int32_le b 0, Bytes.get_int32_le b 4,
+    Bytes.get_int32_le b 8, Bytes.get_int32_le b 12 )
+
+let run_vec setup text =
+  let st = Xsem.Machine_state.create () in
+  st.ftz <- true;
+  let mmu = Memsim.Mmu.create () in
+  for vpn = 0x10 to 0x18 do
+    ignore (Memsim.Mmu.map_fresh mmu (Int64.of_int vpn))
+  done;
+  setup st;
+  match Xsem.Executor.run st mmu (Parser.block_exn text) with
+  | Xsem.Executor.Completed _ -> st
+  | Faulted { fault; _ } -> Alcotest.failf "fault: %s" (Memsim.Fault.to_string fault)
+
+(* --- scalar --------------------------------------------------------- *)
+
+let test_ror_rol_inverse () =
+  let st = run ~regs:[ (Reg.rax, 0x123456789ABCDEF0L) ] "rol $13, %rax\nror $13, %rax" in
+  check64 "inverse" 0x123456789ABCDEF0L (gpr st Reg.rax)
+
+let test_shld () =
+  let st =
+    run ~regs:[ (Reg.rax, 0xF000000000000000L); (Reg.rbx, 0x8000000000000000L) ]
+      "shld $4, %rbx, %rax"
+  in
+  check64 "shld" 0x0000000000000008L (gpr st Reg.rax)
+
+let test_shrd () =
+  let st =
+    run ~regs:[ (Reg.rax, 0xFL); (Reg.rbx, 0x1L) ] "shrd $4, %rbx, %rax"
+  in
+  check64 "shrd" 0x1000000000000000L (gpr st Reg.rax)
+
+let test_imul3_memory () =
+  let st =
+    run ~regs:[ (Reg.rbx, 0x10100L) ] "movq $6, (%rbx)\nimulq $7, (%rbx), %rax"
+  in
+  check64 "imul3 mem" 42L (gpr st Reg.rax)
+
+let test_bt_btr_bts () =
+  let st = run ~regs:[ (Reg.rax, 0b100L) ] "bt $2, %rax" in
+  Alcotest.(check bool) "bt sets cf" true st.flags.cf;
+  let st = run ~regs:[ (Reg.rax, 0L) ] "bts $5, %rax" in
+  check64 "bts" 0b100000L (gpr st Reg.rax);
+  let st = run ~regs:[ (Reg.rax, -1L) ] "btr $0, %rax" in
+  check64 "btr" (-2L) (gpr st Reg.rax)
+
+let test_bextr () =
+  (* start=8, len=8: extract the second byte *)
+  let st =
+    run ~regs:[ (Reg.rbx, 0x0000CAFEL); (Reg.rcx, 0x0808L) ] "bextr %rcx, %rbx, %rax"
+  in
+  check64 "bextr" 0xCAL (gpr st Reg.rax)
+
+let test_blsmsk () =
+  let st = run ~regs:[ (Reg.rbx, 0b101000L) ] "blsmsk %rbx, %rax" in
+  check64 "blsmsk" 0b001111L (gpr st Reg.rax)
+
+let test_inc_preserves_cf () =
+  let st =
+    run ~regs:[ (Reg.rax, -1L); (Reg.rbx, 5L) ] "add $1, %rax\ninc %rbx"
+  in
+  Alcotest.(check bool) "cf preserved by inc" true st.flags.cf;
+  check64 "inc result" 6L (gpr st Reg.rbx)
+
+let test_neg_carry () =
+  let st = run ~regs:[ (Reg.rax, 0L) ] "neg %rax" in
+  Alcotest.(check bool) "neg 0: cf clear" false st.flags.cf;
+  let st = run ~regs:[ (Reg.rax, 5L) ] "neg %rax" in
+  Alcotest.(check bool) "neg nonzero: cf set" true st.flags.cf;
+  check64 "value" (-5L) (gpr st Reg.rax)
+
+let test_sbb_self_idiom () =
+  (* sbb rax, rax materialises the carry: -CF *)
+  let st = run ~regs:[ (Reg.rax, 0L); (Reg.rbx, 1L) ] "cmp %rbx, %rax\nsbb %rcx, %rcx" in
+  check64 "sbb self with borrow" (-1L) (gpr st Reg.rcx)
+
+let test_cdq_sign () =
+  let st = run ~regs:[ (Reg.rax, 0x80000000L) ] "cltd" in
+  check64 "edx all ones" 0xFFFFFFFFL (gpr st Reg.edx)
+
+let test_xadd_like_sequence () =
+  (* no xadd opcode: verify the mov/add equivalent sequence *)
+  let st =
+    run ~regs:[ (Reg.rax, 10L); (Reg.rbx, 32L) ]
+      "mov %rbx, %rcx\nadd %rax, %rbx\nmov %rcx, %rax"
+  in
+  check64 "sum" 42L (gpr st Reg.rbx);
+  check64 "old" 32L (gpr st Reg.rax)
+
+(* --- vector --------------------------------------------------------- *)
+
+let test_pavgb () =
+  let st =
+    run_vec
+      (fun st ->
+        set_bytes st 0 [ 10; 0; 255 ];
+        set_bytes st 1 [ 20; 1; 255 ])
+      "pavgb %xmm1, %xmm0"
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check int) "avg 10,20" 15 (Char.code (Bytes.get b 0));
+  Alcotest.(check int) "avg 0,1 rounds up" 1 (Char.code (Bytes.get b 1));
+  Alcotest.(check int) "avg 255,255" 255 (Char.code (Bytes.get b 2))
+
+let test_psubd_wrap () =
+  let st =
+    run_vec
+      (fun st ->
+        set_i32s st 0 (0l, 5l, Int32.min_int, 100l);
+        set_i32s st 1 (1l, 2l, 1l, 100l))
+      "psubd %xmm1, %xmm0"
+  in
+  let a, b, c, d = get_i32s st 0 in
+  Alcotest.(check int32) "wrap" (-1l) a;
+  Alcotest.(check int32) "plain" 3l b;
+  Alcotest.(check int32) "min wraps" Int32.max_int c;
+  Alcotest.(check int32) "zero" 0l d
+
+let test_pcmpgt_signed () =
+  let st =
+    run_vec
+      (fun st ->
+        set_i32s st 0 (1l, -1l, 5l, 0l);
+        set_i32s st 1 (0l, 1l, 5l, -1l))
+      "pcmpgtd %xmm1, %xmm0"
+  in
+  let a, b, c, d = get_i32s st 0 in
+  Alcotest.(check int32) "1 > 0" (-1l) a;
+  Alcotest.(check int32) "-1 > 1 signed false" 0l b;
+  Alcotest.(check int32) "equal false" 0l c;
+  Alcotest.(check int32) "0 > -1" (-1l) d
+
+let test_pmaxsd_vs_pmaxud () =
+  let st =
+    run_vec
+      (fun st ->
+        set_i32s st 0 (-1l, 0l, 0l, 0l);
+        set_i32s st 1 (1l, 0l, 0l, 0l);
+        set_i32s st 2 (-1l, 0l, 0l, 0l);
+        set_i32s st 3 (1l, 0l, 0l, 0l))
+      "pmaxsd %xmm1, %xmm0\npmaxud %xmm3, %xmm2"
+  in
+  let a, _, _, _ = get_i32s st 0 in
+  Alcotest.(check int32) "signed max" 1l a;
+  let c, _, _, _ = get_i32s st 2 in
+  Alcotest.(check int32) "unsigned max (-1 = 0xFFFFFFFF)" (-1l) c
+
+let test_pabs () =
+  let st = run_vec (fun st -> set_i32s st 1 (-5l, 5l, Int32.min_int, 0l)) "pabsd %xmm1, %xmm0" in
+  let a, b, _, d = get_i32s st 0 in
+  Alcotest.(check int32) "abs -5" 5l a;
+  Alcotest.(check int32) "abs 5" 5l b;
+  Alcotest.(check int32) "abs 0" 0l d
+
+let test_pslldq_psrldq () =
+  let st =
+    run_vec (fun st -> set_bytes st 0 (List.init 16 (fun i -> i + 1)))
+      "pslldq $4, %xmm0"
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check int) "low zeroed" 0 (Char.code (Bytes.get b 0));
+  Alcotest.(check int) "shifted" 1 (Char.code (Bytes.get b 4));
+  let st =
+    run_vec (fun st -> set_bytes st 0 (List.init 16 (fun i -> i + 1)))
+      "psrldq $4, %xmm0"
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check int) "byte 0 is old byte 4" 5 (Char.code (Bytes.get b 0));
+  Alcotest.(check int) "high zeroed" 0 (Char.code (Bytes.get b 12))
+
+let test_pshufb_zeroing () =
+  let st =
+    run_vec
+      (fun st ->
+        set_bytes st 0 (List.init 16 (fun i -> 0x10 + i));
+        set_bytes st 1 [ 0x00; 0x0F; 0x80; 0x05 ])
+      "pshufb %xmm1, %xmm0"
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check int) "select 0" 0x10 (Char.code (Bytes.get b 0));
+  Alcotest.(check int) "select 15" 0x1F (Char.code (Bytes.get b 1));
+  Alcotest.(check int) "high bit zeroes" 0 (Char.code (Bytes.get b 2));
+  Alcotest.(check int) "select 5" 0x15 (Char.code (Bytes.get b 3))
+
+let test_palignr () =
+  let st =
+    run_vec
+      (fun st ->
+        set_bytes st 0 (List.init 16 (fun i -> 0x20 + i));
+        set_bytes st 1 (List.init 16 (fun i -> 0x40 + i)))
+      "palignr $4, %xmm1, %xmm0"
+  in
+  (* concat xmm0:xmm1 shifted right by 4 bytes: low 12 from xmm1[4..],
+     then xmm0[0..3] *)
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check int) "from src" 0x44 (Char.code (Bytes.get b 0));
+  Alcotest.(check int) "boundary" 0x20 (Char.code (Bytes.get b 12))
+
+let test_packusdw () =
+  let st =
+    run_vec (fun st ->
+        set_i32s st 0 (70000l, -5l, 100l, 65535l);
+        set_i32s st 1 (0l, 0l, 0l, 0l))
+      "packusdw %xmm1, %xmm0"
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check int) "clamp high" 0xFFFF (Bytes.get_uint16_le b 0);
+  Alcotest.(check int) "clamp low" 0 (Bytes.get_uint16_le b 2);
+  Alcotest.(check int) "plain" 100 (Bytes.get_uint16_le b 4)
+
+let test_pmaddwd () =
+  let st =
+    run_vec
+      (fun st ->
+        let buf = Bytes.create 16 in
+        (* words: [2;3;4;5;...] and [10;20;30;40;...] *)
+        List.iteri (fun k v -> Bytes.set_uint16_le buf (2 * k) v) [ 2; 3; 4; 5; 0; 0; 0; 0 ];
+        Xsem.Machine_state.set_vec st (Reg.Xmm 0) buf;
+        let buf2 = Bytes.create 16 in
+        List.iteri (fun k v -> Bytes.set_uint16_le buf2 (2 * k) v) [ 10; 20; 30; 40; 0; 0; 0; 0 ];
+        Xsem.Machine_state.set_vec st (Reg.Xmm 1) buf2)
+      "pmaddwd %xmm1, %xmm0"
+  in
+  let a, b, _, _ = get_i32s st 0 in
+  Alcotest.(check int32) "2*10+3*20" 80l a;
+  Alcotest.(check int32) "4*30+5*40" 320l b
+
+let test_haddps () =
+  let st =
+    run_vec
+      (fun st ->
+        let set i vals =
+          let buf = Bytes.create 16 in
+          List.iteri (fun k v -> Bytes.set_int32_le buf (4 * k) (Int32.bits_of_float v)) vals;
+          Xsem.Machine_state.set_vec st (Reg.Xmm i) buf
+        in
+        set 0 [ 1.0; 2.0; 3.0; 4.0 ];
+        set 1 [ 10.0; 20.0; 30.0; 40.0 ])
+      "haddps %xmm1, %xmm0"
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  let f k = Int32.float_of_bits (Bytes.get_int32_le b (4 * k)) in
+  Alcotest.(check (float 0.0)) "a0+a1" 3.0 (f 0);
+  Alcotest.(check (float 0.0)) "a2+a3" 7.0 (f 1);
+  Alcotest.(check (float 0.0)) "b0+b1" 30.0 (f 2);
+  Alcotest.(check (float 0.0)) "b2+b3" 70.0 (f 3)
+
+let test_blendps () =
+  let st =
+    run_vec
+      (fun st ->
+        set_i32s st 0 (1l, 2l, 3l, 4l);
+        set_i32s st 1 (10l, 20l, 30l, 40l))
+      "blendps $0b1010, %xmm1, %xmm0"
+  in
+  let a, b, c, d = get_i32s st 0 in
+  Alcotest.(check int32) "keep" 1l a;
+  Alcotest.(check int32) "take" 20l b;
+  Alcotest.(check int32) "keep" 3l c;
+  Alcotest.(check int32) "take" 40l d
+
+let test_pinsr_pextr () =
+  let st =
+    run ~regs:[ (Reg.rbx, 0xDEADL) ]
+      "pinsrd $2, %ebx, %xmm0\npextrd $2, %xmm0, %eax"
+  in
+  check64 "roundtrip lane 2" 0xDEADL (gpr st Reg.rax)
+
+let test_ptest_flags () =
+  let st =
+    run_vec
+      (fun st ->
+        set_i32s st 0 (0l, 0l, 0l, 0l);
+        set_i32s st 1 (1l, 0l, 0l, 0l))
+      "ptest %xmm1, %xmm0"
+  in
+  Alcotest.(check bool) "zf: and is zero" true st.flags.zf;
+  let st =
+    run_vec
+      (fun st ->
+        set_i32s st 0 (1l, 0l, 0l, 0l);
+        set_i32s st 1 (1l, 0l, 0l, 0l))
+      "ptest %xmm1, %xmm0"
+  in
+  Alcotest.(check bool) "zf clear on overlap" false st.flags.zf
+
+let test_vinsert_vextract () =
+  let st =
+    run_vec
+      (fun st -> set_i32s st 1 (7l, 8l, 9l, 10l))
+      "vinsertf128 $1, %xmm1, %ymm0, %ymm2\nvextractf128 $1, %ymm2, %xmm3"
+  in
+  let a, b, c, d = get_i32s st 3 in
+  Alcotest.(check int32) "lane" 7l a;
+  Alcotest.(check int32) "lane" 8l b;
+  Alcotest.(check int32) "lane" 9l c;
+  Alcotest.(check int32) "lane" 10l d
+
+let test_vzeroupper () =
+  let st =
+    run_vec
+      (fun st ->
+        let buf = Bytes.make 32 '\xff' in
+        Xsem.Machine_state.set_vec st (Reg.Ymm 4) buf)
+      "vzeroupper"
+  in
+  let v = Xsem.Machine_state.get_vec st (Reg.Ymm 4) in
+  Alcotest.(check int) "low preserved" 0xFF (Char.code (Bytes.get v 0));
+  Alcotest.(check int) "upper zeroed" 0 (Char.code (Bytes.get v 16))
+
+let test_cvtdq2ps_roundtrip () =
+  let st =
+    run_vec (fun st -> set_i32s st 1 (1l, -2l, 100l, 0l))
+      "cvtdq2ps %xmm1, %xmm0\ncvtps2dq %xmm0, %xmm2"
+  in
+  let a, b, c, d = get_i32s st 2 in
+  Alcotest.(check int32) "1" 1l a;
+  Alcotest.(check int32) "-2" (-2l) b;
+  Alcotest.(check int32) "100" 100l c;
+  Alcotest.(check int32) "0" 0l d
+
+let test_rounds () =
+  let st =
+    run_vec
+      (fun st ->
+        let buf = Bytes.create 16 in
+        Bytes.set_int32_le buf 0 (Int32.bits_of_float 2.7);
+        Xsem.Machine_state.set_vec st (Reg.Xmm 1) buf)
+      "roundss $1, %xmm1, %xmm0" (* mode 1 = floor *)
+  in
+  let b = Xsem.Machine_state.get_vec st (Reg.Xmm 0) in
+  Alcotest.(check (float 0.0)) "floor" 2.0 (Int32.float_of_bits (Bytes.get_int32_le b 0))
+
+let suite =
+  [
+    Alcotest.test_case "rol/ror inverse" `Quick test_ror_rol_inverse;
+    Alcotest.test_case "shld" `Quick test_shld;
+    Alcotest.test_case "shrd" `Quick test_shrd;
+    Alcotest.test_case "imul3 memory" `Quick test_imul3_memory;
+    Alcotest.test_case "bt/bts/btr" `Quick test_bt_btr_bts;
+    Alcotest.test_case "bextr" `Quick test_bextr;
+    Alcotest.test_case "blsmsk" `Quick test_blsmsk;
+    Alcotest.test_case "inc preserves cf" `Quick test_inc_preserves_cf;
+    Alcotest.test_case "neg carry" `Quick test_neg_carry;
+    Alcotest.test_case "sbb materialises carry" `Quick test_sbb_self_idiom;
+    Alcotest.test_case "cdq sign" `Quick test_cdq_sign;
+    Alcotest.test_case "exchange-add sequence" `Quick test_xadd_like_sequence;
+    Alcotest.test_case "pavgb" `Quick test_pavgb;
+    Alcotest.test_case "psubd wrap" `Quick test_psubd_wrap;
+    Alcotest.test_case "pcmpgt signed" `Quick test_pcmpgt_signed;
+    Alcotest.test_case "pmax signed/unsigned" `Quick test_pmaxsd_vs_pmaxud;
+    Alcotest.test_case "pabs" `Quick test_pabs;
+    Alcotest.test_case "pslldq/psrldq" `Quick test_pslldq_psrldq;
+    Alcotest.test_case "pshufb zeroing" `Quick test_pshufb_zeroing;
+    Alcotest.test_case "palignr" `Quick test_palignr;
+    Alcotest.test_case "packusdw" `Quick test_packusdw;
+    Alcotest.test_case "pmaddwd" `Quick test_pmaddwd;
+    Alcotest.test_case "haddps" `Quick test_haddps;
+    Alcotest.test_case "blendps" `Quick test_blendps;
+    Alcotest.test_case "pinsr/pextr" `Quick test_pinsr_pextr;
+    Alcotest.test_case "ptest flags" `Quick test_ptest_flags;
+    Alcotest.test_case "vinsert/vextract" `Quick test_vinsert_vextract;
+    Alcotest.test_case "vzeroupper" `Quick test_vzeroupper;
+    Alcotest.test_case "cvtdq2ps roundtrip" `Quick test_cvtdq2ps_roundtrip;
+    Alcotest.test_case "roundss floor" `Quick test_rounds;
+  ]

@@ -1,0 +1,107 @@
+(* The analyzers' shared static scheduler: structural behaviours that the
+   model quirks rely on. *)
+
+open X86
+
+let hsw = Uarch.All.haswell
+
+let config = { Models.Static_sim.n_ports = hsw.n_ports; issue_width = hsw.rename_width }
+
+(* Simple table straight from the hardware profile, no noise. *)
+let plain_table : Models.Static_sim.table =
+ fun inst ->
+  let decomp = Uarch.Descriptor.decompose hsw inst in
+  {
+    Models.Static_sim.uops =
+      List.map
+        (fun (u : Uarch.Uop.t) ->
+          { Models.Static_sim.ports = u.ports; latency = u.latency;
+            is_load = u.kind = Uarch.Uop.Load })
+        decomp.uops;
+    eliminated = decomp.eliminated;
+    divider_busy = 0;
+    split_fused_loads = false;
+  }
+
+let split_table : Models.Static_sim.table =
+ fun inst ->
+  let e = plain_table inst in
+  { e with split_fused_loads = true }
+
+let tp table block = Models.Static_sim.throughput config table block
+
+let test_chain_latency () =
+  let block = Parser.block_exn "imul %rbx, %rax" in
+  Alcotest.(check (float 0.1)) "imul chain" 3.0 (tp plain_table block)
+
+let test_port_bound () =
+  let block =
+    Parser.block_exn
+      "add $1, %rdi\nadd $1, %rsi\nadd $1, %rdx\nadd $1, %rcx\nadd $1, %r8\nadd $1, %r9"
+  in
+  Alcotest.(check (float 0.1)) "6 adds on 4 ports" 1.5 (tp plain_table block)
+
+let test_issue_width_bound () =
+  (* eliminated moves consume only issue slots: 8 per iteration over a
+     4-wide front end = 2 cycles *)
+  let block =
+    Parser.block_exn (String.concat "\n" (List.init 8 (fun _ -> "mov %rbx, %rax")))
+  in
+  Alcotest.(check (float 0.2)) "issue bound" 2.0 (tp plain_table block)
+
+let test_split_fused_load_delays () =
+  (* the crc block: the split-fused quirk must slow the prediction *)
+  let block = Corpus.Paper_blocks.gzip_crc in
+  let fast = tp plain_table block in
+  let slow = tp split_table block in
+  Alcotest.(check bool)
+    (Printf.sprintf "split (%f) > plain (%f)" slow fast)
+    true (slow > fast +. 1.0)
+
+let test_divider_busy_serialises () =
+  let busy_table inst =
+    let e = plain_table inst in
+    match inst.Inst.opcode with
+    | Opcode.Div | Idiv -> { e with divider_busy = 20 }
+    | _ -> e
+  in
+  let block = Parser.block_exn "xor %edx, %edx\ndivl %ecx\ntestl %edx, %edx" in
+  let t = tp busy_table block in
+  Alcotest.(check bool) (Printf.sprintf "divider busy dominates (%f)" t) true (t >= 19.0)
+
+let test_schedule_entries () =
+  let block = Corpus.Paper_blocks.gzip_crc in
+  let sched = Models.Static_sim.schedule config plain_table block in
+  Alcotest.(check bool) "non-empty" true (sched <> []);
+  List.iter
+    (fun (e : Models.Model_intf.schedule_entry) ->
+      Alcotest.(check bool) "port in range" true (e.port >= 0 && e.port < hsw.n_ports);
+      Alcotest.(check bool) "complete > dispatch" true (e.complete > e.dispatch))
+    sched;
+  (* the load micro-op of the xorb dispatches before its ALU part *)
+  let by_inst k =
+    List.filter (fun (e : Models.Model_intf.schedule_entry) -> e.inst_index = k) sched
+  in
+  match by_inst 3 (* xorb -1(%rdi), %al *) with
+  | a :: b :: _ -> Alcotest.(check bool) "load first" true (a.dispatch <= b.dispatch)
+  | _ -> Alcotest.fail "expected 2 uops for xorb"
+
+let test_deterministic () =
+  let block = Corpus.Paper_blocks.gzip_crc in
+  Alcotest.(check (float 0.0)) "same result" (tp plain_table block) (tp plain_table block)
+
+let test_zero_idiom_elimination_respected () =
+  let block = Parser.block_exn "vxorps %xmm2, %xmm2, %xmm2" in
+  Alcotest.(check (float 0.05)) "eliminated = rename bound" 0.25 (tp plain_table block)
+
+let suite =
+  [
+    Alcotest.test_case "chain latency" `Quick test_chain_latency;
+    Alcotest.test_case "port bound" `Quick test_port_bound;
+    Alcotest.test_case "issue width bound" `Quick test_issue_width_bound;
+    Alcotest.test_case "split fused load" `Quick test_split_fused_load_delays;
+    Alcotest.test_case "divider busy" `Quick test_divider_busy_serialises;
+    Alcotest.test_case "schedule entries" `Quick test_schedule_entries;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "zero idiom" `Quick test_zero_idiom_elimination_respected;
+  ]

@@ -1,0 +1,61 @@
+open X86
+
+let check = Alcotest.check
+let int = Alcotest.int
+let i64 = Alcotest.testable (fun fmt v -> Format.fprintf fmt "0x%Lx" v) Int64.equal
+
+let test_bytes_bits () =
+  check int "B bytes" 1 (Width.bytes Width.B);
+  check int "W bytes" 2 (Width.bytes Width.W);
+  check int "D bytes" 4 (Width.bytes Width.D);
+  check int "Q bytes" 8 (Width.bytes Width.Q);
+  check int "B bits" 8 (Width.bits Width.B);
+  check int "Q bits" 64 (Width.bits Width.Q)
+
+let test_of_bytes () =
+  List.iter
+    (fun w -> Alcotest.(check bool) "roundtrip" true (Width.equal w (Width.of_bytes (Width.bytes w))))
+    Width.all;
+  Alcotest.check_raises "bad size" (Invalid_argument "Width.of_bytes: 3") (fun () ->
+      ignore (Width.of_bytes 3))
+
+let test_truncate () =
+  check i64 "truncate B" 0xFFL (Width.truncate Width.B 0x1FFL);
+  check i64 "truncate W" 0x1234L (Width.truncate Width.W 0xABCD1234L);
+  check i64 "truncate D" 0xDEADBEEFL (Width.truncate Width.D 0x12345678DEADBEEFL);
+  check i64 "truncate Q id" (-1L) (Width.truncate Width.Q (-1L))
+
+let test_sign_extend () =
+  check i64 "sext B negative" (-1L) (Width.sign_extend Width.B 0xFFL);
+  check i64 "sext B positive" 0x7FL (Width.sign_extend Width.B 0x7FL);
+  check i64 "sext W" (-2L) (Width.sign_extend Width.W 0xFFFEL);
+  check i64 "sext D" (-1L) (Width.sign_extend Width.D 0xFFFFFFFFL);
+  check i64 "sext Q id" Int64.min_int (Width.sign_extend Width.Q Int64.min_int)
+
+let test_suffix () =
+  check Alcotest.string "suffixes" "bwlq"
+    (String.concat "" (List.map Width.suffix Width.all))
+
+let prop_truncate_idempotent =
+  QCheck.Test.make ~name:"truncate idempotent" ~count:500
+    QCheck.(pair (oneofl Width.all) int64)
+    (fun (w, v) -> Int64.equal (Width.truncate w (Width.truncate w v)) (Width.truncate w v))
+
+let prop_sign_extend_preserves_low =
+  QCheck.Test.make ~name:"sign-extend preserves low bits" ~count:500
+    QCheck.(pair (oneofl Width.all) int64)
+    (fun (w, v) ->
+      Int64.equal
+        (Width.truncate w (Width.sign_extend w (Width.truncate w v)))
+        (Width.truncate w v))
+
+let suite =
+  [
+    Alcotest.test_case "bytes/bits" `Quick test_bytes_bits;
+    Alcotest.test_case "of_bytes" `Quick test_of_bytes;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "sign_extend" `Quick test_sign_extend;
+    Alcotest.test_case "suffix" `Quick test_suffix;
+    QCheck_alcotest.to_alcotest prop_truncate_idempotent;
+    QCheck_alcotest.to_alcotest prop_sign_extend_preserves_low;
+  ]

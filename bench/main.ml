@@ -9,11 +9,29 @@
 
 let fmt = Format.std_formatter
 
+(* One engine for the whole run: every section submits its profiling
+   through it, so e.g. the Table V datasets are measured once and the
+   case studies afterwards are pure cache hits. *)
+let engine = Engine.default ()
+
 let section name f =
   let t0 = Unix.gettimeofday () in
-  let result = f () in
+  let result = Engine.phase engine name f in
   Format.fprintf fmt "@.(%s finished in %.1fs)@." name (Unix.gettimeofday () -. t0);
   result
+
+(* Machine-readable perf trajectory: section names, wall seconds,
+   worker count, and cache-hit rates, for future PRs to diff against. *)
+let write_summary path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Engine.phases_to_json engine);
+      Out_channel.output_char oc '\n');
+  let s = Engine.stats engine in
+  Format.fprintf fmt
+    "engine: %d workers, %d jobs submitted, %d executed, %d cache hits (%.1f%%)@."
+    (Engine.jobs engine) s.submitted s.executed s.cache_hits
+    (100.0 *. Engine.hit_rate s);
+  Format.fprintf fmt "summary written to %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Shared state: corpus, datasets, classifier.                         *)
@@ -26,7 +44,7 @@ let suite = lazy (Corpus.Suite.generate ~config ())
 let classifier = lazy (Classify.Categories.fit (Lazy.force suite))
 
 let dataset (uarch : Uarch.Descriptor.t) =
-  Bhive.Dataset.build uarch (Lazy.force suite)
+  Bhive.Dataset.build ~engine uarch (Lazy.force suite)
 
 let datasets =
   lazy (List.map (fun u -> (u, dataset u)) Uarch.All.all)
@@ -36,11 +54,11 @@ let datasets =
 (* ------------------------------------------------------------------ *)
 
 let table1_ablation_suite () =
-  let rows = Bhive.Ablation.suite_ablation (Lazy.force suite) in
+  let rows = Bhive.Ablation.suite_ablation ~engine (Lazy.force suite) in
   Bhive.Report.suite_ablation fmt rows
 
 let table2_ablation_block () =
-  let rows = Bhive.Ablation.block_ablation Corpus.Paper_blocks.tensorflow_ablation in
+  let rows = Bhive.Ablation.block_ablation ~engine Corpus.Paper_blocks.tensorflow_ablation in
   Bhive.Report.block_ablation fmt rows
 
 let table3_applications () = Bhive.Report.applications fmt (Lazy.force suite)
@@ -51,7 +69,8 @@ let table4_categories () =
 let table5_overall_error () =
   let evals =
     List.map
-      (fun ((u : Uarch.Descriptor.t), ds) -> (u.name, Bhive.Validation.evaluate_all ds))
+      (fun ((u : Uarch.Descriptor.t), ds) ->
+        (u.name, Bhive.Validation.evaluate_all ~engine ds))
       (Lazy.force datasets)
   in
   Bhive.Report.overall_error fmt evals;
@@ -60,9 +79,9 @@ let table5_overall_error () =
 let table6_case_study () =
   let hsw = Uarch.All.haswell in
   let hsw_ds = List.assoc hsw (Lazy.force datasets) in
-  let models, _ = Bhive.Validation.standard_models hsw_ds in
+  let models, _ = Bhive.Validation.standard_models ~engine hsw_ds in
   let measure block =
-    match Harness.Profiler.profile Harness.Environment.default hsw block with
+    match Engine.profile engine Harness.Environment.default hsw block with
     | Ok p -> p.throughput
     | Error _ -> nan
   in
@@ -104,14 +123,14 @@ let table7_google () =
     (Classify.Composition.rows ~weighted:true cls google);
   (* accuracy table: IACA, llvm-mca, Ithemal (no OSACA, as in the paper) *)
   let hsw_ds = List.assoc hsw (Lazy.force datasets) in
-  let models, _ = Bhive.Validation.standard_models hsw_ds in
+  let models, _ = Bhive.Validation.standard_models ~engine hsw_ds in
   let models =
     List.filter (fun (m : Models.Model_intf.t) -> m.name <> "OSACA") models
   in
   let rows =
     List.map
       (fun (app, blocks) ->
-        let ds = Bhive.Dataset.build hsw blocks in
+        let ds = Bhive.Dataset.build ~engine hsw blocks in
         ( app,
           List.map (fun m -> Bhive.Validation.evaluate_entries hsw m ds.entries) models ))
       [ ("Spanner", spanner); ("Dremel", dremel) ]
@@ -155,7 +174,7 @@ let bench_ablation_unroll () =
       let env =
         { Harness.Environment.default with unroll = Harness.Environment.Naive u }
       in
-      match Harness.Profiler.profile env Uarch.All.haswell block with
+      match Engine.profile engine env Uarch.All.haswell block with
       | Ok p ->
         Format.fprintf fmt "  u=%-4d tp=%8.2f accepted=%b l1i_misses=%d@." u
           p.throughput p.accepted p.large.counters.l1i_misses
@@ -172,13 +191,19 @@ let bench_ablation_filters () =
   List.iter
     (fun min_clean ->
       let env = { Harness.Environment.default with min_clean } in
+      let outcomes =
+        Engine.run_batch engine
+          (List.map
+             (fun (b : Corpus.Block.t) ->
+               { Engine.env; uarch = Uarch.All.haswell; block = b.insts })
+             blocks)
+      in
       let ok =
-        List.fold_left
-          (fun acc (b : Corpus.Block.t) ->
-            match Harness.Profiler.profile env Uarch.All.haswell b.insts with
-            | Ok p when p.accepted -> acc + 1
+        Array.fold_left
+          (fun acc -> function
+            | Ok (p : Harness.Profiler.profile) when p.accepted -> acc + 1
             | _ -> acc)
-          0 blocks
+          0 outcomes
       in
       Format.fprintf fmt "  min_clean=%-3d accepted=%.2f%%@." min_clean
         (100.0 *. float_of_int ok /. float_of_int (List.length blocks)))
@@ -190,13 +215,19 @@ let bench_ablation_noise () =
   List.iter
     (fun rate ->
       let env = { Harness.Environment.default with context_switch_rate = rate } in
+      let outcomes =
+        Engine.run_batch engine
+          (List.map
+             (fun (b : Corpus.Block.t) ->
+               { Engine.env; uarch = Uarch.All.haswell; block = b.insts })
+             blocks)
+      in
       let ok =
-        List.fold_left
-          (fun acc (b : Corpus.Block.t) ->
-            match Harness.Profiler.profile env Uarch.All.haswell b.insts with
-            | Ok p when p.accepted -> acc + 1
+        Array.fold_left
+          (fun acc -> function
+            | Ok (p : Harness.Profiler.profile) when p.accepted -> acc + 1
             | _ -> acc)
-          0 blocks
+          0 outcomes
       in
       Format.fprintf fmt "  ctx_switch_rate=%.2f accepted=%.2f%%@." rate
         (100.0 *. float_of_int ok /. float_of_int (List.length blocks)))
@@ -280,4 +311,5 @@ let () =
   section "ablation-filters" bench_ablation_filters;
   section "ablation-noise" bench_ablation_noise;
   section "speed" speed_benchmarks;
+  write_summary "bench_summary.json";
   Format.fprintf fmt "@.done.@."

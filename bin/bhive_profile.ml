@@ -44,7 +44,8 @@ let print_ground_truth_schedule uarch block =
             (Uarch.Uop.kind_name e.uop.kind) name)
       r.schedule
 
-let run uarch naive_unroll keep_underflow keep_misaligned with_models schedule file =
+let run uarch naive_unroll keep_underflow keep_misaligned with_models schedule jobs file =
+  let engine = Engine.create ?jobs () in
   let text = read_input file in
   match X86.Parser.block text with
   | Error e ->
@@ -65,7 +66,7 @@ let run uarch naive_unroll keep_underflow keep_misaligned with_models schedule f
     Printf.printf "block (%d instructions, %d bytes):\n" (List.length block)
       (X86.Encoder.block_length block);
     List.iter (fun i -> Printf.printf "    %s\n" (X86.Inst.to_string i)) block;
-    (match Harness.Profiler.profile env uarch block with
+    (match Engine.profile engine env uarch block with
     | Ok p ->
       Printf.printf "\nmeasured inverse throughput on %s: %.2f cycles/iteration\n"
         uarch.Uarch.Descriptor.name p.throughput;
@@ -112,11 +113,14 @@ let cmd =
   let schedule =
     Arg.(value & flag & info [ "schedule" ] ~doc:"Dump the simulated core's execution schedule.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc:"Measurement worker domains for the engine (default \\$BHIVE_JOBS).")
+  in
   let file =
     Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Assembly file ('-' for stdin). AT&T and Intel syntax accepted.")
   in
   Cmd.v
     (Cmd.info "bhive_profile" ~doc:"Measure the steady-state throughput of an x86-64 basic block")
-    Term.(const run $ uarch $ naive $ keep_underflow $ keep_misaligned $ with_models $ schedule $ file)
+    Term.(const run $ uarch $ naive $ keep_underflow $ keep_misaligned $ with_models $ schedule $ jobs $ file)
 
 let () = exit (Cmd.eval cmd)

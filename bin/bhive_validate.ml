@@ -3,13 +3,18 @@
 
 open Cmdliner
 
-let run scale uarches seed export =
+let run scale uarches seed export jobs =
   let config = { Corpus.Suite.default_config with scale } in
   let config =
     match seed with Some s -> { config with seed = Int64.of_int s } | None -> config
   in
+  (* one engine for every microarchitecture: measurement results are
+     deterministic and byte-identical for any worker count *)
+  let engine = Engine.create ?jobs () in
   let blocks = Corpus.Suite.generate ~config () in
   Printf.printf "suite: %d blocks (scale 1/%d)\n%!" (List.length blocks) scale;
+  (* stderr, so stdout stays byte-identical across worker counts *)
+  Printf.eprintf "engine: %d measurement workers\n%!" (Engine.jobs engine);
   let uarches =
     match uarches with
     | [] -> Uarch.All.all
@@ -20,7 +25,7 @@ let run scale uarches seed export =
     List.map
       (fun (u : Uarch.Descriptor.t) ->
         Printf.printf "profiling on %s...\n%!" u.name;
-        let ds = Bhive.Dataset.build u blocks in
+        let ds = Bhive.Dataset.build ~engine u blocks in
         Printf.printf "  %d/%d blocks measured (%.1f%%), %d AVX2-excluded\n%!"
           (Bhive.Dataset.size ds) ds.n_input
           (100.0 *. Bhive.Dataset.profiled_fraction ds)
@@ -31,10 +36,13 @@ let run scale uarches seed export =
           Bhive.Export.to_file path ds;
           Printf.printf "  dataset written to %s\n%!" path
         | None -> ());
-        (u.name, Bhive.Validation.evaluate_all ds))
+        (u.name, Bhive.Validation.evaluate_all ~engine ds))
       uarches
   in
-  Bhive.Report.overall_error Format.std_formatter evals
+  Bhive.Report.overall_error Format.std_formatter evals;
+  let s = Engine.stats engine in
+  Printf.printf "engine: %d jobs submitted, %d executed, %d cache hits\n"
+    s.submitted s.executed s.cache_hits
 
 let cmd =
   let scale =
@@ -49,8 +57,11 @@ let cmd =
   let export =
     Arg.(value & opt (some string) None & info [ "export" ] ~doc:"Write each measured dataset to PREFIX-<uarch>.csv." ~docv:"PREFIX")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc:"Measurement worker domains (default \\$BHIVE_JOBS or the machine's recommended domain count). Results are identical for any value.")
+  in
   Cmd.v
     (Cmd.info "bhive_validate" ~doc:"Validate the cost models against measured ground truth")
-    Term.(const run $ scale $ uarches $ seed $ export)
+    Term.(const run $ scale $ uarches $ seed $ export $ jobs)
 
 let () = exit (Cmd.eval cmd)

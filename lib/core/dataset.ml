@@ -9,52 +9,84 @@ type entry = {
   unroll_small : int;
 }
 
+type failure = {
+  fail_block : Corpus.Block.t;
+  fail_env : Harness.Environment.t;
+  fail_uarch : Uarch.Descriptor.t;
+  fail_reason : Harness.Profiler.failure;
+}
+
 type t = {
   uarch : Uarch.Descriptor.t;
   env : Harness.Environment.t;
   entries : entry list;
   n_input : int;
   n_avx2_excluded : int;
-  failures : (Corpus.Block.t * Harness.Profiler.failure) list;
+  failures : failure list;
   rejected : (Corpus.Block.t * Harness.Profiler.reject_reason) list;
 }
 
-(* Profile every block of [blocks] on [uarch]; blocks using AVX2-class
-   instructions are excluded on microarchitectures without AVX2 support,
-   as in the paper's Ivy Bridge validation. *)
-let build ?(env = Harness.Environment.default) (uarch : Uarch.Descriptor.t)
-    (blocks : Corpus.Block.t list) : t =
+(* Profile every block of [blocks] on [uarch] as one engine batch;
+   blocks using AVX2-class instructions are excluded on
+   microarchitectures without AVX2 support, as in the paper's Ivy
+   Bridge validation. The engine aggregates in submission order, so
+   entries/failures/rejected keep corpus order for any worker count. *)
+let build ?(env = Harness.Environment.default) ?engine
+    (uarch : Uarch.Descriptor.t) (blocks : Corpus.Block.t list) : t =
+  let engine =
+    match engine with Some e -> e | None -> Engine.default ()
+  in
+  let n_avx2 = ref 0 in
+  let considered =
+    List.filter
+      (fun (b : Corpus.Block.t) ->
+        if (not uarch.supports_avx2) && Corpus.Block.uses_avx2 b then begin
+          incr n_avx2;
+          false
+        end
+        else true)
+      blocks
+  in
+  let outcomes =
+    Engine.run_batch engine
+      (List.map
+         (fun (b : Corpus.Block.t) -> { Engine.env; uarch; block = b.insts })
+         considered)
+  in
   let entries = ref [] in
   let failures = ref [] in
   let rejected = ref [] in
-  let n_avx2 = ref 0 in
-  List.iter
-    (fun (b : Corpus.Block.t) ->
-      if (not uarch.supports_avx2) && Corpus.Block.uses_avx2 b then incr n_avx2
-      else
-        match Harness.Profiler.profile env uarch b.insts with
-        | Ok p when p.accepted ->
-          entries :=
-            {
-              block = b;
-              throughput = p.throughput;
-              faults = p.large.faults;
-              unroll_large = p.factors.large;
-              unroll_small = p.factors.small;
-            }
-            :: !entries
-        | Ok p ->
-          let reason =
-            Option.value p.reject ~default:Harness.Profiler.Unstable
-          in
-          rejected := (b, reason) :: !rejected
-        | Error f -> failures := (b, f) :: !failures)
-    blocks;
+  List.iteri
+    (fun i (b : Corpus.Block.t) ->
+      match outcomes.(i) with
+      | Ok (p : Harness.Profiler.profile) when p.accepted ->
+        entries :=
+          {
+            block = b;
+            throughput = p.throughput;
+            faults = p.large.faults;
+            unroll_large = p.factors.large;
+            unroll_small = p.factors.small;
+          }
+          :: !entries
+      | Ok p ->
+        let reason =
+          Option.value p.reject ~default:Harness.Profiler.Unstable
+        in
+        rejected := (b, reason) :: !rejected
+      | Error f ->
+        failures :=
+          { fail_block = b; fail_env = env; fail_uarch = uarch; fail_reason = f }
+          :: !failures)
+    considered;
   {
     uarch;
     env;
     entries = List.rev !entries;
-    n_input = List.length blocks;
+    (* the batch result carries the measured-job count; adding the
+       exclusions back recovers the corpus size without re-walking the
+       input list *)
+    n_input = Array.length outcomes + !n_avx2;
     n_avx2_excluded = !n_avx2;
     failures = List.rev !failures;
     rejected = List.rev !rejected;

@@ -9,19 +9,36 @@ type entry = {
   unroll_small : int;
 }
 
+(** A block the profiler could not measure, with the measurement
+    conditions it failed under (so failure lists from different
+    datasets can be pooled without losing provenance). *)
+type failure = {
+  fail_block : Corpus.Block.t;
+  fail_env : Harness.Environment.t;
+  fail_uarch : Uarch.Descriptor.t;
+  fail_reason : Harness.Profiler.failure;
+}
+
 type t = {
   uarch : Uarch.Descriptor.t;
   env : Harness.Environment.t;
   entries : entry list;
   n_input : int;  (** corpus blocks offered *)
   n_avx2_excluded : int;  (** skipped on non-AVX2 uarches, as in the paper *)
-  failures : (Corpus.Block.t * Harness.Profiler.failure) list;
+  failures : failure list;
   rejected : (Corpus.Block.t * Harness.Profiler.reject_reason) list;
 }
 
-(** Profile every block of the corpus on [uarch]; deterministic. *)
+(** Profile every block of the corpus on [uarch] as one engine batch;
+    deterministic, and entry/failure/rejection order follows corpus
+    order for any worker count. [engine] defaults to {!Engine.default}
+    so independent builds share the memo cache. *)
 val build :
-  ?env:Harness.Environment.t -> Uarch.Descriptor.t -> Corpus.Block.t list -> t
+  ?env:Harness.Environment.t ->
+  ?engine:Engine.t ->
+  Uarch.Descriptor.t ->
+  Corpus.Block.t list ->
+  t
 
 val size : t -> int
 

@@ -1,0 +1,241 @@
+(* The measurement engine. See engine.mli for the contract.
+
+   Parallelism strategy: each batch is first resolved against the memo
+   cache and deduplicated, leaving a worklist of unique jobs in
+   first-occurrence order. Workers (OCaml 5 domains) pull indices from
+   an atomic counter and write into disjoint slots of a result array,
+   so the parallel section shares no mutable state beyond the counter
+   and the optional progress hook. The cache is only written by the
+   submitting thread after the pool joins, and results are re-expanded
+   into submission order — which is what makes output byte-identical
+   for any worker count. *)
+
+type job = {
+  env : Harness.Environment.t;
+  uarch : Uarch.Descriptor.t;
+  block : X86.Inst.t list;
+}
+
+type outcome = (Harness.Profiler.profile, Harness.Profiler.failure) result
+
+let env_fingerprint (env : Harness.Environment.t) =
+  Digest.string (Marshal.to_string env [])
+
+let fingerprint (j : job) =
+  Digest.string
+    (String.concat "\x00"
+       [
+         env_fingerprint j.env;
+         j.uarch.short;
+         Marshal.to_string j.block [];
+       ])
+
+type stats = {
+  submitted : int;
+  executed : int;
+  cache_hits : int;
+  wall_seconds : float;
+}
+
+type phase_metrics = {
+  phase_name : string;
+  phase_wall_seconds : float;
+  phase_submitted : int;
+  phase_executed : int;
+  phase_cache_hits : int;
+}
+
+type t = {
+  n_jobs : int;
+  progress : (done_:int -> total:int -> unit) option;
+  cache : (string, outcome) Hashtbl.t;
+  lock : Mutex.t;  (** guards the progress hook only *)
+  mutable submitted : int;
+  mutable executed : int;
+  mutable cache_hits : int;
+  mutable wall_seconds : float;
+  mutable phase_log : phase_metrics list;  (** reverse order *)
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "BHIVE_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let create ?jobs ?progress () =
+  let n_jobs = max 1 (match jobs with Some n -> n | None -> default_jobs ()) in
+  {
+    n_jobs;
+    progress;
+    cache = Hashtbl.create 4096;
+    lock = Mutex.create ();
+    submitted = 0;
+    executed = 0;
+    cache_hits = 0;
+    wall_seconds = 0.0;
+    phase_log = [];
+  }
+
+let shared = lazy (create ())
+let default () = Lazy.force shared
+let jobs t = t.n_jobs
+let cache_size t = Hashtbl.length t.cache
+
+let stats t =
+  {
+    submitted = t.submitted;
+    executed = t.executed;
+    cache_hits = t.cache_hits;
+    wall_seconds = t.wall_seconds;
+  }
+
+let hit_rate (s : stats) =
+  if s.submitted = 0 then 0.0
+  else float_of_int s.cache_hits /. float_of_int s.submitted
+
+let execute (j : job) = Harness.Profiler.profile j.env j.uarch j.block
+
+let run_batch t (submission : job list) : outcome array =
+  let t0 = Unix.gettimeofday () in
+  let submission = Array.of_list submission in
+  let n = Array.length submission in
+  let results : outcome option array = Array.make n None in
+  (* Resolve against the cache and deduplicate within the batch. The
+     worklist keeps unique jobs in first-occurrence order; [claims]
+     maps each unique fingerprint to every submission slot wanting its
+     result. *)
+  let claims : (string, int list ref) Hashtbl.t = Hashtbl.create (max 16 n) in
+  let worklist = ref [] in
+  let batch_hits = ref 0 in
+  Array.iteri
+    (fun i j ->
+      let fp = fingerprint j in
+      match Hashtbl.find_opt t.cache fp with
+      | Some r ->
+        incr batch_hits;
+        results.(i) <- Some r
+      | None -> (
+        match Hashtbl.find_opt claims fp with
+        | Some slots ->
+          incr batch_hits;
+          slots := i :: !slots
+        | None ->
+          Hashtbl.add claims fp (ref [ i ]);
+          worklist := (fp, i) :: !worklist))
+    submission;
+  let worklist = Array.of_list (List.rev !worklist) in
+  let m = Array.length worklist in
+  let out : outcome option array = Array.make m None in
+  let completed = Atomic.make 0 in
+  let run_one u =
+    let _, i = worklist.(u) in
+    out.(u) <- Some (execute submission.(i));
+    match t.progress with
+    | None -> ()
+    | Some hook ->
+      let d = 1 + Atomic.fetch_and_add completed 1 in
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () -> hook ~done_:d ~total:m)
+  in
+  let workers = min t.n_jobs m in
+  if workers <= 1 then
+    for u = 0 to m - 1 do
+      run_one u
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let u = Atomic.fetch_and_add next 1 in
+        if u < m then begin
+          run_one u;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let pool = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join pool
+  end;
+  (* Commit to the cache and expand into submission order. *)
+  Array.iteri
+    (fun u (fp, _) ->
+      let r = Option.get out.(u) in
+      Hashtbl.replace t.cache fp r;
+      List.iter (fun i -> results.(i) <- Some r) !(Hashtbl.find claims fp))
+    worklist;
+  t.submitted <- t.submitted + n;
+  t.executed <- t.executed + m;
+  t.cache_hits <- t.cache_hits + !batch_hits;
+  t.wall_seconds <- t.wall_seconds +. (Unix.gettimeofday () -. t0);
+  Array.map Option.get results
+
+let profile t env uarch block = (run_batch t [ { env; uarch; block } ]).(0)
+
+let phase t name f =
+  let before = stats t in
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    let after = stats t in
+    t.phase_log <-
+      {
+        phase_name = name;
+        phase_wall_seconds = Unix.gettimeofday () -. t0;
+        phase_submitted = after.submitted - before.submitted;
+        phase_executed = after.executed - before.executed;
+        phase_cache_hits = after.cache_hits - before.cache_hits;
+      }
+      :: t.phase_log
+  in
+  Fun.protect ~finally f
+
+let phases t = List.rev t.phase_log
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let phases_to_json t =
+  let phase_json p =
+    let rate =
+      if p.phase_submitted = 0 then 0.0
+      else float_of_int p.phase_cache_hits /. float_of_int p.phase_submitted
+    in
+    Printf.sprintf
+      "    { \"section\": \"%s\", \"wall_seconds\": %.3f, \"jobs\": %d, \
+       \"submitted\": %d, \"executed\": %d, \"cache_hits\": %d, \
+       \"cache_hit_rate\": %.4f }"
+      (json_escape p.phase_name) p.phase_wall_seconds t.n_jobs p.phase_submitted
+      p.phase_executed p.phase_cache_hits rate
+  in
+  let s = stats t in
+  Printf.sprintf
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"submitted\": %d,\n\
+    \  \"executed\": %d,\n\
+    \  \"cache_hits\": %d,\n\
+    \  \"cache_hit_rate\": %.4f,\n\
+    \  \"engine_wall_seconds\": %.3f,\n\
+    \  \"sections\": [\n\
+     %s\n\
+    \  ]\n\
+     }"
+    t.n_jobs s.submitted s.executed s.cache_hits (hit_rate s) s.wall_seconds
+    (String.concat ",\n" (List.map phase_json (phases t)))

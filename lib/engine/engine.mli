@@ -1,0 +1,109 @@
+(** The measurement engine: a shared, deterministic scheduling layer
+    between the experiment drivers (dataset construction, ablations,
+    validation, benchmarks, CLIs) and {!Harness.Profiler.profile}.
+
+    Every experiment used to drive the profiler through its own
+    sequential [List.map] loop; the engine replaces those loops with
+    batch submission. It provides
+
+    - a {e job} abstraction: one (environment, microarchitecture,
+      block) measurement request;
+    - a worker pool of OCaml 5 domains, sized by the [BHIVE_JOBS]
+      environment variable (default
+      [Domain.recommended_domain_count ()]), with a zero-overhead
+      sequential path when the pool size is 1;
+    - a content-addressed memo cache keyed on the job fingerprint —
+      legal because [Profiler.profile] is documented deterministic in
+      (env, uarch, block) — so identical jobs submitted by different
+      experiment sections are profiled exactly once;
+    - progress and metrics hooks (jobs done, cache hits, wall time per
+      named phase).
+
+    {b Determinism.} Results are aggregated in submission order, so a
+    batch's output is byte-identical to the historical sequential code
+    regardless of worker count or scheduling order. *)
+
+(** One measurement request. *)
+type job = {
+  env : Harness.Environment.t;
+  uarch : Uarch.Descriptor.t;
+  block : X86.Inst.t list;
+}
+
+type outcome = (Harness.Profiler.profile, Harness.Profiler.failure) result
+
+(** Content fingerprint of a measurement environment (MD5 of its
+    marshalled representation; the environment is immutable data). *)
+val env_fingerprint : Harness.Environment.t -> string
+
+(** Content fingerprint of a job: environment fingerprint +
+    microarchitecture short name + marshalled instruction list.
+    Microarchitectures form a closed set keyed by [short]. *)
+val fingerprint : job -> string
+
+(** Cumulative engine counters. [submitted] is every job ever handed
+    to the engine; [executed] is how many reached the profiler;
+    [cache_hits = submitted - executed] counts memoised results
+    (including duplicates within a single batch). *)
+type stats = {
+  submitted : int;
+  executed : int;
+  cache_hits : int;
+  wall_seconds : float;  (** total wall time spent inside [run_batch] *)
+}
+
+type t
+
+(** [create ?jobs ?progress ()] makes a fresh engine. [jobs] defaults
+    to [$BHIVE_JOBS], falling back to
+    [Domain.recommended_domain_count ()]; values are clamped to at
+    least 1. [progress] is invoked (under a lock, from worker domains)
+    after each executed job of a batch. *)
+val create : ?jobs:int -> ?progress:(done_:int -> total:int -> unit) -> unit -> t
+
+(** The shared process-wide engine (created on first use from
+    [BHIVE_JOBS]). Drivers that are not handed an explicit engine use
+    this one, so independent experiment sections share its memo
+    cache. *)
+val default : unit -> t
+
+(** Worker-pool size resolved from [$BHIVE_JOBS] (what [create]
+    uses when [?jobs] is omitted). *)
+val default_jobs : unit -> int
+
+val jobs : t -> int
+val stats : t -> stats
+val cache_size : t -> int
+
+(** [hit_rate s] is cache hits over submitted jobs, 0 when nothing was
+    submitted. *)
+val hit_rate : stats -> float
+
+(** [run_batch t jobs] profiles every job and returns the outcomes in
+    submission order. Jobs whose fingerprint is already cached (or
+    duplicated within the batch) are not re-executed. *)
+val run_batch : t -> job list -> outcome array
+
+(** [profile t env uarch block] submits a single job — a memoising,
+    scheduling drop-in for {!Harness.Profiler.profile}. *)
+val profile :
+  t -> Harness.Environment.t -> Uarch.Descriptor.t -> X86.Inst.t list -> outcome
+
+(** [phase t name f] runs [f ()] and records its wall time (and the
+    engine counter deltas it caused) under [name]. *)
+val phase : t -> string -> (unit -> 'a) -> 'a
+
+(** Per-phase metrics, in the order the phases ran. *)
+type phase_metrics = {
+  phase_name : string;
+  phase_wall_seconds : float;
+  phase_submitted : int;
+  phase_executed : int;
+  phase_cache_hits : int;
+}
+
+val phases : t -> phase_metrics list
+
+(** Render [phases t] as a machine-readable JSON report (section name,
+    wall seconds, worker count, cache-hit rate per phase). *)
+val phases_to_json : t -> string

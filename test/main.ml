@@ -15,6 +15,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("l2", Test_l2.suite);
       ("harness", Test_harness.suite);
+      ("engine", Test_engine.suite);
       ("corpus", Test_corpus.suite);
       ("gen", Test_gen.suite);
       ("classify", Test_classify.suite);

@@ -1,0 +1,154 @@
+(* Tests for the measurement engine: determinism of parallel batches
+   versus the sequential path, memoisation, and worker-count
+   independence. *)
+
+let config = { Corpus.Suite.default_config with scale = 2000 }
+let blocks = lazy (Corpus.Suite.generate ~config ())
+
+let all_uarches =
+  [ Uarch.All.ivy_bridge; Uarch.All.haswell; Uarch.All.skylake ]
+
+(* Strip the engine out of the comparison: datasets are plain data. *)
+let build ~jobs uarch =
+  Bhive.Dataset.build ~engine:(Engine.create ~jobs ()) uarch (Lazy.force blocks)
+
+let check_datasets_equal what (a : Bhive.Dataset.t) (b : Bhive.Dataset.t) =
+  Alcotest.(check int) (what ^ ": n_input") a.n_input b.n_input;
+  Alcotest.(check int) (what ^ ": n_avx2") a.n_avx2_excluded b.n_avx2_excluded;
+  Alcotest.(check int)
+    (what ^ ": entry count")
+    (List.length a.entries) (List.length b.entries);
+  Alcotest.(check bool) (what ^ ": entries identical") true (a.entries = b.entries);
+  Alcotest.(check bool) (what ^ ": failures identical") true (a.failures = b.failures);
+  Alcotest.(check bool) (what ^ ": rejected identical") true (a.rejected = b.rejected)
+
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun (u : Uarch.Descriptor.t) ->
+      check_datasets_equal ("parallel vs sequential on " ^ u.short)
+        (build ~jobs:1 u) (build ~jobs:4 u))
+    all_uarches
+
+let test_worker_count_independent () =
+  let u = Uarch.All.haswell in
+  let ds1 = build ~jobs:1 u in
+  List.iter
+    (fun jobs ->
+      check_datasets_equal (Printf.sprintf "jobs=%d vs jobs=1" jobs) ds1
+        (build ~jobs u))
+    [ 2; 4 ]
+
+let test_memo_cache_hits () =
+  let engine = Engine.create ~jobs:1 () in
+  let job =
+    {
+      Engine.env = Harness.Environment.default;
+      uarch = Uarch.All.haswell;
+      block = Corpus.Paper_blocks.gzip_crc;
+    }
+  in
+  let first = Engine.run_batch engine [ job ] in
+  let s1 = Engine.stats engine in
+  Alcotest.(check int) "first submission executes" 1 s1.executed;
+  Alcotest.(check int) "no hit yet" 0 s1.cache_hits;
+  let again = Engine.run_batch engine [ job ] in
+  let s2 = Engine.stats engine in
+  Alcotest.(check int) "resubmission does not execute" 1 s2.executed;
+  Alcotest.(check int) "resubmission hits the cache" 1 s2.cache_hits;
+  Alcotest.(check bool) "memoised result identical" true (first.(0) = again.(0))
+
+let test_batch_dedup () =
+  let engine = Engine.create ~jobs:2 () in
+  let job block =
+    { Engine.env = Harness.Environment.default; uarch = Uarch.All.haswell; block }
+  in
+  let a = job Corpus.Paper_blocks.gzip_crc in
+  let b = job Corpus.Paper_blocks.division in
+  let outcomes = Engine.run_batch engine [ a; b; a; a; b ] in
+  let s = Engine.stats engine in
+  Alcotest.(check int) "submitted" 5 s.submitted;
+  Alcotest.(check int) "only unique jobs execute" 2 s.executed;
+  Alcotest.(check int) "duplicates are hits" 3 s.cache_hits;
+  Alcotest.(check bool) "duplicate slots agree" true
+    (outcomes.(0) = outcomes.(2) && outcomes.(2) = outcomes.(3));
+  Alcotest.(check bool) "order preserved" true (outcomes.(1) = outcomes.(4))
+
+let test_fingerprint_sensitivity () =
+  let base =
+    {
+      Engine.env = Harness.Environment.default;
+      uarch = Uarch.All.haswell;
+      block = Corpus.Paper_blocks.gzip_crc;
+    }
+  in
+  Alcotest.(check string) "fingerprint is stable" (Engine.fingerprint base)
+    (Engine.fingerprint base);
+  Alcotest.(check bool) "uarch changes the fingerprint" false
+    (Engine.fingerprint base
+    = Engine.fingerprint { base with uarch = Uarch.All.skylake });
+  Alcotest.(check bool) "env changes the fingerprint" false
+    (Engine.fingerprint base
+    = Engine.fingerprint
+        { base with env = Harness.Environment.agner_baseline });
+  Alcotest.(check bool) "block changes the fingerprint" false
+    (Engine.fingerprint base
+    = Engine.fingerprint { base with block = Corpus.Paper_blocks.division })
+
+let test_progress_hook () =
+  let calls = ref [] in
+  let engine =
+    Engine.create ~jobs:1
+      ~progress:(fun ~done_ ~total -> calls := (done_, total) :: !calls)
+      ()
+  in
+  let job block =
+    { Engine.env = Harness.Environment.default; uarch = Uarch.All.haswell; block }
+  in
+  ignore
+    (Engine.run_batch engine
+       [ job Corpus.Paper_blocks.gzip_crc; job Corpus.Paper_blocks.division ]);
+  Alcotest.(check (list (pair int int)))
+    "progress reported per executed job" [ (1, 2); (2, 2) ] (List.rev !calls)
+
+let test_phase_metrics () =
+  let engine = Engine.create ~jobs:1 () in
+  let job =
+    {
+      Engine.env = Harness.Environment.default;
+      uarch = Uarch.All.haswell;
+      block = Corpus.Paper_blocks.gzip_crc;
+    }
+  in
+  Engine.phase engine "first" (fun () -> ignore (Engine.run_batch engine [ job ]));
+  Engine.phase engine "second" (fun () -> ignore (Engine.run_batch engine [ job ]));
+  match Engine.phases engine with
+  | [ p1; p2 ] ->
+    Alcotest.(check string) "phase order" "first" p1.phase_name;
+    Alcotest.(check int) "first executes" 1 p1.phase_executed;
+    Alcotest.(check int) "second hits cache" 1 p2.phase_cache_hits;
+    Alcotest.(check int) "second executes nothing" 0 p2.phase_executed;
+    let json = Engine.phases_to_json engine in
+    let contains needle =
+      let n = String.length needle and h = String.length json in
+      let rec at i = i + n <= h && (String.sub json i n = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "json names the phases" true
+      (contains "\"section\": \"first\"" && contains "\"section\": \"second\"");
+    Alcotest.(check bool) "json reports hit rate" true
+      (contains "\"cache_hit_rate\"")
+  | phases ->
+    Alcotest.fail (Printf.sprintf "expected two phases, got %d" (List.length phases))
+
+let suite =
+  [
+    Alcotest.test_case "parallel = sequential (ivb/hsw/skl)" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "worker-count independence (1/2/4)" `Quick
+      test_worker_count_independent;
+    Alcotest.test_case "memo cache hits" `Quick test_memo_cache_hits;
+    Alcotest.test_case "in-batch dedup" `Quick test_batch_dedup;
+    Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+    Alcotest.test_case "progress hook" `Quick test_progress_hook;
+    Alcotest.test_case "phase metrics" `Quick test_phase_metrics;
+  ]

@@ -9,6 +9,11 @@
 
 let fmt = Format.std_formatter
 
+(* BHIVE_TRACE=<path> streams a JSONL span trace (engine batches,
+   per-job executions, profiler measurements, pipeline simulations)
+   alongside the run. *)
+let () = Telemetry.Trace.init_from_env ()
+
 (* One engine for the whole run: every section submits its profiling
    through it, so e.g. the Table V datasets are measured once and the
    case studies afterwards are pure cache hits. *)
@@ -20,11 +25,37 @@ let section name f =
   Format.fprintf fmt "@.(%s finished in %.1fs)@." name (Unix.gettimeofday () -. t0);
   result
 
+(* ------------------------------------------------------------------ *)
+(* Shared state: corpus, datasets, classifier.                         *)
+(* ------------------------------------------------------------------ *)
+
+let config = Corpus.Suite.config_from_env ()
+
 (* Machine-readable perf trajectory: section names, wall seconds,
-   worker count, and cache-hit rates, for future PRs to diff against. *)
+   worker count, per-worker utilization, cache-hit rates, and the
+   telemetry counter/histogram snapshot — the document
+   bin/bhive_bench_diff gates CI on. The scale and git revision
+   (BHIVE_REV, when the caller exports it) make a summary
+   self-describing when diffed across revisions. *)
 let write_summary path =
+  let open Telemetry in
+  let rev =
+    match Sys.getenv_opt "BHIVE_REV" with
+    | Some r when String.trim r <> "" -> String.trim r
+    | _ -> "unknown"
+  in
+  let summary =
+    match Engine.summary_json engine with
+    | Json.Object fields ->
+      Json.Object
+        (("schema_version", Json.Number 2.0)
+        :: ("scale", Json.Number (float_of_int config.scale))
+        :: ("rev", Json.String rev)
+        :: (fields @ [ ("telemetry", Metrics.snapshot ()) ]))
+    | other -> other
+  in
   Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (Engine.phases_to_json engine);
+      Out_channel.output_string oc (Json.to_string summary);
       Out_channel.output_char oc '\n');
   let s = Engine.stats engine in
   Format.fprintf fmt
@@ -32,12 +63,6 @@ let write_summary path =
     (Engine.jobs engine) s.submitted s.executed s.cache_hits
     (100.0 *. Engine.hit_rate s);
   Format.fprintf fmt "summary written to %s@." path
-
-(* ------------------------------------------------------------------ *)
-(* Shared state: corpus, datasets, classifier.                         *)
-(* ------------------------------------------------------------------ *)
-
-let config = Corpus.Suite.config_from_env ()
 
 let suite = lazy (Corpus.Suite.generate ~config ())
 

@@ -1,0 +1,127 @@
+(* bhive_bench_diff: compare two bench_summary.json files and exit
+   non-zero when the perf trajectory regressed — the CI gate.
+
+     bhive_bench_diff baseline.json current.json [thresholds]
+
+   Exit codes: 0 pass (warnings allowed), 1 regression, 2 unreadable
+   or unparseable input. See Telemetry.Bench_diff for the comparison
+   rules. *)
+
+open Cmdliner
+
+let read_summary what path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+    Error (Printf.sprintf "cannot read %s summary %s: %s" what path msg)
+  | contents -> (
+    match Telemetry.Json.parse contents with
+    | Ok v -> Ok v
+    | Error msg ->
+      Error (Printf.sprintf "cannot parse %s summary %s: %s" what path msg))
+
+let describe what j =
+  let field name =
+    Option.bind (Telemetry.Json.member name j) (fun v ->
+        match v with
+        | Telemetry.Json.String s -> Some s
+        | Telemetry.Json.Number n -> Some (Telemetry.Json.number_to_string n)
+        | _ -> None)
+  in
+  Printf.printf "%s: scale=%s rev=%s\n" what
+    (Option.value ~default:"?" (field "scale"))
+    (Option.value ~default:"?" (field "rev"))
+
+let run baseline_path current_path executed_rel executed_abs hit_rate_rel
+    wall_rel wall_abs wall_fails =
+  match
+    (read_summary "baseline" baseline_path, read_summary "current" current_path)
+  with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    exit 2
+  | Ok baseline, Ok current ->
+    describe "baseline" baseline;
+    describe "current " current;
+    let thresholds =
+      {
+        Telemetry.Bench_diff.executed_rel;
+        executed_abs;
+        hit_rate_rel;
+        wall_rel;
+        wall_abs;
+        wall_fails;
+      }
+    in
+    let report =
+      Telemetry.Bench_diff.compare_summaries ~thresholds ~baseline ~current ()
+    in
+    Telemetry.Bench_diff.pp_report Format.std_formatter report;
+    exit (Telemetry.Bench_diff.exit_code report)
+
+let cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline bench_summary.json.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Freshly generated bench_summary.json.")
+  in
+  let d = Telemetry.Bench_diff.default_thresholds in
+  let executed_rel =
+    Arg.(
+      value
+      & opt float d.executed_rel
+      & info [ "executed-threshold" ]
+          ~doc:"Allowed relative increase in executed job counts.")
+  in
+  let executed_abs =
+    Arg.(
+      value
+      & opt float d.executed_abs
+      & info [ "executed-slack" ]
+          ~doc:"Absolute slack on executed job counts (covers tiny sections).")
+  in
+  let hit_rate_rel =
+    Arg.(
+      value
+      & opt float d.hit_rate_rel
+      & info [ "hit-rate-threshold" ]
+          ~doc:"Allowed relative drop in cache-hit rate.")
+  in
+  let wall_rel =
+    Arg.(
+      value
+      & opt float d.wall_rel
+      & info [ "wall-threshold" ]
+          ~doc:"Allowed relative increase in wall seconds.")
+  in
+  let wall_abs =
+    Arg.(
+      value
+      & opt float d.wall_abs
+      & info [ "wall-slack" ] ~doc:"Absolute slack on wall seconds.")
+  in
+  let wall_fails =
+    Arg.(
+      value & flag
+      & info [ "fail-on-wall" ]
+          ~doc:
+            "Treat wall-time violations as regressions instead of warnings \
+             (leave off on shared CI runners).")
+  in
+  let term =
+    Term.(
+      const run $ baseline $ current $ executed_rel $ executed_abs
+      $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails)
+  in
+  Cmd.v
+    (Cmd.info "bhive_bench_diff"
+       ~doc:"Gate on bench_summary.json regressions between two revisions.")
+    term
+
+let () = exit (Cmd.eval cmd)

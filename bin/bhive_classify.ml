@@ -26,4 +26,6 @@ let cmd =
     (Cmd.info "bhive_classify" ~doc:"Classify the benchmark suite into port-usage categories")
     Term.(const run $ scale $ exemplars)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Telemetry.Trace.init_from_env ();
+  exit (Cmd.eval cmd)

@@ -42,4 +42,6 @@ let cmd =
     (Cmd.info "bhive_corpus" ~doc:"Dump generated benchmark-suite basic blocks as assembly")
     Term.(const run $ scale $ app_arg $ limit $ with_freq)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Telemetry.Trace.init_from_env ();
+  exit (Cmd.eval cmd)

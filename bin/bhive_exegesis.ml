@@ -35,4 +35,6 @@ let cmd =
     (Cmd.info "bhive_exegesis" ~doc:"Measure per-instruction latency and throughput with generated micro-benchmarks")
     Term.(const run $ uarch $ ports)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Telemetry.Trace.init_from_env ();
+  exit (Cmd.eval cmd)

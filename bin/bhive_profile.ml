@@ -123,4 +123,6 @@ let cmd =
     (Cmd.info "bhive_profile" ~doc:"Measure the steady-state throughput of an x86-64 basic block")
     Term.(const run $ uarch $ naive $ keep_underflow $ keep_misaligned $ with_models $ schedule $ jobs $ file)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Telemetry.Trace.init_from_env ();
+  exit (Cmd.eval cmd)

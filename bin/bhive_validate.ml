@@ -64,4 +64,6 @@ let cmd =
     (Cmd.info "bhive_validate" ~doc:"Validate the cost models against measured ground truth")
     Term.(const run $ scale $ uarches $ seed $ export $ jobs)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Telemetry.Trace.init_from_env ();
+  exit (Cmd.eval cmd)

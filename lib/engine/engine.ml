@@ -8,7 +8,15 @@
    and the optional progress hook. The cache is only written by the
    submitting thread after the pool joins, and results are re-expanded
    into submission order — which is what makes output byte-identical
-   for any worker count. *)
+   for any worker count.
+
+   Telemetry: a "engine.run_batch" span wraps every batch; each
+   executed job gets an "engine.execute" span (with its queue wait and
+   worker id) parented to the batch span, and each cache hit an
+   "engine.cache_hit" instant. Per-worker busy time is accumulated
+   unconditionally — two monotonic clock reads per executed job —
+   because worker utilization feeds bench_summary.json even when no
+   trace sink is installed. *)
 
 type job = {
   env : Harness.Environment.t;
@@ -45,17 +53,28 @@ type phase_metrics = {
   phase_cache_hits : int;
 }
 
+type worker_stat = { worker_id : int; jobs_run : int; busy_seconds : float }
+
 type t = {
   n_jobs : int;
   progress : (done_:int -> total:int -> unit) option;
   cache : (string, outcome) Hashtbl.t;
   lock : Mutex.t;  (** guards the progress hook only *)
+  worker_busy_ns : int64 array;
+      (** per-worker execution time; each worker writes only its slot *)
+  worker_jobs : int array;
   mutable submitted : int;
   mutable executed : int;
   mutable cache_hits : int;
   mutable wall_seconds : float;
   mutable phase_log : phase_metrics list;  (** reverse order *)
 }
+
+let m_submitted = Telemetry.Metrics.counter "engine.submitted"
+let m_executed = Telemetry.Metrics.counter "engine.executed"
+let m_cache_hits = Telemetry.Metrics.counter "engine.cache_hits"
+let h_job_seconds = Telemetry.Metrics.histogram "engine.job_seconds"
+let h_batch_seconds = Telemetry.Metrics.histogram "engine.batch_seconds"
 
 let default_jobs () =
   match Sys.getenv_opt "BHIVE_JOBS" with
@@ -72,6 +91,8 @@ let create ?jobs ?progress () =
     progress;
     cache = Hashtbl.create 4096;
     lock = Mutex.create ();
+    worker_busy_ns = Array.make n_jobs 0L;
+    worker_jobs = Array.make n_jobs 0;
     submitted = 0;
     executed = 0;
     cache_hits = 0;
@@ -96,84 +117,147 @@ let hit_rate (s : stats) =
   if s.submitted = 0 then 0.0
   else float_of_int s.cache_hits /. float_of_int s.submitted
 
+let seconds_of_ns ns = Int64.to_float ns /. 1e9
+
+let worker_stats t =
+  List.init t.n_jobs (fun w ->
+      {
+        worker_id = w;
+        jobs_run = t.worker_jobs.(w);
+        busy_seconds = seconds_of_ns t.worker_busy_ns.(w);
+      })
+
 let execute (j : job) = Harness.Profiler.profile j.env j.uarch j.block
 
 let run_batch t (submission : job list) : outcome array =
   let t0 = Unix.gettimeofday () in
+  let batch_start_ns = Telemetry.Trace.now_ns () in
   let submission = Array.of_list submission in
   let n = Array.length submission in
   let results : outcome option array = Array.make n None in
-  (* Resolve against the cache and deduplicate within the batch. The
-     worklist keeps unique jobs in first-occurrence order; [claims]
-     maps each unique fingerprint to every submission slot wanting its
-     result. *)
-  let claims : (string, int list ref) Hashtbl.t = Hashtbl.create (max 16 n) in
-  let worklist = ref [] in
+  let m_ref = ref 0 in
   let batch_hits = ref 0 in
-  Array.iteri
-    (fun i j ->
-      let fp = fingerprint j in
-      match Hashtbl.find_opt t.cache fp with
-      | Some r ->
-        incr batch_hits;
-        results.(i) <- Some r
-      | None -> (
-        match Hashtbl.find_opt claims fp with
-        | Some slots ->
-          incr batch_hits;
-          slots := i :: !slots
-        | None ->
-          Hashtbl.add claims fp (ref [ i ]);
-          worklist := (fp, i) :: !worklist))
-    submission;
-  let worklist = Array.of_list (List.rev !worklist) in
-  let m = Array.length worklist in
-  let out : outcome option array = Array.make m None in
-  let completed = Atomic.make 0 in
-  let run_one u =
-    let _, i = worklist.(u) in
-    out.(u) <- Some (execute submission.(i));
-    match t.progress with
-    | None -> ()
-    | Some hook ->
-      let d = 1 + Atomic.fetch_and_add completed 1 in
-      Mutex.lock t.lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.lock)
-        (fun () -> hook ~done_:d ~total:m)
-  in
-  let workers = min t.n_jobs m in
-  if workers <= 1 then
-    for u = 0 to m - 1 do
-      run_one u
-    done
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let u = Atomic.fetch_and_add next 1 in
-        if u < m then begin
-          run_one u;
-          loop ()
-        end
-      in
-      loop ()
+  let body () =
+    let batch_span = Telemetry.Trace.current_span () in
+    (* Resolve against the cache and deduplicate within the batch. The
+       worklist keeps unique jobs in first-occurrence order; [claims]
+       maps each unique fingerprint to every submission slot wanting its
+       result. *)
+    let claims : (string, int list ref) Hashtbl.t =
+      Hashtbl.create (max 16 n)
     in
-    let pool = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join pool
-  end;
-  (* Commit to the cache and expand into submission order. *)
-  Array.iteri
-    (fun u (fp, _) ->
-      let r = Option.get out.(u) in
-      Hashtbl.replace t.cache fp r;
-      List.iter (fun i -> results.(i) <- Some r) !(Hashtbl.find claims fp))
-    worklist;
+    let worklist = ref [] in
+    let traced = Telemetry.Trace.enabled () in
+    Array.iteri
+      (fun i j ->
+        let fp = fingerprint j in
+        match Hashtbl.find_opt t.cache fp with
+        | Some r ->
+          incr batch_hits;
+          if traced then
+            Telemetry.Trace.instant "engine.cache_hit" ~attrs:(fun () ->
+                [ ("slot", Telemetry.Trace.Int i) ]);
+          results.(i) <- Some r
+        | None -> (
+          match Hashtbl.find_opt claims fp with
+          | Some slots ->
+            incr batch_hits;
+            if traced then
+              Telemetry.Trace.instant "engine.cache_hit" ~attrs:(fun () ->
+                  [
+                    ("slot", Telemetry.Trace.Int i);
+                    ("dedup", Telemetry.Trace.Bool true);
+                  ]);
+            slots := i :: !slots
+          | None ->
+            Hashtbl.add claims fp (ref [ i ]);
+            worklist := (fp, i) :: !worklist))
+      submission;
+    let worklist = Array.of_list (List.rev !worklist) in
+    let m = Array.length worklist in
+    m_ref := m;
+    let out : outcome option array = Array.make m None in
+    let completed = Atomic.make 0 in
+    let run_one ~worker u =
+      let fp, i = worklist.(u) in
+      let start_ns = Telemetry.Trace.now_ns () in
+      (if Telemetry.Trace.enabled () then
+         Telemetry.Trace.span "engine.execute" ~parent:batch_span
+           ~attrs:(fun () ->
+             [
+               ("worker", Telemetry.Trace.Int worker);
+               ( "queue_wait_us",
+                 Telemetry.Trace.Float
+                   (Int64.to_float (Int64.sub start_ns batch_start_ns)
+                   /. 1e3) );
+               ("fingerprint", Telemetry.Trace.Str (Digest.to_hex fp));
+             ])
+           (fun () -> out.(u) <- Some (execute submission.(i)))
+       else out.(u) <- Some (execute submission.(i)));
+      let busy = Int64.sub (Telemetry.Trace.now_ns ()) start_ns in
+      t.worker_busy_ns.(worker) <- Int64.add t.worker_busy_ns.(worker) busy;
+      t.worker_jobs.(worker) <- t.worker_jobs.(worker) + 1;
+      Telemetry.Metrics.observe h_job_seconds (seconds_of_ns busy);
+      match t.progress with
+      | None -> ()
+      | Some hook ->
+        let d = 1 + Atomic.fetch_and_add completed 1 in
+        Mutex.lock t.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.lock)
+          (fun () -> hook ~done_:d ~total:m)
+    in
+    let workers = min t.n_jobs m in
+    if workers <= 1 then
+      for u = 0 to m - 1 do
+        run_one ~worker:0 u
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker_loop w () =
+        let rec loop () =
+          let u = Atomic.fetch_and_add next 1 in
+          if u < m then begin
+            run_one ~worker:w u;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let pool =
+        List.init (workers - 1) (fun k -> Domain.spawn (worker_loop (k + 1)))
+      in
+      worker_loop 0 ();
+      List.iter Domain.join pool
+    end;
+    (* Commit to the cache and expand into submission order. *)
+    Array.iteri
+      (fun u (fp, _) ->
+        let r = Option.get out.(u) in
+        Hashtbl.replace t.cache fp r;
+        List.iter (fun i -> results.(i) <- Some r) !(Hashtbl.find claims fp))
+      worklist
+  in
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.span "engine.run_batch"
+      ~attrs:(fun () ->
+        [
+          ("submitted", Telemetry.Trace.Int n);
+          ("executed", Telemetry.Trace.Int !m_ref);
+          ("cache_hits", Telemetry.Trace.Int !batch_hits);
+          ("workers", Telemetry.Trace.Int (min t.n_jobs !m_ref));
+        ])
+      body
+  else body ();
   t.submitted <- t.submitted + n;
-  t.executed <- t.executed + m;
+  t.executed <- t.executed + !m_ref;
   t.cache_hits <- t.cache_hits + !batch_hits;
-  t.wall_seconds <- t.wall_seconds +. (Unix.gettimeofday () -. t0);
+  Telemetry.Metrics.add m_submitted n;
+  Telemetry.Metrics.add m_executed !m_ref;
+  Telemetry.Metrics.add m_cache_hits !batch_hits;
+  let batch_seconds = Unix.gettimeofday () -. t0 in
+  Telemetry.Metrics.observe h_batch_seconds batch_seconds;
+  t.wall_seconds <- t.wall_seconds +. batch_seconds;
   Array.map Option.get results
 
 let profile t env uarch block = (run_batch t [ { env; uarch; block } ]).(0)
@@ -197,45 +281,47 @@ let phase t name f =
 
 let phases t = List.rev t.phase_log
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let phases_to_json t =
+let summary_json t =
+  let open Telemetry in
+  let s = stats t in
   let phase_json p =
     let rate =
       if p.phase_submitted = 0 then 0.0
       else float_of_int p.phase_cache_hits /. float_of_int p.phase_submitted
     in
-    Printf.sprintf
-      "    { \"section\": \"%s\", \"wall_seconds\": %.3f, \"jobs\": %d, \
-       \"submitted\": %d, \"executed\": %d, \"cache_hits\": %d, \
-       \"cache_hit_rate\": %.4f }"
-      (json_escape p.phase_name) p.phase_wall_seconds t.n_jobs p.phase_submitted
-      p.phase_executed p.phase_cache_hits rate
+    Json.Object
+      [
+        ("section", Json.String p.phase_name);
+        ("wall_seconds", Json.Number p.phase_wall_seconds);
+        ("jobs", Json.Number (float_of_int t.n_jobs));
+        ("submitted", Json.Number (float_of_int p.phase_submitted));
+        ("executed", Json.Number (float_of_int p.phase_executed));
+        ("cache_hits", Json.Number (float_of_int p.phase_cache_hits));
+        ("cache_hit_rate", Json.Number rate);
+      ]
   in
-  let s = stats t in
-  Printf.sprintf
-    "{\n\
-    \  \"jobs\": %d,\n\
-    \  \"submitted\": %d,\n\
-    \  \"executed\": %d,\n\
-    \  \"cache_hits\": %d,\n\
-    \  \"cache_hit_rate\": %.4f,\n\
-    \  \"engine_wall_seconds\": %.3f,\n\
-    \  \"sections\": [\n\
-     %s\n\
-    \  ]\n\
-     }"
-    t.n_jobs s.submitted s.executed s.cache_hits (hit_rate s) s.wall_seconds
-    (String.concat ",\n" (List.map phase_json (phases t)))
+  let worker_json (w : worker_stat) =
+    let utilization =
+      if s.wall_seconds <= 0.0 then 0.0 else w.busy_seconds /. s.wall_seconds
+    in
+    Json.Object
+      [
+        ("worker", Json.Number (float_of_int w.worker_id));
+        ("jobs_run", Json.Number (float_of_int w.jobs_run));
+        ("busy_seconds", Json.Number w.busy_seconds);
+        ("utilization", Json.Number utilization);
+      ]
+  in
+  Json.Object
+    [
+      ("jobs", Json.Number (float_of_int t.n_jobs));
+      ("submitted", Json.Number (float_of_int s.submitted));
+      ("executed", Json.Number (float_of_int s.executed));
+      ("cache_hits", Json.Number (float_of_int s.cache_hits));
+      ("cache_hit_rate", Json.Number (hit_rate s));
+      ("engine_wall_seconds", Json.Number s.wall_seconds);
+      ("workers", Json.List (List.map worker_json (worker_stats t)));
+      ("sections", Json.List (List.map phase_json (phases t)));
+    ]
+
+let phases_to_json t = Telemetry.Json.to_string (summary_json t)

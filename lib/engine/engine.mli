@@ -104,6 +104,18 @@ type phase_metrics = {
 
 val phases : t -> phase_metrics list
 
-(** Render [phases t] as a machine-readable JSON report (section name,
-    wall seconds, worker count, cache-hit rate per phase). *)
+(** Per-worker execution accounting, tracked unconditionally (two
+    monotonic clock reads per executed job): how many jobs each pool
+    slot ran and for how long. Utilization is
+    [busy_seconds / wall_seconds]. *)
+type worker_stat = { worker_id : int; jobs_run : int; busy_seconds : float }
+
+val worker_stats : t -> worker_stat list
+
+(** The machine-readable engine report: cumulative counters, per-worker
+    utilization, and per-phase sections — the object
+    [bench/main.ml] extends into [bench_summary.json]. *)
+val summary_json : t -> Telemetry.Json.t
+
+(** [Telemetry.Json.to_string (summary_json t)]. *)
 val phases_to_json : t -> string

@@ -27,6 +27,24 @@ let failure_to_string = function
   | Rejected Never_clean -> "rejected: never clean"
   | Rejected Unstable -> "rejected: unstable timings"
 
+(* Telemetry instruments. Counters are always on (an increment is one
+   atomic add); spans are emitted only when a BHIVE_TRACE sink is
+   installed. *)
+let m_profiles = Telemetry.Metrics.counter "profiler.profiles"
+let m_accepted = Telemetry.Metrics.counter "profiler.accepted"
+let m_mapping_failed = Telemetry.Metrics.counter "profiler.mapping_failed"
+
+let m_rejected_misaligned =
+  Telemetry.Metrics.counter "profiler.rejected.misaligned"
+
+let m_rejected_never_clean =
+  Telemetry.Metrics.counter "profiler.rejected.never_clean"
+
+let m_rejected_unstable =
+  Telemetry.Metrics.counter "profiler.rejected.unstable"
+
+let h_profile_seconds = Telemetry.Metrics.histogram "profiler.seconds"
+
 type timing = {
   cycles : int;
   counters : Pipeline.Counters.t;
@@ -73,10 +91,39 @@ let apply_noise (env : Environment.t) rng ~cycles
   in
   (cycles, counters)
 
+(* Mapping.run wrapped in a "profiler.mapping" span. The monitor's
+   mapping attempts are its restarts: one per intercepted fault plus
+   the final complete run. *)
+let run_mapping (env : Environment.t) block ~unroll =
+  if not (Telemetry.Trace.enabled ()) then Mapping.run env block ~unroll
+  else begin
+    let result = ref None in
+    Telemetry.Trace.span "profiler.mapping"
+      ~attrs:(fun () ->
+        let open Telemetry.Trace in
+        let base = [ ("unroll", Int unroll) ] in
+        match !result with
+        | Some (Ok (m : Mapping.success)) ->
+          base
+          @ [
+              ("ok", Bool true);
+              ("attempts", Int (m.faults + 1));
+              ("faults", Int m.faults);
+              ("distinct_frames", Int m.distinct_frames);
+            ]
+        | Some (Error f) ->
+          base
+          @ [ ("ok", Bool false); ("error", Str (Mapping.failure_to_string f)) ]
+        | None -> base)
+      (fun () -> result := Some (Mapping.run env block ~unroll));
+    Option.get !result
+  end
+
 (* Measure one unroll factor of [block] on [descriptor]. *)
-let measure_point (env : Environment.t) (descriptor : Uarch.Descriptor.t) rng
-    (block : Inst.t list) ~unroll : (point, Mapping.failure) result =
-  match Mapping.run env block ~unroll with
+let measure_point_untraced (env : Environment.t)
+    (descriptor : Uarch.Descriptor.t) rng (block : Inst.t list) ~unroll :
+    (point, Mapping.failure) result =
+  match run_mapping env block ~unroll with
   | Error f -> Error f
   | Ok mapped ->
     let machine = Pipeline.Machine.create descriptor in
@@ -127,7 +174,38 @@ let measure_point (env : Environment.t) (descriptor : Uarch.Descriptor.t) rng
         counters = base.counters;
       }
 
-let profile (env : Environment.t) (descriptor : Uarch.Descriptor.t)
+(* One measurement = one "profiler.measure" span, carrying the unroll
+   factor tried and the mapping/filter-relevant outcome. *)
+let measure_point env descriptor rng block ~unroll =
+  if not (Telemetry.Trace.enabled ()) then
+    measure_point_untraced env descriptor rng block ~unroll
+  else begin
+    let result = ref None in
+    Telemetry.Trace.span "profiler.measure"
+      ~attrs:(fun () ->
+        let open Telemetry.Trace in
+        let base = [ ("unroll", Int unroll) ] in
+        match !result with
+        | Some (Ok (p : point)) ->
+          base
+          @ [
+              ( "accepted_cycles",
+                match p.accepted_cycles with
+                | Some c -> Int c
+                | None -> Str "none" );
+              ("best_cycles", Int p.best_cycles);
+              ("faults", Int p.faults);
+              ("distinct_frames", Int p.distinct_frames);
+            ]
+        | Some (Error f) ->
+          base @ [ ("mapping_error", Str (Mapping.failure_to_string f)) ]
+        | None -> base)
+      (fun () ->
+        result := Some (measure_point_untraced env descriptor rng block ~unroll));
+    Option.get !result
+  end
+
+let profile_untraced (env : Environment.t) (descriptor : Uarch.Descriptor.t)
     (block : Inst.t list) : (profile, failure) result =
   let seed =
     Int64.add env.noise_seed
@@ -183,6 +261,73 @@ let profile (env : Environment.t) (descriptor : Uarch.Descriptor.t)
           small;
           factors;
         })
+
+let reject_to_string = function
+  | Misaligned_access -> "misaligned"
+  | Never_clean -> "never_clean"
+  | Unstable -> "unstable"
+
+(* Count the outcome and, when tracing, emit the filter decision with
+   its reason as an instant event. *)
+let record_outcome (result : (profile, failure) result) =
+  Telemetry.Metrics.incr m_profiles;
+  (match result with
+  | Ok p when p.accepted -> Telemetry.Metrics.incr m_accepted
+  | Ok p ->
+    (match p.reject with
+    | Some Misaligned_access -> Telemetry.Metrics.incr m_rejected_misaligned
+    | Some Never_clean -> Telemetry.Metrics.incr m_rejected_never_clean
+    | Some Unstable -> Telemetry.Metrics.incr m_rejected_unstable
+    | None -> ());
+    Telemetry.Trace.instant "profiler.filter" ~attrs:(fun () ->
+        [
+          ( "reason",
+            Telemetry.Trace.Str
+              (match p.reject with
+              | Some r -> reject_to_string r
+              | None -> "none") );
+        ])
+  | Error f ->
+    Telemetry.Metrics.incr m_mapping_failed;
+    Telemetry.Trace.instant "profiler.filter" ~attrs:(fun () ->
+        [ ("reason", Telemetry.Trace.Str (failure_to_string f)) ]));
+  result
+
+let profile (env : Environment.t) (descriptor : Uarch.Descriptor.t)
+    (block : Inst.t list) : (profile, failure) result =
+  let t0 = Telemetry.Trace.now_ns () in
+  let result =
+    if not (Telemetry.Trace.enabled ()) then
+      profile_untraced env descriptor block
+    else begin
+      let result = ref None in
+      Telemetry.Trace.span "profiler.profile"
+        ~attrs:(fun () ->
+          let open Telemetry.Trace in
+          let base =
+            [
+              ("uarch", Str descriptor.short);
+              ("block_insts", Int (List.length block));
+            ]
+          in
+          match !result with
+          | Some (Ok (p : profile)) ->
+            base
+            @ [
+                ("accepted", Bool p.accepted);
+                ("throughput", Float p.throughput);
+                ("unroll_large", Int p.factors.large);
+                ("unroll_small", Int p.factors.small);
+              ]
+          | Some (Error f) -> base @ [ ("failure", Str (failure_to_string f)) ]
+          | None -> base)
+        (fun () -> result := Some (profile_untraced env descriptor block));
+      Option.get !result
+    end
+  in
+  Telemetry.Metrics.observe h_profile_seconds
+    (Int64.to_float (Int64.sub (Telemetry.Trace.now_ns ()) t0) /. 1e9);
+  record_outcome result
 
 (* Throughput if accepted, in the style the dataset stores. *)
 let accepted_throughput = function

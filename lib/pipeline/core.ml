@@ -54,6 +54,7 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
     ~(l1d : Memsim.Cache.t) ~(l1i : Memsim.Cache.t) ~(l2 : Memsim.Cache.t)
     (trace : Trace.dyn_inst list) : result =
   let c = Counters.create () in
+  c.port_cycles <- Array.make d.n_ports 0;
   let reg_ready = Array.make n_roots 0 in
   let ports = Port_schedule.create ~n_ports:d.n_ports in
   let schedule = ref [] in
@@ -123,6 +124,9 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
         end)
       candidates;
     let start = Port_schedule.claim ports ~port:!best_port ~ready:!best_time ~busy in
+    c.port_cycles.(!best_port) <- c.port_cycles.(!best_port) + busy;
+    if start > ready then
+      c.port_contention_cycles <- c.port_contention_cycles + (start - ready);
     (!best_port, start)
   in
   let ready_of_roots roots =
@@ -146,6 +150,8 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
               d.l2_miss_penalty
             end
           in
+          c.frontend_stall_cycles <-
+            c.frontend_stall_cycles + d.icache_miss_penalty + extra;
           frontend_cycle := !frontend_cycle + d.icache_miss_penalty + extra;
           slots_this_cycle := 0
         end
@@ -157,6 +163,7 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
         if Queue.length rob >= d.rob_size then begin
           let oldest = Queue.pop rob in
           if oldest > !frontend_cycle then begin
+            c.rob_stall_cycles <- c.rob_stall_cycles + (oldest - !frontend_cycle);
             frontend_cycle := oldest;
             slots_this_cycle := 0
           end

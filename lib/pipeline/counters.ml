@@ -2,7 +2,13 @@
 
     These mirror the events BHive monitors: core cycles, the three L1
     miss counters, MISALIGNED_MEM_REFERENCE, and the OS context-switch
-    count (the latter is a software counter on real systems). *)
+    count (the latter is a software counter on real systems).
+
+    Beyond the paper's event set, the simulator also exposes its own
+    introspection counters — per-port busy cycles and per-cause stall
+    cycles — which real PMUs surface as UOPS_DISPATCHED_PORT.* and the
+    various *_STALLS events. They feed the telemetry layer and never
+    participate in the clean-measurement filter. *)
 
 type t = {
   mutable core_cycles : int;
@@ -15,6 +21,14 @@ type t = {
   mutable misaligned_mem_refs : int;
   mutable context_switches : int;
   mutable subnormal_assists : int;
+  mutable port_cycles : int array;
+      (** busy cycles per execution port (length = the uarch's port
+          count; [[||]] until a simulation sizes it) *)
+  mutable frontend_stall_cycles : int;
+      (** cycles the front end lost to L1I/L2 instruction misses *)
+  mutable rob_stall_cycles : int;  (** cycles rename waited on a full ROB *)
+  mutable port_contention_cycles : int;
+      (** uop-cycles spent data-ready but waiting for a free port *)
 }
 
 let create () =
@@ -29,9 +43,18 @@ let create () =
     misaligned_mem_refs = 0;
     context_switches = 0;
     subnormal_assists = 0;
+    port_cycles = [||];
+    frontend_stall_cycles = 0;
+    rob_stall_cycles = 0;
+    port_contention_cycles = 0;
   }
 
-let copy t = { t with core_cycles = t.core_cycles }
+let copy t = { t with port_cycles = Array.copy t.port_cycles }
+
+let diff_ports ~begin_ ~end_ =
+  let n = max (Array.length begin_) (Array.length end_) in
+  let get a i = if i < Array.length a then a.(i) else 0 in
+  Array.init n (fun i -> get end_ i - get begin_ i)
 
 (* Counter delta, as computed from the begin/end reads in the paper's
    measure() routine. *)
@@ -47,6 +70,12 @@ let diff ~begin_ ~end_ =
     misaligned_mem_refs = end_.misaligned_mem_refs - begin_.misaligned_mem_refs;
     context_switches = end_.context_switches - begin_.context_switches;
     subnormal_assists = end_.subnormal_assists - begin_.subnormal_assists;
+    port_cycles = diff_ports ~begin_:begin_.port_cycles ~end_:end_.port_cycles;
+    frontend_stall_cycles =
+      end_.frontend_stall_cycles - begin_.frontend_stall_cycles;
+    rob_stall_cycles = end_.rob_stall_cycles - begin_.rob_stall_cycles;
+    port_contention_cycles =
+      end_.port_contention_cycles - begin_.port_contention_cycles;
   }
 
 (* A "clean" measurement in the BHive sense: no cache misses of any kind
@@ -55,10 +84,23 @@ let is_clean t =
   t.l1d_read_misses = 0 && t.l1d_write_misses = 0 && t.l1i_misses = 0
   && t.context_switches = 0
 
+let total_port_cycles t = Array.fold_left ( + ) 0 t.port_cycles
+
+let pp_ports fmt t =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "p%d:%d" i c)
+    t.port_cycles;
+  Format.fprintf fmt "]"
+
 let pp fmt t =
   Format.fprintf fmt
     "cycles=%d insts=%d uops=%d l1d_rd_miss=%d l1d_wr_miss=%d l1i_miss=%d \
-     l2_miss=%d misaligned=%d ctx_switches=%d assists=%d"
+     l2_miss=%d misaligned=%d ctx_switches=%d assists=%d ports=%a \
+     fe_stall=%d rob_stall=%d port_stall=%d"
     t.core_cycles t.instructions t.uops t.l1d_read_misses t.l1d_write_misses
     t.l1i_misses t.l2_misses t.misaligned_mem_refs t.context_switches
-    t.subnormal_assists
+    t.subnormal_assists pp_ports t t.frontend_stall_cycles t.rob_stall_cycles
+    t.port_contention_cycles

@@ -1,6 +1,13 @@
 (** Hardware performance counters as read by the measurement framework,
     mirroring the events BHive monitors: core cycles, the cache-miss
-    counters, MISALIGNED_MEM_REFERENCE, and the OS context-switch count. *)
+    counters, MISALIGNED_MEM_REFERENCE, and the OS context-switch count.
+
+    The simulator additionally exposes introspection counters — busy
+    cycles per execution port and stall cycles per cause (front-end
+    instruction misses, ROB-full rename stalls, port contention) — the
+    events a real PMU reports as UOPS_DISPATCHED_PORT.* /
+    RESOURCE_STALLS.*. They feed the telemetry layer and are ignored
+    by {!is_clean}. *)
 
 type t = {
   mutable core_cycles : int;
@@ -13,13 +20,24 @@ type t = {
   mutable misaligned_mem_refs : int;
   mutable context_switches : int;
   mutable subnormal_assists : int;
+  mutable port_cycles : int array;
+      (** busy cycles per execution port; [[||]] until a simulation
+          sizes it to the uarch's port count *)
+  mutable frontend_stall_cycles : int;
+      (** cycles the front end lost to L1I/L2 instruction misses *)
+  mutable rob_stall_cycles : int;  (** cycles rename waited on a full ROB *)
+  mutable port_contention_cycles : int;
+      (** uop-cycles spent data-ready but waiting for a free port *)
 }
 
 val create : unit -> t
+
+(** Deep copy (the port array is duplicated). *)
 val copy : t -> t
 
 (** Counter delta, as computed from the begin/end reads in the paper's
-    measure() routine. *)
+    measure() routine. Port arrays of different lengths are
+    zero-padded. *)
 val diff : begin_:t -> end_:t -> t
 
 (** A "clean" measurement in the BHive sense: no cache misses of any
@@ -27,4 +45,8 @@ val diff : begin_:t -> end_:t -> t
     need no separate clause.) *)
 val is_clean : t -> bool
 
+(** Sum of {!field-port_cycles}. *)
+val total_port_cycles : t -> int
+
+val pp_ports : Format.formatter -> t -> unit
 val pp : Format.formatter -> t -> unit

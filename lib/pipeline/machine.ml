@@ -22,7 +22,40 @@ let reset t =
   Memsim.Cache.flush t.l1i;
   Memsim.Cache.flush t.l2
 
-(* Simulate the timing of one completed architectural execution. *)
+(* Simulate the timing of one completed architectural execution. The
+   telemetry span wraps the whole decode+simulate step; the branch on
+   [Trace.enabled] keeps the traced path (closure, attribute thunk) off
+   the hot path when no sink is installed. *)
 let run ?record_schedule t (steps : Xsem.Executor.step list) : Core.result =
-  let trace = Trace.of_steps t.descriptor steps in
-  Core.simulate ?record_schedule t.descriptor ~l1d:t.l1d ~l1i:t.l1i ~l2:t.l2 trace
+  let simulate () =
+    let trace = Trace.of_steps t.descriptor steps in
+    Core.simulate ?record_schedule t.descriptor ~l1d:t.l1d ~l1i:t.l1i ~l2:t.l2
+      trace
+  in
+  if not (Telemetry.Trace.enabled ()) then simulate ()
+  else begin
+    let result = ref None in
+    Telemetry.Trace.span "pipeline.simulate"
+      ~attrs:(fun () ->
+        match !result with
+        | None -> [ ("uarch", Telemetry.Trace.Str t.descriptor.short) ]
+        | Some (r : Core.result) ->
+          let c = r.counters in
+          let ports =
+            String.concat ","
+              (Array.to_list (Array.map string_of_int c.port_cycles))
+          in
+          [
+            ("uarch", Telemetry.Trace.Str t.descriptor.short);
+            ("cycles", Telemetry.Trace.Int r.cycles);
+            ("instructions", Telemetry.Trace.Int c.instructions);
+            ("uops", Telemetry.Trace.Int c.uops);
+            ("port_cycles", Telemetry.Trace.Str ports);
+            ("frontend_stall_cycles", Telemetry.Trace.Int c.frontend_stall_cycles);
+            ("rob_stall_cycles", Telemetry.Trace.Int c.rob_stall_cycles);
+            ( "port_contention_cycles",
+              Telemetry.Trace.Int c.port_contention_cycles );
+          ])
+      (fun () -> result := Some (simulate ()));
+    match !result with Some r -> r | None -> assert false
+  end

@@ -1,0 +1,185 @@
+(* See bench_diff.mli. *)
+
+type thresholds = {
+  executed_rel : float;
+  executed_abs : float;
+  hit_rate_rel : float;
+  wall_rel : float;
+  wall_abs : float;
+  wall_fails : bool;
+}
+
+let default_thresholds =
+  {
+    executed_rel = 0.10;
+    executed_abs = 4.0;
+    hit_rate_rel = 0.05;
+    wall_rel = 0.50;
+    wall_abs = 1.0;
+    wall_fails = false;
+  }
+
+type severity = Info | Warning | Regression
+
+type finding = {
+  severity : severity;
+  metric : string;
+  baseline : float;
+  current : float;
+  limit : float;
+  detail : string;
+}
+
+type verdict = Pass | Warn | Fail
+
+type report = { findings : finding list; verdict : verdict }
+
+let num_field name j = Option.bind (Json.member name j) Json.number
+
+(* One comparison: [violated] decides against the limit; findings at or
+   below the limit become Info entries so CI logs show what was checked. *)
+let check ~severity ~metric ~baseline ~current ~limit ~violated ~detail acc =
+  let f =
+    if violated then { severity; metric; baseline; current; limit; detail }
+    else { severity = Info; metric; baseline; current; limit; detail = "ok" }
+  in
+  f :: acc
+
+let check_executed t ~metric ~baseline ~current acc =
+  let limit = (baseline *. (1.0 +. t.executed_rel)) +. t.executed_abs in
+  check ~severity:Regression ~metric ~baseline ~current ~limit
+    ~violated:(current > limit)
+    ~detail:"more profiler executions than baseline (cache effectiveness regressed)"
+    acc
+
+let check_hit_rate t ~metric ~baseline ~current acc =
+  let limit = baseline *. (1.0 -. t.hit_rate_rel) in
+  check ~severity:Regression ~metric ~baseline ~current ~limit
+    ~violated:(current < limit)
+    ~detail:"cache-hit rate dropped past threshold" acc
+
+let check_wall t ~metric ~baseline ~current acc =
+  let limit = (baseline *. (1.0 +. t.wall_rel)) +. t.wall_abs in
+  let severity = if t.wall_fails then Regression else Warning in
+  check ~severity ~metric ~baseline ~current ~limit
+    ~violated:(current > limit)
+    ~detail:"wall time regressed past threshold" acc
+
+let sections j =
+  match Option.bind (Json.member "sections" j) Json.list_value with
+  | None -> []
+  | Some items ->
+    List.filter_map
+      (fun s ->
+        match Option.bind (Json.member "section" s) Json.string_value with
+        | Some name -> Some (name, s)
+        | None -> None)
+      items
+
+let compare_summaries ?(thresholds = default_thresholds) ~baseline ~current ()
+    =
+  let t = thresholds in
+  let acc = ref [] in
+  let top name checker =
+    match (num_field name baseline, num_field name current) with
+    | Some b, Some c -> acc := checker t ~metric:name ~baseline:b ~current:c !acc
+    | _ -> ()
+  in
+  top "executed" check_executed;
+  top "cache_hit_rate" check_hit_rate;
+  top "engine_wall_seconds" check_wall;
+  (* a submitted-count change is not a regression, but it explains
+     executed-count drift, so surface it *)
+  (match (num_field "submitted" baseline, num_field "submitted" current) with
+  | Some b, Some c when b <> c ->
+    acc :=
+      {
+        severity = Info;
+        metric = "submitted";
+        baseline = b;
+        current = c;
+        limit = b;
+        detail = "workload size changed — regenerate the baseline if intended";
+      }
+      :: !acc
+  | _ -> ());
+  let base_sections = sections baseline in
+  let cur_sections = sections current in
+  List.iter
+    (fun (name, bs) ->
+      match List.assoc_opt name cur_sections with
+      | None ->
+        acc :=
+          {
+            severity = Regression;
+            metric = name;
+            baseline = 1.0;
+            current = 0.0;
+            limit = 1.0;
+            detail = "section present in baseline but missing from current run";
+          }
+          :: !acc
+      | Some cs ->
+        let sec field checker =
+          match (num_field field bs, num_field field cs) with
+          | Some b, Some c ->
+            acc :=
+              checker t ~metric:(name ^ "." ^ field) ~baseline:b ~current:c
+                !acc
+          | _ -> ()
+        in
+        sec "executed" check_executed;
+        sec "cache_hit_rate" check_hit_rate;
+        sec "wall_seconds" check_wall)
+    base_sections;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base_sections) then
+        acc :=
+          {
+            severity = Info;
+            metric = name;
+            baseline = 0.0;
+            current = 1.0;
+            limit = 0.0;
+            detail = "new section (absent from baseline)";
+          }
+          :: !acc)
+    cur_sections;
+  let findings = List.rev !acc in
+  let verdict =
+    if List.exists (fun f -> f.severity = Regression) findings then Fail
+    else if List.exists (fun f -> f.severity = Warning) findings then Warn
+    else Pass
+  in
+  { findings; verdict }
+
+let severity_tag = function
+  | Info -> "info"
+  | Warning -> "WARN"
+  | Regression -> "FAIL"
+
+let verdict_tag = function Pass -> "PASS" | Warn -> "PASS (with warnings)" | Fail -> "FAIL"
+
+let pp_report fmt r =
+  List.iter
+    (fun f ->
+      if f.severity <> Info || f.detail <> "ok" then
+        Format.fprintf fmt "%-4s %-32s baseline=%s current=%s limit=%s  %s@."
+          (severity_tag f.severity) f.metric
+          (Json.number_to_string f.baseline)
+          (Json.number_to_string f.current)
+          (Json.number_to_string f.limit)
+          f.detail)
+    r.findings;
+  let checked = List.length r.findings in
+  let bad =
+    List.length (List.filter (fun f -> f.severity = Regression) r.findings)
+  in
+  let warned =
+    List.length (List.filter (fun f -> f.severity = Warning) r.findings)
+  in
+  Format.fprintf fmt "bench-diff: %s (%d comparisons, %d regressions, %d warnings)@."
+    (verdict_tag r.verdict) checked bad warned
+
+let exit_code r = match r.verdict with Fail -> 1 | Pass | Warn -> 0

@@ -1,0 +1,58 @@
+(** The bench regression gate: compare two [bench_summary.json]
+    documents (a checked-in baseline and a fresh run) and decide
+    whether the perf trajectory regressed.
+
+    Three families of metrics are compared, at the top level and per
+    section (matched by section name):
+
+    - {b executed} job counts — more profiler executions than the
+      baseline means the memo cache or the batch plan regressed; the
+      gate fails when [current > baseline * (1 + executed_rel) +
+      executed_abs]. Counts are deterministic at a fixed
+      [BHIVE_SCALE], so the slack only absorbs intentional drift.
+    - {b cache-hit rate} — fails when
+      [current < baseline * (1 - hit_rate_rel)].
+    - {b wall seconds} — noisy on shared CI runners, so violations of
+      [current > baseline * (1 + wall_rel) + wall_abs] are warnings
+      unless [wall_fails] is set.
+
+    A section present in the baseline but missing from the current
+    summary is a failure; a new section is reported as info. All
+    comparisons use strict inequality: a value exactly at its limit
+    passes. *)
+
+type thresholds = {
+  executed_rel : float;  (** relative slack on executed counts *)
+  executed_abs : float;  (** absolute slack on executed counts *)
+  hit_rate_rel : float;  (** relative drop allowed on cache-hit rate *)
+  wall_rel : float;  (** relative slack on wall seconds *)
+  wall_abs : float;  (** absolute slack on wall seconds *)
+  wall_fails : bool;  (** wall violations fail instead of warning *)
+}
+
+(** [executed_rel = 0.10], [executed_abs = 4], [hit_rate_rel = 0.05],
+    [wall_rel = 0.50], [wall_abs = 1.0], [wall_fails = false]. *)
+val default_thresholds : thresholds
+
+type severity = Info | Warning | Regression
+
+type finding = {
+  severity : severity;
+  metric : string;  (** e.g. "table5.executed" or "engine_wall_seconds" *)
+  baseline : float;
+  current : float;
+  limit : float;  (** the violated (or respected) bound *)
+  detail : string;
+}
+
+type verdict = Pass | Warn | Fail
+
+type report = { findings : finding list; verdict : verdict }
+
+val compare_summaries :
+  ?thresholds:thresholds -> baseline:Json.t -> current:Json.t -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** CI exit code: [Pass]/[Warn] → 0, [Fail] → 1. *)
+val exit_code : report -> int

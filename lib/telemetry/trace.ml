@@ -1,0 +1,116 @@
+(* See trace.mli. The disabled fast path must not allocate: [span]
+   performs exactly one Atomic.get and calls the body directly, and
+   [Monotonic_clock.now] is a [@noalloc] external with an unboxed
+   return, so even the enabled path's clock reads stay off the minor
+   heap. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type sink = { write : string -> unit; close : unit -> unit }
+
+let current : sink option Atomic.t = Atomic.make None
+let t0_ns : int64 Atomic.t = Atomic.make 0L
+let next_id = Atomic.make 1
+let stack_key = Domain.DLS.new_key (fun () -> ref ([] : int list))
+
+let now_ns () = Monotonic_clock.now ()
+
+let enabled () =
+  match Atomic.get current with Some _ -> true | None -> false
+
+let uninstall () =
+  match Atomic.exchange current None with None -> () | Some s -> s.close ()
+
+let install_custom ~write ~close =
+  uninstall ();
+  Atomic.set t0_ns (now_ns ());
+  Atomic.set current (Some { write; close })
+
+let install_file path =
+  let oc = open_out path in
+  let lock = Mutex.create () in
+  install_custom
+    ~write:(fun line ->
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          output_string oc line;
+          output_char oc '\n'))
+    ~close:(fun () -> close_out oc)
+
+let init_from_env () =
+  match Sys.getenv_opt "BHIVE_TRACE" with
+  | None | Some "" -> ()
+  | Some path ->
+    install_file path;
+    at_exit uninstall
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Number (float_of_int i)
+  | Float f -> Json.Number f
+  | Str s -> Json.String s
+
+let emit s ~kind ~name ~id ~parent ~ts_ns ~dur_ns ~attrs =
+  let us ns = Int64.to_float ns /. 1e3 in
+  let base =
+    [
+      ("type", Json.String kind);
+      ("name", Json.String name);
+      ("id", Json.Number (float_of_int id));
+      ("parent", Json.Number (float_of_int parent));
+      ("domain", Json.Number (float_of_int (Domain.self () :> int)));
+      ("ts_us", Json.Number (us (Int64.sub ts_ns (Atomic.get t0_ns))));
+    ]
+  in
+  let base =
+    match dur_ns with
+    | None -> base
+    | Some d -> base @ [ ("dur_us", Json.Number (us d)) ]
+  in
+  let fields =
+    match attrs with
+    | [] -> base
+    | attrs ->
+      base
+      @ [
+          ( "attrs",
+            Json.Object (List.map (fun (k, v) -> (k, value_to_json v)) attrs) );
+        ]
+  in
+  s.write (Json.to_string ~compact:true (Json.Object fields))
+
+let current_span () =
+  match !(Domain.DLS.get stack_key) with [] -> 0 | id :: _ -> id
+
+let span ?parent ?attrs name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some s ->
+    let stack = Domain.DLS.get stack_key in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let parent =
+      match parent with
+      | Some p -> p
+      | None -> ( match !stack with [] -> 0 | p :: _ -> p)
+    in
+    stack := id :: !stack;
+    let start_ns = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (now_ns ()) start_ns in
+        (match !stack with _ :: tl -> stack := tl | [] -> ());
+        let attrs = match attrs with None -> [] | Some mk -> mk () in
+        emit s ~kind:"span" ~name ~id ~parent ~ts_ns:start_ns
+          ~dur_ns:(Some dur) ~attrs)
+      f
+
+let instant ?attrs name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    let id = Atomic.fetch_and_add next_id 1 in
+    let attrs = match attrs with None -> [] | Some mk -> mk () in
+    emit s ~kind:"instant" ~name ~id ~parent:(current_span ())
+      ~ts_ns:(now_ns ()) ~dur_ns:None ~attrs

@@ -1,0 +1,63 @@
+(** Structured tracing: nested spans with monotonic timing, emitted as
+    one JSON record per line (JSONL) to an installable sink.
+
+    {b Zero cost when disabled.} When no sink is installed, {!span}
+    reduces to one atomic load followed by a direct call of the body —
+    no clock reads, no span-id allocation, no attribute construction
+    ([?attrs] is a thunk, forced only when a record is actually
+    emitted). [test/test_telemetry.ml] asserts the disabled path
+    allocates nothing observable.
+
+    {b Concurrency.} Spans may be opened from any domain. Parent/child
+    nesting is tracked per domain (the engine's worker pool passes an
+    explicit [?parent] to attach worker-side spans to the submitting
+    domain's batch span); sink writes are serialised by the sink.
+
+    {b Record schema} (one object per line):
+    {v
+    {"type":"span","name":"engine.execute","id":7,"parent":2,
+     "domain":1,"ts_us":123.4,"dur_us":56.7,"attrs":{"worker":1}}
+    {"type":"instant","name":"profiler.filter","id":8,"parent":7,
+     "domain":1,"ts_us":130.1,"attrs":{"reason":"unstable"}}
+    v}
+    [ts_us] is microseconds of monotonic time since sink installation;
+    [parent] is [0] for roots. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+(** Is a sink installed? Hot paths that would otherwise build closures
+    or attributes may branch on this. *)
+val enabled : unit -> bool
+
+(** Monotonic clock, nanoseconds. Always available (used by the engine
+    for worker-utilization accounting even when tracing is off). *)
+val now_ns : unit -> int64
+
+(** [span name f] times [f ()] and emits a span record on completion
+    (also on exception). [attrs] is forced after [f] returns, so it can
+    capture results through a ref. [parent] overrides the
+    domain-local parent — used to stitch cross-domain causality. *)
+val span :
+  ?parent:int -> ?attrs:(unit -> (string * value) list) -> string ->
+  (unit -> 'a) -> 'a
+
+(** Zero-duration event, e.g. a cache hit or a filter decision. *)
+val instant : ?attrs:(unit -> (string * value) list) -> string -> unit
+
+(** Id of the innermost open span on this domain ([0] if none). *)
+val current_span : unit -> int
+
+(** Install a JSONL file sink (writes are mutex-serialised). Replaces
+    (and closes) any previous sink. *)
+val install_file : string -> unit
+
+(** Install an arbitrary sink; [write] receives one complete record
+    (no trailing newline) and must be safe to call from any domain. *)
+val install_custom : write:(string -> unit) -> close:(unit -> unit) -> unit
+
+(** Close and remove the current sink, if any. *)
+val uninstall : unit -> unit
+
+(** Install a file sink at [$BHIVE_TRACE] if the variable is set and
+    non-empty, closing it at process exit. *)
+val init_from_env : unit -> unit

@@ -1,0 +1,335 @@
+(* Tests for the telemetry layer: trace spans (nesting, JSONL
+   round-trip, zero-allocation disabled path), metrics (counters,
+   histogram bucketing), and the bench_diff regression gate. *)
+
+module Json = Telemetry.Json
+module Trace = Telemetry.Trace
+module Metrics = Telemetry.Metrics
+module Bench_diff = Telemetry.Bench_diff
+
+(* Install a capturing sink, run [f], uninstall, and return the emitted
+   JSONL records parsed back into JSON values. *)
+let with_capture f =
+  let lines = ref [] in
+  Trace.install_custom
+    ~write:(fun s -> lines := s :: !lines)
+    ~close:(fun () -> ());
+  Fun.protect ~finally:Trace.uninstall f;
+  Trace.uninstall ();
+  List.rev_map Json.parse_exn !lines
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "record missing field %S: %s" name (Json.to_string j)
+
+let str name j =
+  match field name j with
+  | Json.String s -> s
+  | v -> Alcotest.failf "field %S not a string: %s" name (Json.to_string v)
+
+let num name j =
+  match field name j with
+  | Json.Number n -> n
+  | v -> Alcotest.failf "field %S not a number: %s" name (Json.to_string v)
+
+let find_record name records =
+  match List.find_opt (fun r -> str "name" r = name) records with
+  | Some r -> r
+  | None -> Alcotest.failf "no record named %S emitted" name
+
+(* --- Trace --- *)
+
+let test_span_nesting () =
+  let records =
+    with_capture (fun () ->
+        Trace.span "outer" (fun () ->
+            Trace.span "inner" (fun () -> ());
+            Trace.instant "mark"))
+  in
+  Alcotest.(check int) "three records" 3 (List.length records);
+  let outer = find_record "outer" records in
+  let inner = find_record "inner" records in
+  let mark = find_record "mark" records in
+  Alcotest.(check string) "instant type" "instant" (str "type" mark);
+  Alcotest.(check (float 0.)) "outer is a root" 0. (num "parent" outer);
+  Alcotest.(check (float 0.))
+    "inner parented to outer" (num "id" outer) (num "parent" inner);
+  Alcotest.(check (float 0.))
+    "instant parented to outer" (num "id" outer) (num "parent" mark);
+  Alcotest.(check bool)
+    "inner closed no later than outer"
+    true
+    (num "dur_us" inner <= num "dur_us" outer)
+
+let test_span_attrs_roundtrip () =
+  let records =
+    with_capture (fun () ->
+        Trace.span "attrs"
+          ~attrs:(fun () ->
+            [
+              ("b", Trace.Bool true);
+              ("i", Trace.Int (-42));
+              ("f", Trace.Float 2.5);
+              ("s", Trace.Str "quote\" and \\slash\nnewline");
+            ])
+          (fun () -> ()))
+  in
+  let attrs = field "attrs" (find_record "attrs" records) in
+  Alcotest.(check bool)
+    "bool attr" true
+    (match field "b" attrs with Json.Bool b -> b | _ -> false);
+  Alcotest.(check (float 0.)) "int attr" (-42.) (num "i" attrs);
+  Alcotest.(check (float 0.)) "float attr" 2.5 (num "f" attrs);
+  Alcotest.(check string)
+    "string attr escapes round-trip" "quote\" and \\slash\nnewline"
+    (str "s" attrs)
+
+let test_span_result_and_exceptions () =
+  let got = ref 0 in
+  let records =
+    with_capture (fun () ->
+        got := Trace.span "value" (fun () -> 7);
+        match Trace.span "boom" (fun () -> failwith "boom") with
+        | () -> Alcotest.fail "exception swallowed"
+        | exception Failure _ -> ())
+  in
+  Alcotest.(check int) "span returns body value" 7 !got;
+  (* The span for the raising body must still be emitted. *)
+  ignore (find_record "boom" records)
+
+let test_explicit_parent () =
+  let records =
+    with_capture (fun () ->
+        Trace.span "batch" (fun () ->
+            let batch = Trace.current_span () in
+            (* Simulates the engine pattern: a worker-domain span with no
+               DLS ancestry explicitly parented to the batch span. *)
+            let d =
+              Domain.spawn (fun () ->
+                  Trace.span "worker" ~parent:batch (fun () -> ()))
+            in
+            Domain.join d))
+  in
+  let batch = find_record "batch" records in
+  let worker = find_record "worker" records in
+  Alcotest.(check (float 0.))
+    "cross-domain parent" (num "id" batch) (num "parent" worker)
+
+let test_disabled_fast_path_no_alloc () =
+  Trace.uninstall ();
+  let body = Sys.opaque_identity (fun () -> 0) in
+  (* Warm up (first call may trigger lazy init elsewhere). *)
+  ignore (Trace.span "warm" body);
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Trace.span "hot" body)
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.))
+    "no minor allocation across 1000 disabled spans" 0. allocated
+
+let test_disabled_returns_value () =
+  Trace.uninstall ();
+  Alcotest.(check int) "disabled span is transparent" 5
+    (Trace.span "x" (fun () -> 5))
+
+(* --- Metrics --- *)
+
+let test_counter_totals () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "counter total" 42 (Metrics.value c);
+  let again = Metrics.counter "test.counter" in
+  Metrics.incr again;
+  Alcotest.(check int) "same name, same cell" 43 (Metrics.value c)
+
+let test_histogram_buckets () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 0.001; 0.001; 0.002; 1.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.count h);
+  Alcotest.(check (float 1e-9)) "sum" 101.004 (Metrics.sum h);
+  (* Quantiles are bucket upper bounds: log2 buckets so within 2x. *)
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "p50 brackets the median" true
+    (p50 >= 0.002 && p50 <= 0.004);
+  let p99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool) "p99 brackets the max" true
+    (p99 >= 100.0 && p99 <= 200.0);
+  (* Distinct magnitudes land in distinct buckets. *)
+  Alcotest.(check int) "four magnitudes, four buckets" 4
+    (List.length (Metrics.bucket_counts h))
+
+let test_snapshot_json () =
+  Metrics.reset ();
+  let c = Metrics.counter "snap.counter" in
+  Metrics.add c 7;
+  let h = Metrics.histogram "snap.hist" in
+  Metrics.observe h 0.5;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (float 0.))
+    "counter in snapshot" 7.
+    (match Json.path [ "counters"; "snap.counter" ] snap with
+    | Some (Json.Number n) -> n
+    | _ -> Alcotest.fail "snap.counter missing");
+  Alcotest.(check (float 0.))
+    "histogram count in snapshot" 1.
+    (match Json.path [ "histograms"; "snap.hist"; "count" ] snap with
+    | Some (Json.Number n) -> n
+    | _ -> Alcotest.fail "snap.hist missing")
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Object
+      [
+        ("s", Json.String "a\"b\\c\n\t");
+        ("n", Json.Number 1.5);
+        ("i", Json.Number 12345.);
+        ("b", Json.Bool false);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Number 1.; Json.String "x" ]);
+      ]
+  in
+  let reparsed = Json.parse_exn (Json.to_string v) in
+  Alcotest.(check bool) "pretty round-trip" true (reparsed = v);
+  let reparsed_compact = Json.parse_exn (Json.to_string ~compact:true v) in
+  Alcotest.(check bool) "compact round-trip" true (reparsed_compact = v)
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok v -> Alcotest.failf "parsed %S as %s" s (Json.to_string v)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "nul"
+
+(* --- Bench_diff --- *)
+
+let summary ?(executed = 1000.) ?(hit_rate = 0.5) ?(wall = 10.)
+    ?(sections = [ ("corpus", 100., 0.2, 1.0) ]) () =
+  let section (name, ex, hr, w) =
+    Json.Object
+      [
+        ("section", Json.String name);
+        ("executed", Json.Number ex);
+        ("cache_hit_rate", Json.Number hr);
+        ("wall_seconds", Json.Number w);
+      ]
+  in
+  Json.Object
+    [
+      ("submitted", Json.Number 2000.);
+      ("executed", Json.Number executed);
+      ("cache_hit_rate", Json.Number hit_rate);
+      ("engine_wall_seconds", Json.Number wall);
+      ("sections", Json.List (List.map section sections));
+    ]
+
+let diff ?thresholds baseline current =
+  Bench_diff.compare_summaries ?thresholds ~baseline ~current ()
+
+let check_verdict what expected report =
+  let show = function
+    | Bench_diff.Pass -> "pass"
+    | Bench_diff.Warn -> "warn"
+    | Bench_diff.Fail -> "fail"
+  in
+  Alcotest.(check string) what (show expected) (show report.Bench_diff.verdict)
+
+let test_diff_identical () =
+  let s = summary () in
+  let report = diff s s in
+  check_verdict "identical summaries pass" Bench_diff.Pass report;
+  Alcotest.(check int) "exit code 0" 0 (Bench_diff.exit_code report)
+
+let test_diff_executed_regression () =
+  let report = diff (summary ()) (summary ~executed:1500. ()) in
+  check_verdict "executed +50% fails" Bench_diff.Fail report;
+  Alcotest.(check int) "exit code 1" 1 (Bench_diff.exit_code report)
+
+let test_diff_executed_at_limit_passes () =
+  (* limit = baseline * 1.10 + 4 = 1104; exactly at the limit passes
+     (strict inequality), one past it fails. *)
+  let report = diff (summary ()) (summary ~executed:1104. ()) in
+  check_verdict "at-limit passes" Bench_diff.Pass report;
+  let report = diff (summary ()) (summary ~executed:1105. ()) in
+  check_verdict "one past limit fails" Bench_diff.Fail report
+
+let test_diff_hit_rate_regression () =
+  let report = diff (summary ()) (summary ~hit_rate:0.4 ()) in
+  check_verdict "hit-rate drop fails" Bench_diff.Fail report;
+  let report = diff (summary ()) (summary ~hit_rate:0.49 ()) in
+  check_verdict "within threshold passes" Bench_diff.Pass report
+
+let test_diff_improvement_passes () =
+  let report = diff (summary ()) (summary ~executed:500. ~hit_rate:0.9 ()) in
+  check_verdict "improvements pass" Bench_diff.Pass report
+
+let test_diff_wall_warns_by_default () =
+  let report = diff (summary ()) (summary ~wall:100. ()) in
+  check_verdict "wall regression warns" Bench_diff.Warn report;
+  Alcotest.(check int) "warn exits 0" 0 (Bench_diff.exit_code report);
+  let thresholds =
+    { Bench_diff.default_thresholds with wall_fails = true }
+  in
+  let report = diff ~thresholds (summary ()) (summary ~wall:100. ()) in
+  check_verdict "wall regression fails with wall_fails" Bench_diff.Fail report
+
+let test_diff_missing_section_fails () =
+  let report = diff (summary ()) (summary ~sections:[] ()) in
+  check_verdict "missing section fails" Bench_diff.Fail report
+
+let test_diff_new_section_passes () =
+  let sections = [ ("corpus", 100., 0.2, 1.0); ("extra", 5., 0.0, 0.1) ] in
+  let report = diff (summary ()) (summary ~sections ()) in
+  check_verdict "new section is informational" Bench_diff.Pass report
+
+let test_diff_section_regression_fails () =
+  let sections = [ ("corpus", 200., 0.2, 1.0) ] in
+  let report = diff (summary ()) (summary ~sections ()) in
+  check_verdict "per-section executed regression fails" Bench_diff.Fail report
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and parents" `Quick test_span_nesting;
+    Alcotest.test_case "span attrs round-trip" `Quick
+      test_span_attrs_roundtrip;
+    Alcotest.test_case "span result and exceptions" `Quick
+      test_span_result_and_exceptions;
+    Alcotest.test_case "explicit cross-domain parent" `Quick
+      test_explicit_parent;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_fast_path_no_alloc;
+    Alcotest.test_case "disabled span transparent" `Quick
+      test_disabled_returns_value;
+    Alcotest.test_case "counter totals" `Quick test_counter_totals;
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+    Alcotest.test_case "metrics snapshot json" `Quick test_snapshot_json;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "diff: identical passes" `Quick test_diff_identical;
+    Alcotest.test_case "diff: executed regression" `Quick
+      test_diff_executed_regression;
+    Alcotest.test_case "diff: at-limit boundary" `Quick
+      test_diff_executed_at_limit_passes;
+    Alcotest.test_case "diff: hit-rate regression" `Quick
+      test_diff_hit_rate_regression;
+    Alcotest.test_case "diff: improvement passes" `Quick
+      test_diff_improvement_passes;
+    Alcotest.test_case "diff: wall warns by default" `Quick
+      test_diff_wall_warns_by_default;
+    Alcotest.test_case "diff: missing section" `Quick
+      test_diff_missing_section_fails;
+    Alcotest.test_case "diff: new section" `Quick test_diff_new_section_passes;
+    Alcotest.test_case "diff: section regression" `Quick
+      test_diff_section_regression_fails;
+  ]

@@ -48,7 +48,7 @@ let write_summary path =
     match Engine.summary_json engine with
     | Json.Object fields ->
       Json.Object
-        (("schema_version", Json.Number 2.0)
+        (("schema_version", Json.Number 3.0)
         :: ("scale", Json.Number (float_of_int config.scale))
         :: ("rev", Json.String rev)
         :: (fields @ [ ("telemetry", Metrics.snapshot ()) ]))
@@ -62,7 +62,31 @@ let write_summary path =
     "engine: %d workers, %d jobs submitted, %d executed, %d cache hits (%.1f%%)@."
     (Engine.jobs engine) s.submitted s.executed s.cache_hits
     (100.0 *. Engine.hit_rate s);
+  if not (Faultsim.is_none (Engine.faults engine)) then
+    Format.fprintf fmt
+      "faults (%s): %d retries, %d crashes, %d timeouts, %d stalls absorbed, %d workers replenished, %d jobs quarantined@."
+      (Faultsim.to_string (Engine.faults engine))
+      s.retries s.crashes s.timeouts s.stalls_absorbed s.workers_replenished
+      s.quarantined;
   Format.fprintf fmt "summary written to %s@." path
+
+(* Every submitted job must resolve: quarantines go to the manifest and
+   a lost job (neither completed nor quarantined) fails the run — the
+   invariant the CI chaos job gates on. *)
+let finalize () =
+  let s = Engine.stats engine in
+  (match Engine.quarantines engine with
+  | [] -> ()
+  | _ ->
+    let n = Engine.write_quarantine_manifest engine "failures.jsonl" in
+    Format.fprintf fmt "%d quarantined job(s) written to failures.jsonl@." n);
+  let lost = Engine.lost s in
+  if lost <> 0 then begin
+    Format.fprintf fmt
+      "FATAL: %d job(s) lost (submitted=%d completed=%d quarantined=%d)@."
+      lost s.submitted s.completed s.quarantined;
+    exit 1
+  end
 
 let suite = lazy (Corpus.Suite.generate ~config ())
 
@@ -203,9 +227,13 @@ let bench_ablation_unroll () =
       | Ok p ->
         Format.fprintf fmt "  u=%-4d tp=%8.2f accepted=%b l1i_misses=%d@." u
           p.throughput p.accepted p.large.counters.l1i_misses
-      | Error f ->
+      | Error e ->
+        let fingerprint =
+          Digest.to_hex
+            (Engine.fingerprint { Engine.env; uarch = Uarch.All.haswell; block })
+        in
         Format.fprintf fmt "  u=%-4d failed: %s@." u
-          (Harness.Profiler.failure_to_string f))
+          (Engine.error_to_string ~fingerprint e))
     [ 4; 8; 16; 32; 64; 100; 200 ]
 
 let bench_ablation_filters () =
@@ -216,7 +244,7 @@ let bench_ablation_filters () =
   List.iter
     (fun min_clean ->
       let env = { Harness.Environment.default with min_clean } in
-      let outcomes =
+      let { Engine.outcomes; _ } =
         Engine.run_batch engine
           (List.map
              (fun (b : Corpus.Block.t) ->
@@ -240,7 +268,7 @@ let bench_ablation_noise () =
   List.iter
     (fun rate ->
       let env = { Harness.Environment.default with context_switch_rate = rate } in
-      let outcomes =
+      let { Engine.outcomes; _ } =
         Engine.run_batch engine
           (List.map
              (fun (b : Corpus.Block.t) ->
@@ -261,13 +289,15 @@ let bench_ablation_noise () =
 let bench_instruction_table () =
   Bhive.Report.rule fmt
     "Per-instruction characterisation on Haswell (llvm-exegesis-style)";
-  Exegesis.Characterize.pp_table fmt (Exegesis.Characterize.table Uarch.All.haswell)
+  Exegesis.Characterize.pp_table fmt
+    (Exegesis.Characterize.table ~engine Uarch.All.haswell)
 
 let bench_port_mapping () =
   Bhive.Report.rule fmt
     "Port-mapping inference on Haswell (Abel-Reineke-style blocker probes)";
   Exegesis.Portmap.pp_survey fmt
-    (Exegesis.Portmap.survey Uarch.All.haswell Exegesis.Portmap.standard_targets)
+    (Exegesis.Portmap.survey ~engine Uarch.All.haswell
+       Exegesis.Portmap.standard_targets)
 
 (* ------------------------------------------------------------------ *)
 (* Speed micro-benchmarks (Bechamel)                                   *)
@@ -337,4 +367,5 @@ let () =
   section "ablation-noise" bench_ablation_noise;
   section "speed" speed_benchmarks;
   write_summary "bench_summary.json";
+  finalize ();
   Format.fprintf fmt "@.done.@."

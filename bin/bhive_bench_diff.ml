@@ -40,6 +40,22 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     prerr_endline msg;
     exit 2
   | Ok baseline, Ok current ->
+    (* a schema-v1 summary (no telemetry snapshot) cannot be compared:
+       say so precisely instead of failing on a missing field *)
+    (match
+       ( Telemetry.Bench_diff.check_schema baseline,
+         Telemetry.Bench_diff.check_schema current )
+     with
+    | Error msg, _ ->
+      Printf.eprintf
+        "baseline %s: %s\nRegenerate it with the current bench harness (see \
+         bench/README.md).\n"
+        baseline_path msg;
+      exit 2
+    | _, Error msg ->
+      Printf.eprintf "current %s: %s\n" current_path msg;
+      exit 2
+    | Ok (), Ok () -> ());
     describe "baseline" baseline;
     describe "current " current;
     let thresholds =

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let run scale exemplars =
+let run () scale exemplars =
   let config = { Corpus.Suite.default_config with scale } in
   let blocks = Corpus.Suite.generate ~config () in
   Printf.printf "classifying %d blocks...\n%!" (List.length blocks);
@@ -24,7 +24,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "bhive_classify" ~doc:"Classify the benchmark suite into port-usage categories")
-    Term.(const run $ scale $ exemplars)
+    Term.(const run $ Cli_faults.setup $ scale $ exemplars)
 
 let () =
   Telemetry.Trace.init_from_env ();

@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let run scale app limit with_freq =
+let run () scale app limit with_freq =
   let config = { Corpus.Suite.default_config with scale } in
   let blocks = Corpus.Suite.generate_extended ~config () in
   let blocks =
@@ -40,7 +40,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "bhive_corpus" ~doc:"Dump generated benchmark-suite basic blocks as assembly")
-    Term.(const run $ scale $ app_arg $ limit $ with_freq)
+    Term.(const run $ Cli_faults.setup $ scale $ app_arg $ limit $ with_freq)
 
 let () =
   Telemetry.Trace.init_from_env ();

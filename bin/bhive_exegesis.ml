@@ -13,16 +13,21 @@ let uarch_conv =
   in
   Arg.conv (parse, fun fmt (d : Uarch.Descriptor.t) -> Format.pp_print_string fmt d.short)
 
-let run uarch ports =
+let run () uarch ports jobs =
+  let engine = Engine.create ?jobs () in
   Printf.printf "Instruction characterisation on %s:\n\n" uarch.Uarch.Descriptor.name;
   Exegesis.Characterize.pp_table Format.std_formatter
-    (Exegesis.Characterize.table uarch);
+    (Exegesis.Characterize.table ~engine uarch);
   if ports then begin
     print_newline ();
     print_endline "Port-mapping inference (blocker probes):";
     Exegesis.Portmap.pp_survey Format.std_formatter
-      (Exegesis.Portmap.survey uarch Exegesis.Portmap.standard_targets)
-  end
+      (Exegesis.Portmap.survey ~engine uarch Exegesis.Portmap.standard_targets)
+  end;
+  let s = Engine.stats engine in
+  if s.quarantined > 0 then
+    Printf.printf "\n%d micro-benchmark(s) quarantined by the engine\n"
+      s.quarantined
 
 let cmd =
   let uarch =
@@ -31,9 +36,12 @@ let cmd =
   let ports =
     Arg.(value & flag & info [ "p"; "ports" ] ~doc:"Also infer port mappings with blocker probes.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc:"Measurement worker domains for the engine (default \\$BHIVE_JOBS).")
+  in
   Cmd.v
     (Cmd.info "bhive_exegesis" ~doc:"Measure per-instruction latency and throughput with generated micro-benchmarks")
-    Term.(const run $ uarch $ ports)
+    Term.(const run $ Cli_faults.setup $ uarch $ ports $ jobs)
 
 let () =
   Telemetry.Trace.init_from_env ();

@@ -44,7 +44,7 @@ let print_ground_truth_schedule uarch block =
             (Uarch.Uop.kind_name e.uop.kind) name)
       r.schedule
 
-let run uarch naive_unroll keep_underflow keep_misaligned with_models schedule jobs file =
+let run () uarch naive_unroll keep_underflow keep_misaligned with_models schedule jobs file =
   let engine = Engine.create ?jobs () in
   let text = read_input file in
   match X86.Parser.block text with
@@ -80,8 +80,12 @@ let run uarch naive_unroll keep_underflow keep_misaligned with_models schedule j
         p.factors.small p.large.faults;
       Printf.printf "counters: %s\n"
         (Format.asprintf "%a" Pipeline.Counters.pp p.large.counters)
-    | Error f ->
-      Printf.printf "\nprofiling failed: %s\n" (Harness.Profiler.failure_to_string f));
+    | Error e ->
+      let fingerprint =
+        Digest.to_hex (Engine.fingerprint { Engine.env; uarch; block })
+      in
+      Printf.printf "\nprofiling failed: %s\n"
+        (Engine.error_to_string ~fingerprint e));
     if schedule then print_ground_truth_schedule uarch block;
     if with_models then begin
       print_newline ();
@@ -121,7 +125,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "bhive_profile" ~doc:"Measure the steady-state throughput of an x86-64 basic block")
-    Term.(const run $ uarch $ naive $ keep_underflow $ keep_misaligned $ with_models $ schedule $ jobs $ file)
+    Term.(const run $ Cli_faults.setup $ uarch $ naive $ keep_underflow $ keep_misaligned $ with_models $ schedule $ jobs $ file)
 
 let () =
   Telemetry.Trace.init_from_env ();

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let run scale uarches seed export jobs =
+let run () scale uarches seed export jobs =
   let config = { Corpus.Suite.default_config with scale } in
   let config =
     match seed with Some s -> { config with seed = Int64.of_int s } | None -> config
@@ -30,6 +30,9 @@ let run scale uarches seed export jobs =
           (Bhive.Dataset.size ds) ds.n_input
           (100.0 *. Bhive.Dataset.profiled_fraction ds)
           ds.n_avx2_excluded;
+        if ds.quarantined <> [] then
+          Printf.printf "  %d block(s) quarantined by the engine\n%!"
+            (List.length ds.quarantined);
         (match export with
         | Some prefix ->
           let path = Printf.sprintf "%s-%s.csv" prefix u.short in
@@ -42,7 +45,20 @@ let run scale uarches seed export jobs =
   Bhive.Report.overall_error Format.std_formatter evals;
   let s = Engine.stats engine in
   Printf.printf "engine: %d jobs submitted, %d executed, %d cache hits\n"
-    s.submitted s.executed s.cache_hits
+    s.submitted s.executed s.cache_hits;
+  if not (Faultsim.is_none (Engine.faults engine)) then
+    Printf.printf
+      "faults: %d retries, %d crashes, %d timeouts, %d workers replenished, %d quarantined\n"
+      s.retries s.crashes s.timeouts s.workers_replenished s.quarantined;
+  (match Engine.quarantines engine with
+  | [] -> ()
+  | _ ->
+    let n = Engine.write_quarantine_manifest engine "failures.jsonl" in
+    Printf.printf "%d quarantined job(s) written to failures.jsonl\n" n);
+  if Engine.lost s <> 0 then begin
+    Printf.eprintf "FATAL: %d job(s) lost\n" (Engine.lost s);
+    exit 1
+  end
 
 let cmd =
   let scale =
@@ -62,7 +78,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "bhive_validate" ~doc:"Validate the cost models against measured ground truth")
-    Term.(const run $ scale $ uarches $ seed $ export $ jobs)
+    Term.(const run $ Cli_faults.setup $ scale $ uarches $ seed $ export $ jobs)
 
 let () =
   Telemetry.Trace.init_from_env ();

@@ -1,0 +1,50 @@
+(* Shared resilience flags for the CLIs: --faults, --max-retries and
+   --quorum. Linked into every executable of this directory; each CLI
+   composes [setup] into its term so the overrides are installed before
+   it creates its engine. *)
+
+open Cmdliner
+
+let faults_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun m -> `Msg m) (Faultsim.parse s)),
+      fun fmt c -> Format.pp_print_string fmt (Faultsim.to_string c) )
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection for the measurement substrate, as \
+           a comma-separated spec: \
+           $(b,crash=0.01,stall=0.005,corrupt=0.002,seed=42). Overrides \
+           \\$BHIVE_FAULTS; $(b,none) disables injection.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Retries after a job's first failed attempt before it is \
+           quarantined (default 4).")
+
+let quorum_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quorum" ] ~docv:"N"
+        ~doc:
+          "Trials per measurement attempt; a result is accepted only when a \
+           strict majority of trials agree, which outvotes corrupted \
+           timings (default 1: no voting).")
+
+(* Evaluates before the command body runs, so overrides are in place
+   when the CLI creates its engine. *)
+let setup : unit Term.t =
+  let apply faults max_retries quorum =
+    Option.iter Faultsim.set_default faults;
+    Engine.set_default_policy ?max_retries ?quorum ()
+  in
+  Term.(const apply $ faults_arg $ max_retries_arg $ quorum_arg)

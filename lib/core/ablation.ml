@@ -16,6 +16,7 @@ type suite_row = {
   profiled_percent : float;
   n_profiled : int;
   n_total : int;
+  n_quarantined : int;
 }
 
 let technique_envs =
@@ -32,18 +33,19 @@ let suite_ablation ?(uarch = Uarch.All.haswell) ?engine
   let engine = match engine with Some e -> e | None -> Engine.default () in
   List.map
     (fun (technique, env) ->
-      let outcomes =
+      let { Engine.outcomes; _ } =
         Engine.run_batch engine
           (List.map
              (fun (b : Corpus.Block.t) -> { Engine.env; uarch; block = b.insts })
              blocks)
       in
-      let ok =
+      let ok, quarantined =
         Array.fold_left
-          (fun acc -> function
-            | Ok (p : Harness.Profiler.profile) when p.accepted -> acc + 1
-            | _ -> acc)
-          0 outcomes
+          (fun (ok, q) -> function
+            | Ok (p : Harness.Profiler.profile) when p.accepted -> (ok + 1, q)
+            | Error (Engine.Quarantined _) -> (ok, q + 1)
+            | _ -> (ok, q))
+          (0, 0) outcomes
       in
       let n = Array.length outcomes in
       {
@@ -51,6 +53,7 @@ let suite_ablation ?(uarch = Uarch.All.haswell) ?engine
         profiled_percent = 100.0 *. float_of_int ok /. float_of_int n;
         n_profiled = ok;
         n_total = n;
+        n_quarantined = quarantined;
       })
     technique_envs
 
@@ -92,14 +95,21 @@ let block_ablation ?(uarch = Uarch.All.haswell) ?engine
       ("Using smaller unroll factor", Harness.Environment.default);
     ]
   in
-  let outcomes =
+  let { Engine.outcomes; _ } =
     Engine.run_batch engine
       (List.map (fun (_, env) -> { Engine.env; uarch; block }) configs)
   in
   List.mapi
     (fun i (optimization, _) ->
       match outcomes.(i) with
-      | Error _ ->
+      | Error (Engine.Quarantined _) ->
+        {
+          optimization;
+          measured = "Quarantined";
+          l1d_misses = "N/A";
+          l1i_misses = "N/A";
+        }
+      | Error (Engine.Profiler_failure _) ->
         { optimization; measured = "Crashed"; l1d_misses = "N/A"; l1i_misses = "N/A" }
       | Ok (p : Harness.Profiler.profile) ->
         let c = p.large.counters in

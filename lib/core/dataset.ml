@@ -24,6 +24,7 @@ type t = {
   n_avx2_excluded : int;
   failures : failure list;
   rejected : (Corpus.Block.t * Harness.Profiler.reject_reason) list;
+  quarantined : (Corpus.Block.t * Engine.quarantine) list;
 }
 
 (* Profile every block of [blocks] on [uarch] as one engine batch;
@@ -47,7 +48,7 @@ let build ?(env = Harness.Environment.default) ?engine
         else true)
       blocks
   in
-  let outcomes =
+  let { Engine.outcomes; _ } =
     Engine.run_batch engine
       (List.map
          (fun (b : Corpus.Block.t) -> { Engine.env; uarch; block = b.insts })
@@ -56,6 +57,7 @@ let build ?(env = Harness.Environment.default) ?engine
   let entries = ref [] in
   let failures = ref [] in
   let rejected = ref [] in
+  let quarantined = ref [] in
   List.iteri
     (fun i (b : Corpus.Block.t) ->
       match outcomes.(i) with
@@ -74,10 +76,11 @@ let build ?(env = Harness.Environment.default) ?engine
           Option.value p.reject ~default:Harness.Profiler.Unstable
         in
         rejected := (b, reason) :: !rejected
-      | Error f ->
+      | Error (Engine.Profiler_failure f) ->
         failures :=
           { fail_block = b; fail_env = env; fail_uarch = uarch; fail_reason = f }
-          :: !failures)
+          :: !failures
+      | Error (Engine.Quarantined q) -> quarantined := (b, q) :: !quarantined)
     considered;
   {
     uarch;
@@ -90,6 +93,7 @@ let build ?(env = Harness.Environment.default) ?engine
     n_avx2_excluded = !n_avx2;
     failures = List.rev !failures;
     rejected = List.rev !rejected;
+    quarantined = List.rev !quarantined;
   }
 
 let size t = List.length t.entries

@@ -27,6 +27,9 @@ type t = {
   n_avx2_excluded : int;  (** skipped on non-AVX2 uarches, as in the paper *)
   failures : failure list;
   rejected : (Corpus.Block.t * Harness.Profiler.reject_reason) list;
+  quarantined : (Corpus.Block.t * Engine.quarantine) list;
+      (** blocks the engine gave up on (retry budget exhausted under
+          fault injection); empty when faults are off or recoverable *)
 }
 
 (** Profile every block of the corpus on [uarch] as one engine batch;

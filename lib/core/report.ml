@@ -11,11 +11,18 @@ let rule fmt title =
 
 let suite_ablation fmt (rows : Ablation.suite_row list) =
   rule fmt "Table I: measurement-technique ablation (percent of suite profiled)";
-  Format.fprintf fmt "%-34s %-10s %s@." "(Additional) Technique" "Profiled" "Blocks";
+  let any_quarantined =
+    List.exists (fun (r : Ablation.suite_row) -> r.n_quarantined > 0) rows
+  in
+  Format.fprintf fmt "%-34s %-10s %s%s@." "(Additional) Technique" "Profiled"
+    "Blocks"
+    (if any_quarantined then "       Quarantined" else "");
   List.iter
     (fun (r : Ablation.suite_row) ->
-      Format.fprintf fmt "%-34s %6.2f%%    %d/%d@." r.technique
-        r.profiled_percent r.n_profiled r.n_total)
+      Format.fprintf fmt "%-34s %6.2f%%    %d/%d%s@." r.technique
+        r.profiled_percent r.n_profiled r.n_total
+        (if any_quarantined then Printf.sprintf "    %d" r.n_quarantined
+         else ""))
     rows
 
 let block_ablation fmt (rows : Ablation.block_row list) =

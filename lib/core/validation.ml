@@ -118,7 +118,7 @@ let ground_truth ?engine (dataset : Dataset.t) (entries : Dataset.entry list) :
   | None ->
     List.map (fun (e : Dataset.entry) -> (e.block.insts, e.throughput)) entries
   | Some engine ->
-    let outcomes =
+    let { Engine.outcomes; _ } =
       Engine.run_batch engine
         (List.map
            (fun (e : Dataset.entry) ->

@@ -1,30 +1,34 @@
-(* The measurement engine. See engine.mli for the contract.
+(* The supervising measurement engine. See engine.mli for the contract.
 
    Parallelism strategy: each batch is first resolved against the memo
    cache and deduplicated, leaving a worklist of unique jobs in
-   first-occurrence order. Workers (OCaml 5 domains) pull indices from
-   an atomic counter and write into disjoint slots of a result array,
-   so the parallel section shares no mutable state beyond the counter
-   and the optional progress hook. The cache is only written by the
-   submitting thread after the pool joins, and results are re-expanded
-   into submission order — which is what makes output byte-identical
-   for any worker count.
+   first-occurrence order. Worker domains pull (job, attempt) items
+   from a mutex-protected queue and write into disjoint slots of a
+   result array. Faults are decided by Faultsim purely from
+   (fingerprint, attempt, trial), so which domain runs a job — and how
+   many domains there are — cannot change any outcome; that is the
+   whole determinism argument, faults included.
 
-   Telemetry: a "engine.run_batch" span wraps every batch; each
-   executed job gets an "engine.execute" span (with its queue wait and
-   worker id) parented to the batch span, and each cache hit an
-   "engine.cache_hit" instant. Per-worker busy time is accumulated
-   unconditionally — two monotonic clock reads per executed job —
-   because worker utilization feeds bench_summary.json even when no
-   trace sink is installed. *)
+   Supervision: a simulated worker crash raises Worker_crashed out of
+   the worker domain. The submitting thread joins domains one by one;
+   when a join re-raises Worker_crashed it requeues the in-flight job
+   (attempt + 1) or quarantines it if the budget is spent, then spawns
+   a replacement domain on the same worker slot and keeps supervising.
+   Timeouts and failed quorum rounds are retried inside the worker
+   (with deterministic exponential backoff on the simulated clock);
+   only crashes cross the domain boundary, because only crashes kill
+   the domain.
+
+   The cache is only written by the submitting thread after the pool
+   drains, and results are re-expanded into submission order — which is
+   what makes output byte-identical for any worker count and fault
+   seed. *)
 
 type job = {
   env : Harness.Environment.t;
   uarch : Uarch.Descriptor.t;
   block : X86.Inst.t list;
 }
-
-type outcome = (Harness.Profiler.profile, Harness.Profiler.failure) result
 
 let env_fingerprint (env : Harness.Environment.t) =
   Digest.string (Marshal.to_string env [])
@@ -38,12 +42,117 @@ let fingerprint (j : job) =
          Marshal.to_string j.block [];
        ])
 
+(* --- retry policy ----------------------------------------------------- *)
+
+type policy = {
+  max_retries : int;
+  deadline_ms : int;
+  backoff_ms : int;
+  quorum : int;
+}
+
+let default_policy =
+  { max_retries = 4; deadline_ms = 100; backoff_ms = 10; quorum = 1 }
+
+let clamp_policy p =
+  {
+    max_retries = max 0 p.max_retries;
+    deadline_ms = max 1 p.deadline_ms;
+    backoff_ms = max 0 p.backoff_ms;
+    quorum = max 1 p.quorum;
+  }
+
+let policy_override = ref default_policy
+
+let set_default_policy ?max_retries ?deadline_ms ?backoff_ms ?quorum () =
+  let p = !policy_override in
+  policy_override :=
+    clamp_policy
+      {
+        max_retries = Option.value max_retries ~default:p.max_retries;
+        deadline_ms = Option.value deadline_ms ~default:p.deadline_ms;
+        backoff_ms = Option.value backoff_ms ~default:p.backoff_ms;
+        quorum = Option.value quorum ~default:p.quorum;
+      }
+
+(* backoff before attempt [k+1], simulated ms *)
+let backoff_of p k = p.backoff_ms * (1 lsl min k 20)
+
+(* --- outcomes and quarantine ------------------------------------------ *)
+
+type attempt_record = {
+  att_number : int;
+  att_verdict : string;
+  att_faults : string list;
+  att_sim_ms : int;
+  att_backoff_ms : int;
+}
+
+type quarantine = {
+  q_fingerprint : string;
+  q_uarch : string;
+  q_block_insts : int;
+  q_attempts : attempt_record list;
+}
+
+type error =
+  | Profiler_failure of Harness.Profiler.failure
+  | Quarantined of quarantine
+
+type outcome = (Harness.Profiler.profile, error) result
+
+let error_to_string ?fingerprint = function
+  | Profiler_failure f -> Harness.Profiler.failure_to_string ?fingerprint f
+  | Quarantined q ->
+    Printf.sprintf "quarantined after %d attempts (%s) [job %s]"
+      (List.length q.q_attempts)
+      (String.concat "; "
+         (List.map (fun a -> a.att_verdict) q.q_attempts))
+      q.q_fingerprint
+
+let attempt_json (a : attempt_record) =
+  let open Telemetry in
+  Json.Object
+    [
+      ("attempt", Json.Number (float_of_int a.att_number));
+      ("verdict", Json.String a.att_verdict);
+      ("faults", Json.List (List.map (fun f -> Json.String f) a.att_faults));
+      ("sim_ms", Json.Number (float_of_int a.att_sim_ms));
+      ("backoff_ms", Json.Number (float_of_int a.att_backoff_ms));
+    ]
+
+let quarantine_json (q : quarantine) =
+  let open Telemetry in
+  Json.Object
+    [
+      ("fingerprint", Json.String q.q_fingerprint);
+      ("uarch", Json.String q.q_uarch);
+      ("block_insts", Json.Number (float_of_int q.q_block_insts));
+      ("attempts", Json.List (List.map attempt_json q.q_attempts));
+    ]
+
+type batch = { outcomes : outcome array; quarantined : quarantine list }
+
+(* --- counters --------------------------------------------------------- *)
+
 type stats = {
   submitted : int;
   executed : int;
   cache_hits : int;
+  completed : int;
+  quarantined : int;
+  profiler_calls : int;
+  retries : int;
+  crashes : int;
+  timeouts : int;
+  quorum_failures : int;
+  stalls_absorbed : int;
+  corruptions : int;
+  workers_replenished : int;
   wall_seconds : float;
 }
+
+let lost (s : stats) = s.submitted - s.completed - s.quarantined
 
 type phase_metrics = {
   phase_name : string;
@@ -51,6 +160,8 @@ type phase_metrics = {
   phase_submitted : int;
   phase_executed : int;
   phase_cache_hits : int;
+  phase_retries : int;
+  phase_quarantined : int;
 }
 
 type worker_stat = { worker_id : int; jobs_run : int; busy_seconds : float }
@@ -58,21 +169,47 @@ type worker_stat = { worker_id : int; jobs_run : int; busy_seconds : float }
 type t = {
   n_jobs : int;
   progress : (done_:int -> total:int -> unit) option;
+  faults : Faultsim.config;
+  policy : policy;
   cache : (string, outcome) Hashtbl.t;
   lock : Mutex.t;  (** guards the progress hook only *)
   worker_busy_ns : int64 array;
-      (** per-worker execution time; each worker writes only its slot *)
+      (** per-worker-slot execution time; only the slot's current
+          occupant writes it *)
   worker_jobs : int array;
   mutable submitted : int;
   mutable executed : int;
   mutable cache_hits : int;
+  mutable completed : int;
+  mutable quarantined_slots : int;
+  mutable profiler_calls : int;
+  mutable retries : int;
+  mutable crashes : int;
+  mutable timeouts : int;
+  mutable quorum_failures : int;
+  mutable stalls_absorbed : int;
+  mutable corruptions : int;
+  mutable workers_replenished : int;
   mutable wall_seconds : float;
   mutable phase_log : phase_metrics list;  (** reverse order *)
+  mutable quarantine_log : quarantine list;  (** reverse order *)
 }
 
 let m_submitted = Telemetry.Metrics.counter "engine.submitted"
 let m_executed = Telemetry.Metrics.counter "engine.executed"
 let m_cache_hits = Telemetry.Metrics.counter "engine.cache_hits"
+let m_profiler_calls = Telemetry.Metrics.counter "engine.profiler_calls"
+let m_retries = Telemetry.Metrics.counter "engine.retries"
+let m_crashes = Telemetry.Metrics.counter "engine.crashes"
+let m_timeouts = Telemetry.Metrics.counter "engine.timeouts"
+let m_quorum_failures = Telemetry.Metrics.counter "engine.quorum_failures"
+let m_stalls_absorbed = Telemetry.Metrics.counter "engine.stalls_absorbed"
+let m_corruptions = Telemetry.Metrics.counter "engine.corruptions"
+let m_quarantined = Telemetry.Metrics.counter "engine.quarantined"
+
+let m_replenished =
+  Telemetry.Metrics.counter "engine.workers_replenished"
+
 let h_job_seconds = Telemetry.Metrics.histogram "engine.job_seconds"
 let h_batch_seconds = Telemetry.Metrics.histogram "engine.batch_seconds"
 
@@ -84,11 +221,25 @@ let default_jobs () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-let create ?jobs ?progress () =
+let create ?jobs ?progress ?faults ?max_retries ?deadline_ms ?backoff_ms
+    ?quorum () =
   let n_jobs = max 1 (match jobs with Some n -> n | None -> default_jobs ()) in
+  let faults = match faults with Some f -> f | None -> Faultsim.default () in
+  let base = !policy_override in
+  let policy =
+    clamp_policy
+      {
+        max_retries = Option.value max_retries ~default:base.max_retries;
+        deadline_ms = Option.value deadline_ms ~default:base.deadline_ms;
+        backoff_ms = Option.value backoff_ms ~default:base.backoff_ms;
+        quorum = Option.value quorum ~default:base.quorum;
+      }
+  in
   {
     n_jobs;
     progress;
+    faults;
+    policy;
     cache = Hashtbl.create 4096;
     lock = Mutex.create ();
     worker_busy_ns = Array.make n_jobs 0L;
@@ -96,13 +247,26 @@ let create ?jobs ?progress () =
     submitted = 0;
     executed = 0;
     cache_hits = 0;
+    completed = 0;
+    quarantined_slots = 0;
+    profiler_calls = 0;
+    retries = 0;
+    crashes = 0;
+    timeouts = 0;
+    quorum_failures = 0;
+    stalls_absorbed = 0;
+    corruptions = 0;
+    workers_replenished = 0;
     wall_seconds = 0.0;
     phase_log = [];
+    quarantine_log = [];
   }
 
 let shared = lazy (create ())
 let default () = Lazy.force shared
 let jobs t = t.n_jobs
+let faults t = t.faults
+let policy t = t.policy
 let cache_size t = Hashtbl.length t.cache
 
 let stats t =
@@ -110,6 +274,16 @@ let stats t =
     submitted = t.submitted;
     executed = t.executed;
     cache_hits = t.cache_hits;
+    completed = t.completed;
+    quarantined = t.quarantined_slots;
+    profiler_calls = t.profiler_calls;
+    retries = t.retries;
+    crashes = t.crashes;
+    timeouts = t.timeouts;
+    quorum_failures = t.quorum_failures;
+    stalls_absorbed = t.stalls_absorbed;
+    corruptions = t.corruptions;
+    workers_replenished = t.workers_replenished;
     wall_seconds = t.wall_seconds;
   }
 
@@ -127,9 +301,43 @@ let worker_stats t =
         busy_seconds = seconds_of_ns t.worker_busy_ns.(w);
       })
 
-let execute (j : job) = Harness.Profiler.profile j.env j.uarch j.block
+let quarantines t = List.rev t.quarantine_log
 
-let run_batch t (submission : job list) : outcome array =
+let write_quarantine_manifest t path =
+  let qs = quarantines t in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun q ->
+          Out_channel.output_string oc
+            (Telemetry.Json.to_string ~compact:true (quarantine_json q));
+          Out_channel.output_char oc '\n')
+        qs);
+  List.length qs
+
+(* The raised-out-of-a-domain representation of a simulated worker
+   crash; it never escapes run_batch. *)
+exception
+  Worker_crashed of { unique : int; attempt : int; worker : int }
+
+(* Structural majority vote: the first value whose marshalled
+   representation reaches a strict majority of the trials. *)
+let majority trials votes =
+  match votes with
+  | [ v ] when trials = 1 -> Some v
+  | vs ->
+    let keyed =
+      List.map (fun v -> (Digest.string (Marshal.to_string v []), v)) vs
+    in
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (k, _) ->
+        Hashtbl.replace tbl k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      keyed;
+    List.find_opt (fun (k, _) -> 2 * Hashtbl.find tbl k > trials) keyed
+    |> Option.map snd
+
+let run_batch t (submission : job list) : batch =
   let t0 = Unix.gettimeofday () in
   let batch_start_ns = Telemetry.Trace.now_ns () in
   let submission = Array.of_list submission in
@@ -137,6 +345,17 @@ let run_batch t (submission : job list) : outcome array =
   let results : outcome option array = Array.make n None in
   let m_ref = ref 0 in
   let batch_hits = ref 0 in
+  let fresh_quarantines = ref [] in
+  (* batch-local fault/retry accounting; folded into [t] after the pool
+     drains (workers may not touch [t]'s mutable fields directly) *)
+  let a_profiler_calls = Atomic.make 0 in
+  let a_retries = Atomic.make 0 in
+  let a_crashes = Atomic.make 0 in
+  let a_timeouts = Atomic.make 0 in
+  let a_quorum_failures = Atomic.make 0 in
+  let a_stalls = Atomic.make 0 in
+  let a_corruptions = Atomic.make 0 in
+  let a_replenished = Atomic.make 0 in
   let body () =
     let batch_span = Telemetry.Trace.current_span () in
     (* Resolve against the cache and deduplicate within the batch. The
@@ -177,64 +396,284 @@ let run_batch t (submission : job list) : outcome array =
     let m = Array.length worklist in
     m_ref := m;
     let out : outcome option array = Array.make m None in
-    let completed = Atomic.make 0 in
-    let run_one ~worker u =
-      let fp, i = worklist.(u) in
+    (* per-unique attempt history (reverse order); owned by whichever
+       worker currently holds the job — ownership transfers through the
+       queue mutex or a Domain.join, both synchronisation points *)
+    let logs : attempt_record list ref array =
+      Array.init m (fun _ -> ref [])
+    in
+    let queue : (int * int) Queue.t = Queue.create () in
+    let queue_lock = Mutex.create () in
+    Array.iteri (fun u _ -> Queue.add (u, 0) queue) worklist;
+    let pop () =
+      Mutex.lock queue_lock;
+      let item = Queue.take_opt queue in
+      Mutex.unlock queue_lock;
+      item
+    in
+    let push item =
+      Mutex.lock queue_lock;
+      Queue.add item queue;
+      Mutex.unlock queue_lock
+    in
+    let resolved = Atomic.make 0 in
+    let mark_resolved () =
+      let d = 1 + Atomic.fetch_and_add resolved 1 in
+      match t.progress with
+      | None -> ()
+      | Some hook ->
+        Mutex.lock t.lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.lock)
+          (fun () -> hook ~done_:d ~total:m)
+    in
+    let mk_quarantine u =
+      let fp, slot = worklist.(u) in
+      let j = submission.(slot) in
+      {
+        q_fingerprint = Digest.to_hex fp;
+        q_uarch = j.uarch.short;
+        q_block_insts = List.length j.block;
+        q_attempts = List.rev !(logs.(u));
+      }
+    in
+    let finalize_quarantine u =
+      let q = mk_quarantine u in
+      out.(u) <- Some (Error (Quarantined q));
+      Telemetry.Metrics.incr m_quarantined;
+      if traced then
+        Telemetry.Trace.instant "engine.quarantine" ~attrs:(fun () ->
+            [
+              ("fingerprint", Telemetry.Trace.Str q.q_fingerprint);
+              ("attempts", Telemetry.Trace.Int (List.length q.q_attempts));
+            ]);
+      mark_resolved ()
+    in
+    (* One real profiler invocation, with span + utilization accounting. *)
+    let execute_profiler ~worker ~attempt fp (j : job) :
+        (Harness.Profiler.profile, Harness.Profiler.failure) result =
       let start_ns = Telemetry.Trace.now_ns () in
+      let result = ref None in
+      let run () = result := Some (Harness.Profiler.profile j.env j.uarch j.block) in
       (if Telemetry.Trace.enabled () then
          Telemetry.Trace.span "engine.execute" ~parent:batch_span
            ~attrs:(fun () ->
              [
                ("worker", Telemetry.Trace.Int worker);
+               ("attempt", Telemetry.Trace.Int attempt);
                ( "queue_wait_us",
                  Telemetry.Trace.Float
                    (Int64.to_float (Int64.sub start_ns batch_start_ns)
                    /. 1e3) );
                ("fingerprint", Telemetry.Trace.Str (Digest.to_hex fp));
              ])
-           (fun () -> out.(u) <- Some (execute submission.(i)))
-       else out.(u) <- Some (execute submission.(i)));
+           run
+       else run ());
       let busy = Int64.sub (Telemetry.Trace.now_ns ()) start_ns in
       t.worker_busy_ns.(worker) <- Int64.add t.worker_busy_ns.(worker) busy;
       t.worker_jobs.(worker) <- t.worker_jobs.(worker) + 1;
+      Atomic.incr a_profiler_calls;
+      Telemetry.Metrics.incr m_profiler_calls;
       Telemetry.Metrics.observe h_job_seconds (seconds_of_ns busy);
-      match t.progress with
-      | None -> ()
-      | Some hook ->
-        let d = 1 + Atomic.fetch_and_add completed 1 in
-        Mutex.lock t.lock;
-        Fun.protect
-          ~finally:(fun () -> Mutex.unlock t.lock)
-          (fun () -> hook ~done_:d ~total:m)
+      Option.get !result
     in
-    let workers = min t.n_jobs m in
-    if workers <= 1 then
-      for u = 0 to m - 1 do
-        run_one ~worker:0 u
-      done
-    else begin
-      let next = Atomic.make 0 in
-      let worker_loop w () =
-        let rec loop () =
-          let u = Atomic.fetch_and_add next 1 in
-          if u < m then begin
-            run_one ~worker:w u;
-            loop ()
+    (* Run the attempts of unique job [u] starting at [attempt0].
+       Timeouts and failed quorum rounds retry in place; a crash
+       escapes as Worker_crashed (the domain dies). *)
+    let run_attempts ~worker u attempt0 =
+      let fp, slot = worklist.(u) in
+      let fp_hex = Digest.to_hex fp in
+      let j = submission.(slot) in
+      let trials = t.policy.quorum in
+      let record ~attempt ~verdict ~faults_rev ~sim_ms ~backoff_ms =
+        logs.(u) :=
+          {
+            att_number = attempt;
+            att_verdict = verdict;
+            att_faults = List.rev faults_rev;
+            att_sim_ms = sim_ms;
+            att_backoff_ms = backoff_ms;
+          }
+          :: !(logs.(u))
+      in
+      let fault_instant attempt fault =
+        if traced then
+          Telemetry.Trace.instant "engine.fault" ~attrs:(fun () ->
+              [
+                ("kind", Telemetry.Trace.Str (Faultsim.fault_to_string fault));
+                ("fingerprint", Telemetry.Trace.Str fp_hex);
+                ("attempt", Telemetry.Trace.Int attempt);
+              ])
+      in
+      let rec go attempt =
+        let sim_ms = ref 0 in
+        let faults_seen = ref [] in
+        let base = ref None in
+        let get_base () =
+          match !base with
+          | Some r -> r
+          | None ->
+            let r = execute_profiler ~worker ~attempt fp j in
+            base := Some r;
+            r
+        in
+        let corrupt_vote salt =
+          match get_base () with
+          | Ok p ->
+            Ok
+              {
+                p with
+                Harness.Profiler.throughput =
+                  Faultsim.corrupt_throughput ~salt p.Harness.Profiler.throughput;
+              }
+          | Error _ as e -> e
+        in
+        let rec run_trials trial votes =
+          if trial >= trials then `Votes (List.rev votes)
+          else begin
+            match
+              Faultsim.draw t.faults ~fingerprint:fp_hex ~attempt ~trial
+            with
+            | Some Faultsim.Crash as f ->
+              faults_seen := "crash" :: !faults_seen;
+              fault_instant attempt (Option.get f);
+              `Crash
+            | Some (Faultsim.Stall ms) as f ->
+              fault_instant attempt (Option.get f);
+              sim_ms := !sim_ms + ms;
+              if !sim_ms > t.policy.deadline_ms then begin
+                faults_seen := Printf.sprintf "stall:%dms" ms :: !faults_seen;
+                `Timeout
+              end
+              else begin
+                faults_seen :=
+                  Printf.sprintf "stall:%dms(absorbed)" ms :: !faults_seen;
+                Atomic.incr a_stalls;
+                Telemetry.Metrics.incr m_stalls_absorbed;
+                incr sim_ms;
+                run_trials (trial + 1) (get_base () :: votes)
+              end
+            | Some (Faultsim.Corrupt salt) as f ->
+              fault_instant attempt (Option.get f);
+              faults_seen := "corrupt" :: !faults_seen;
+              Atomic.incr a_corruptions;
+              Telemetry.Metrics.incr m_corruptions;
+              incr sim_ms;
+              run_trials (trial + 1) (corrupt_vote salt :: votes)
+            | None ->
+              incr sim_ms;
+              run_trials (trial + 1) (get_base () :: votes)
           end
         in
-        loop ()
+        let retry_or_quarantine () =
+          if attempt < t.policy.max_retries then begin
+            Atomic.incr a_retries;
+            Telemetry.Metrics.incr m_retries;
+            go (attempt + 1)
+          end
+          else finalize_quarantine u
+        in
+        let next_backoff () =
+          if attempt < t.policy.max_retries then backoff_of t.policy attempt
+          else 0
+        in
+        match run_trials 0 [] with
+        | `Crash ->
+          Atomic.incr a_crashes;
+          Telemetry.Metrics.incr m_crashes;
+          record ~attempt ~verdict:"crash" ~faults_rev:!faults_seen
+            ~sim_ms:!sim_ms ~backoff_ms:(next_backoff ());
+          raise (Worker_crashed { unique = u; attempt; worker })
+        | `Timeout ->
+          Atomic.incr a_timeouts;
+          Telemetry.Metrics.incr m_timeouts;
+          record ~attempt ~verdict:"timeout" ~faults_rev:!faults_seen
+            ~sim_ms:!sim_ms ~backoff_ms:(next_backoff ());
+          retry_or_quarantine ()
+        | `Votes votes -> (
+          match majority trials votes with
+          | Some v ->
+            record ~attempt ~verdict:"ok" ~faults_rev:!faults_seen
+              ~sim_ms:!sim_ms ~backoff_ms:0;
+            out.(u) <-
+              Some
+                (match v with
+                | Ok p -> Ok p
+                | Error f -> Error (Profiler_failure f));
+            mark_resolved ()
+          | None ->
+            Atomic.incr a_quorum_failures;
+            Telemetry.Metrics.incr m_quorum_failures;
+            record ~attempt ~verdict:"no_quorum" ~faults_rev:!faults_seen
+              ~sim_ms:!sim_ms ~backoff_ms:(next_backoff ());
+            retry_or_quarantine ())
       in
-      let pool =
-        List.init (workers - 1) (fun k -> Domain.spawn (worker_loop (k + 1)))
+      go attempt0
+    in
+    let worker_loop w () =
+      let rec loop () =
+        match pop () with
+        | None -> ()
+        | Some (u, attempt) ->
+          run_attempts ~worker:w u attempt;
+          loop ()
       in
-      worker_loop 0 ();
-      List.iter Domain.join pool
+      loop ()
+    in
+    (* The supervisor's half of crash recovery: requeue or quarantine
+       the in-flight job, count the replacement. *)
+    let recover ~unique ~attempt =
+      Atomic.incr a_replenished;
+      Telemetry.Metrics.incr m_replenished;
+      if attempt < t.policy.max_retries then begin
+        Atomic.incr a_retries;
+        Telemetry.Metrics.incr m_retries;
+        push (unique, attempt + 1)
+      end
+      else finalize_quarantine unique
+    in
+    let workers = min t.n_jobs m in
+    if workers <= 1 then begin
+      (* Sequential path: the single worker slot "dies" on a crash and
+         is immediately re-occupied; the queue discipline is the same
+         as the parallel path. *)
+      let rec drain () =
+        match pop () with
+        | None -> ()
+        | Some (u, attempt) ->
+          (try run_attempts ~worker:0 u attempt
+           with Worker_crashed { unique; attempt; _ } ->
+             recover ~unique ~attempt);
+          drain ()
+      in
+      drain ()
+    end
+    else begin
+      let rec supervise pool =
+        match pool with
+        | [] -> ()
+        | (w, d) :: rest -> (
+          match Domain.join d with
+          | () -> supervise rest
+          | exception Worker_crashed { unique; attempt; worker } ->
+            recover ~unique ~attempt;
+            (* replenish the pool on the same worker slot; the
+               replacement sees any requeued job before exiting *)
+            let d' = Domain.spawn (worker_loop worker) in
+            supervise (rest @ [ (w, d') ]))
+      in
+      supervise
+        (List.init workers (fun k -> (k, Domain.spawn (worker_loop k))))
     end;
     (* Commit to the cache and expand into submission order. *)
     Array.iteri
       (fun u (fp, _) ->
         let r = Option.get out.(u) in
         Hashtbl.replace t.cache fp r;
+        (match r with
+        | Error (Quarantined q) ->
+          fresh_quarantines := q :: !fresh_quarantines
+        | _ -> ());
         List.iter (fun i -> results.(i) <- Some r) !(Hashtbl.find claims fp))
       worklist
   in
@@ -246,21 +685,44 @@ let run_batch t (submission : job list) : outcome array =
           ("executed", Telemetry.Trace.Int !m_ref);
           ("cache_hits", Telemetry.Trace.Int !batch_hits);
           ("workers", Telemetry.Trace.Int (min t.n_jobs !m_ref));
+          ("retries", Telemetry.Trace.Int (Atomic.get a_retries));
+          ("quarantined", Telemetry.Trace.Int (List.length !fresh_quarantines));
         ])
       body
   else body ();
+  let outcomes = Array.map Option.get results in
+  let quarantined = List.rev !fresh_quarantines in
+  (* Slot-level accounting: every submitted slot is either completed or
+     quarantined; nothing is ever lost. *)
+  let q_slots =
+    Array.fold_left
+      (fun acc -> function Error (Quarantined _) -> acc + 1 | _ -> acc)
+      0 outcomes
+  in
   t.submitted <- t.submitted + n;
   t.executed <- t.executed + !m_ref;
   t.cache_hits <- t.cache_hits + !batch_hits;
+  t.completed <- t.completed + (n - q_slots);
+  t.quarantined_slots <- t.quarantined_slots + q_slots;
+  t.profiler_calls <- t.profiler_calls + Atomic.get a_profiler_calls;
+  t.retries <- t.retries + Atomic.get a_retries;
+  t.crashes <- t.crashes + Atomic.get a_crashes;
+  t.timeouts <- t.timeouts + Atomic.get a_timeouts;
+  t.quorum_failures <- t.quorum_failures + Atomic.get a_quorum_failures;
+  t.stalls_absorbed <- t.stalls_absorbed + Atomic.get a_stalls;
+  t.corruptions <- t.corruptions + Atomic.get a_corruptions;
+  t.workers_replenished <- t.workers_replenished + Atomic.get a_replenished;
+  t.quarantine_log <- List.rev_append quarantined t.quarantine_log;
   Telemetry.Metrics.add m_submitted n;
   Telemetry.Metrics.add m_executed !m_ref;
   Telemetry.Metrics.add m_cache_hits !batch_hits;
   let batch_seconds = Unix.gettimeofday () -. t0 in
   Telemetry.Metrics.observe h_batch_seconds batch_seconds;
   t.wall_seconds <- t.wall_seconds +. batch_seconds;
-  Array.map Option.get results
+  { outcomes; quarantined }
 
-let profile t env uarch block = (run_batch t [ { env; uarch; block } ]).(0)
+let profile t env uarch block =
+  (run_batch t [ { env; uarch; block } ]).outcomes.(0)
 
 let phase t name f =
   let before = stats t in
@@ -274,6 +736,8 @@ let phase t name f =
         phase_submitted = after.submitted - before.submitted;
         phase_executed = after.executed - before.executed;
         phase_cache_hits = after.cache_hits - before.cache_hits;
+        phase_retries = after.retries - before.retries;
+        phase_quarantined = after.quarantined - before.quarantined;
       }
       :: t.phase_log
   in
@@ -284,6 +748,7 @@ let phases t = List.rev t.phase_log
 let summary_json t =
   let open Telemetry in
   let s = stats t in
+  let num i = Json.Number (float_of_int i) in
   let phase_json p =
     let rate =
       if p.phase_submitted = 0 then 0.0
@@ -293,11 +758,13 @@ let summary_json t =
       [
         ("section", Json.String p.phase_name);
         ("wall_seconds", Json.Number p.phase_wall_seconds);
-        ("jobs", Json.Number (float_of_int t.n_jobs));
-        ("submitted", Json.Number (float_of_int p.phase_submitted));
-        ("executed", Json.Number (float_of_int p.phase_executed));
-        ("cache_hits", Json.Number (float_of_int p.phase_cache_hits));
+        ("jobs", num t.n_jobs);
+        ("submitted", num p.phase_submitted);
+        ("executed", num p.phase_executed);
+        ("cache_hits", num p.phase_cache_hits);
         ("cache_hit_rate", Json.Number rate);
+        ("retries", num p.phase_retries);
+        ("quarantined", num p.phase_quarantined);
       ]
   in
   let worker_json (w : worker_stat) =
@@ -306,20 +773,48 @@ let summary_json t =
     in
     Json.Object
       [
-        ("worker", Json.Number (float_of_int w.worker_id));
-        ("jobs_run", Json.Number (float_of_int w.jobs_run));
+        ("worker", num w.worker_id);
+        ("jobs_run", num w.jobs_run);
         ("busy_seconds", Json.Number w.busy_seconds);
         ("utilization", Json.Number utilization);
       ]
   in
+  let fault_json =
+    Json.Object
+      [
+        ( "config",
+          Json.String
+            (if Faultsim.is_none t.faults then "none"
+             else Faultsim.to_string t.faults) );
+        ("max_retries", num t.policy.max_retries);
+        ("deadline_ms", num t.policy.deadline_ms);
+        ("backoff_ms", num t.policy.backoff_ms);
+        ("quorum", num t.policy.quorum);
+        ("profiler_calls", num s.profiler_calls);
+        ("retries", num s.retries);
+        ("crashes", num s.crashes);
+        ("timeouts", num s.timeouts);
+        ("quorum_failures", num s.quorum_failures);
+        ("stalls_absorbed", num s.stalls_absorbed);
+        ("corruptions", num s.corruptions);
+        ("workers_replenished", num s.workers_replenished);
+        ("quarantined_jobs", num (List.length t.quarantine_log));
+        ("quarantined_slots", num s.quarantined);
+        ("completed_slots", num s.completed);
+        ("lost", num (lost s));
+      ]
+  in
   Json.Object
     [
-      ("jobs", Json.Number (float_of_int t.n_jobs));
-      ("submitted", Json.Number (float_of_int s.submitted));
-      ("executed", Json.Number (float_of_int s.executed));
-      ("cache_hits", Json.Number (float_of_int s.cache_hits));
+      ("jobs", num t.n_jobs);
+      ("submitted", num s.submitted);
+      ("executed", num s.executed);
+      ("cache_hits", num s.cache_hits);
       ("cache_hit_rate", Json.Number (hit_rate s));
+      ("completed", num s.completed);
+      ("quarantined", num s.quarantined);
       ("engine_wall_seconds", Json.Number s.wall_seconds);
+      ("faults", fault_json);
       ("workers", Json.List (List.map worker_json (worker_stats t)));
       ("sections", Json.List (List.map phase_json (phases t)));
     ]

@@ -1,27 +1,36 @@
-(** The measurement engine: a shared, deterministic scheduling layer
+(** The measurement engine: a shared, {e supervising} scheduling layer
     between the experiment drivers (dataset construction, ablations,
     validation, benchmarks, CLIs) and {!Harness.Profiler.profile}.
 
-    Every experiment used to drive the profiler through its own
-    sequential [List.map] loop; the engine replaces those loops with
-    batch submission. It provides
+    Beyond batching, memoisation and the OCaml 5 domain pool (PR 1),
+    the engine now assumes the substrate is hostile: a profiling
+    attempt may crash the worker domain that runs it, stall past its
+    simulated deadline, or return a corrupted timing
+    (see {!Faultsim}). The engine detects, retries, quarantines and
+    reports around those faults:
 
-    - a {e job} abstraction: one (environment, microarchitecture,
-      block) measurement request;
-    - a worker pool of OCaml 5 domains, sized by the [BHIVE_JOBS]
-      environment variable (default
-      [Domain.recommended_domain_count ()]), with a zero-overhead
-      sequential path when the pool size is 1;
-    - a content-addressed memo cache keyed on the job fingerprint —
-      legal because [Profiler.profile] is documented deterministic in
-      (env, uarch, block) — so identical jobs submitted by different
-      experiment sections are profiled exactly once;
-    - progress and metrics hooks (jobs done, cache hits, wall time per
-      named phase).
+    - {b per-job deadlines with bounded retry}: each failed attempt is
+      retried after a deterministic exponential backoff (simulated
+      milliseconds — no wall time passes) up to [max_retries] times;
+    - {b worker-domain crash recovery}: a crash kills the domain; the
+      supervisor resubmits the in-flight job and replenishes the pool
+      with a replacement domain on the same worker slot;
+    - {b quorum mode} ([quorum : n > 1]): every attempt re-measures the
+      job in [n] independently perturbed trials and accepts only a
+      strict-majority value — the paper's min-clean-timings filter,
+      lifted one level up, which is what outvotes corrupted timings;
+    - {b graceful degradation}: a batch {e never} raises out of
+      {!run_batch}. Jobs that exhaust their retry budget land in a
+      structured quarantine manifest and the batch returns partial
+      results plus that manifest. Every submitted job is accounted
+      for: completed + quarantined = submitted, always.
 
-    {b Determinism.} Results are aggregated in submission order, so a
-    batch's output is byte-identical to the historical sequential code
-    regardless of worker count or scheduling order. *)
+    {b Determinism.} Fault decisions are pure functions of
+    (fingerprint, attempt, trial) — never of scheduling — and the
+    profiler is deterministic per job, so batch output is byte-identical
+    for {e any} worker count and {e any} fault seed, as long as every
+    job resolves within its retry budget ("recoverable" rates). With
+    faults disabled the engine behaves exactly like the PR 1 engine. *)
 
 (** One measurement request. *)
 type job = {
@@ -29,8 +38,6 @@ type job = {
   uarch : Uarch.Descriptor.t;
   block : X86.Inst.t list;
 }
-
-type outcome = (Harness.Profiler.profile, Harness.Profiler.failure) result
 
 (** Content fingerprint of a measurement environment (MD5 of its
     marshalled representation; the environment is immutable data). *)
@@ -41,30 +48,122 @@ val env_fingerprint : Harness.Environment.t -> string
     Microarchitectures form a closed set keyed by [short]. *)
 val fingerprint : job -> string
 
-(** Cumulative engine counters. [submitted] is every job ever handed
-    to the engine; [executed] is how many reached the profiler;
+(** {1 Retry policy} *)
+
+type policy = {
+  max_retries : int;  (** retries after the first attempt (default 4) *)
+  deadline_ms : int;
+      (** simulated per-attempt deadline; a stall that pushes the
+          attempt past it fails the attempt (default 100) *)
+  backoff_ms : int;
+      (** base backoff before retry [k] is [backoff_ms * 2^k] simulated
+          ms (default 10) *)
+  quorum : int;
+      (** trials per attempt; [1] disables voting (default 1) *)
+}
+
+val default_policy : policy
+
+(** Process-default policy overrides (set by the [--max-retries] /
+    [--quorum] CLI flags before the first engine is created). Values
+    are clamped: [max_retries >= 0], [quorum >= 1]. *)
+val set_default_policy :
+  ?max_retries:int -> ?deadline_ms:int -> ?backoff_ms:int -> ?quorum:int ->
+  unit -> unit
+
+(** {1 Outcomes and quarantine} *)
+
+(** One attempt of one job, as recorded in the quarantine manifest and
+    the engine's telemetry. *)
+type attempt_record = {
+  att_number : int;  (** 0-based *)
+  att_verdict : string;  (** ["ok"], ["crash"], ["timeout"] or ["no_quorum"] *)
+  att_faults : string list;  (** injected faults, in trial order *)
+  att_sim_ms : int;  (** simulated elapsed ms of the attempt *)
+  att_backoff_ms : int;  (** backoff before the next attempt; 0 if none *)
+}
+
+(** A job that exhausted its retry budget. *)
+type quarantine = {
+  q_fingerprint : string;  (** hex job fingerprint *)
+  q_uarch : string;
+  q_block_insts : int;
+  q_attempts : attempt_record list;  (** in attempt order *)
+}
+
+(** Why a job has no measurement. *)
+type error =
+  | Profiler_failure of Harness.Profiler.failure
+      (** the profiler ran and failed (mapping failure etc.) *)
+  | Quarantined of quarantine
+      (** the measurement substrate never produced a trustworthy
+          result within the retry budget *)
+
+val error_to_string : ?fingerprint:string -> error -> string
+
+type outcome = (Harness.Profiler.profile, error) result
+
+(** JSONL-ready rendering of one quarantine record — one line of the
+    [failures.jsonl] manifest. *)
+val quarantine_json : quarantine -> Telemetry.Json.t
+
+(** The result of one batch: outcomes in submission order (every slot
+    filled — quarantined slots carry [Error (Quarantined _)]) plus the
+    batch's freshly quarantined jobs in worklist order. *)
+type batch = { outcomes : outcome array; quarantined : quarantine list }
+
+(** {1 Counters} *)
+
+(** Cumulative engine counters. [submitted] is every job ever handed to
+    the engine; [executed] is how many {e unique fresh} jobs the engine
+    resolved by running (measured or quarantined);
     [cache_hits = submitted - executed] counts memoised results
-    (including duplicates within a single batch). *)
+    (including duplicates within a single batch). The accounting
+    identity [completed + quarantined = submitted] always holds —
+    {!lost} is 0 unless the engine itself is broken. *)
 type stats = {
   submitted : int;
   executed : int;
   cache_hits : int;
+  completed : int;  (** slots resolved with a measured outcome *)
+  quarantined : int;  (** slots resolved by quarantine *)
+  profiler_calls : int;  (** actual {!Harness.Profiler.profile} invocations *)
+  retries : int;  (** attempts beyond each job's first *)
+  crashes : int;  (** worker-domain deaths *)
+  timeouts : int;  (** attempts failed on the simulated deadline *)
+  quorum_failures : int;  (** attempts with no majority value *)
+  stalls_absorbed : int;  (** stalls that fit inside the deadline *)
+  corruptions : int;  (** corrupted trials injected *)
+  workers_replenished : int;  (** replacement domains spawned *)
   wall_seconds : float;  (** total wall time spent inside [run_batch] *)
 }
 
+(** [submitted - completed - quarantined]; 0 for a healthy engine. *)
+val lost : stats -> int
+
 type t
 
-(** [create ?jobs ?progress ()] makes a fresh engine. [jobs] defaults
-    to [$BHIVE_JOBS], falling back to
-    [Domain.recommended_domain_count ()]; values are clamped to at
-    least 1. [progress] is invoked (under a lock, from worker domains)
-    after each executed job of a batch. *)
-val create : ?jobs:int -> ?progress:(done_:int -> total:int -> unit) -> unit -> t
+(** [create ?jobs ?progress ?faults ?max_retries ?deadline_ms
+    ?backoff_ms ?quorum ()] makes a fresh engine. [jobs] defaults to
+    [$BHIVE_JOBS], falling back to [Domain.recommended_domain_count ()];
+    values are clamped to at least 1. [progress] is invoked (under a
+    lock) once per resolved unique job. [faults] defaults to
+    {!Faultsim.default} (i.e. [$BHIVE_FAULTS] unless overridden); the
+    policy fields default to {!set_default_policy}'s current values. *)
+val create :
+  ?jobs:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?faults:Faultsim.config ->
+  ?max_retries:int ->
+  ?deadline_ms:int ->
+  ?backoff_ms:int ->
+  ?quorum:int ->
+  unit -> t
 
 (** The shared process-wide engine (created on first use from
-    [BHIVE_JOBS]). Drivers that are not handed an explicit engine use
-    this one, so independent experiment sections share its memo
-    cache. *)
+    [BHIVE_JOBS] / [BHIVE_FAULTS] / the default-policy overrides).
+    Drivers that are not handed an explicit engine use this one, so
+    independent experiment sections share its memo cache. *)
 val default : unit -> t
 
 (** Worker-pool size resolved from [$BHIVE_JOBS] (what [create]
@@ -72,6 +171,8 @@ val default : unit -> t
 val default_jobs : unit -> int
 
 val jobs : t -> int
+val faults : t -> Faultsim.config
+val policy : t -> policy
 val stats : t -> stats
 val cache_size : t -> int
 
@@ -79,15 +180,26 @@ val cache_size : t -> int
     submitted. *)
 val hit_rate : stats -> float
 
-(** [run_batch t jobs] profiles every job and returns the outcomes in
-    submission order. Jobs whose fingerprint is already cached (or
-    duplicated within the batch) are not re-executed. *)
-val run_batch : t -> job list -> outcome array
+(** [run_batch t jobs] resolves every job and returns the outcomes in
+    submission order plus the batch's quarantine manifest. Jobs whose
+    fingerprint is already cached (or duplicated within the batch) are
+    not re-executed; a previously quarantined fingerprint resolves to
+    its cached quarantine. Never raises on injected faults. *)
+val run_batch : t -> job list -> batch
 
 (** [profile t env uarch block] submits a single job — a memoising,
-    scheduling drop-in for {!Harness.Profiler.profile}. *)
+    supervised drop-in for {!Harness.Profiler.profile}. *)
 val profile :
   t -> Harness.Environment.t -> Uarch.Descriptor.t -> X86.Inst.t list -> outcome
+
+(** Every job quarantined over the engine's lifetime, in order of
+    occurrence. *)
+val quarantines : t -> quarantine list
+
+(** Write the lifetime quarantine manifest as JSONL (one
+    {!quarantine_json} object per line — the [failures.jsonl] format);
+    returns the number of records written. *)
+val write_quarantine_manifest : t -> string -> int
 
 (** [phase t name f] runs [f ()] and records its wall time (and the
     engine counter deltas it caused) under [name]. *)
@@ -100,6 +212,8 @@ type phase_metrics = {
   phase_submitted : int;
   phase_executed : int;
   phase_cache_hits : int;
+  phase_retries : int;
+  phase_quarantined : int;
 }
 
 val phases : t -> phase_metrics list
@@ -107,14 +221,15 @@ val phases : t -> phase_metrics list
 (** Per-worker execution accounting, tracked unconditionally (two
     monotonic clock reads per executed job): how many jobs each pool
     slot ran and for how long. Utilization is
-    [busy_seconds / wall_seconds]. *)
+    [busy_seconds / wall_seconds]. A replenished worker keeps its
+    slot, so a slot's totals span every domain that occupied it. *)
 type worker_stat = { worker_id : int; jobs_run : int; busy_seconds : float }
 
 val worker_stats : t -> worker_stat list
 
-(** The machine-readable engine report: cumulative counters, per-worker
-    utilization, and per-phase sections — the object
-    [bench/main.ml] extends into [bench_summary.json]. *)
+(** The machine-readable engine report: cumulative counters, fault and
+    retry statistics, per-worker utilization, and per-phase sections —
+    the object [bench/main.ml] extends into [bench_summary.json]. *)
 val summary_json : t -> Telemetry.Json.t
 
 (** [Telemetry.Json.to_string (summary_json t)]. *)

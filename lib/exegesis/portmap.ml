@@ -54,16 +54,25 @@ let baseline_block (combo : Uarch.Port.set) : Inst.t list =
 
 let env = { Harness.Environment.default with unroll = Harness.Environment.Naive 100 }
 
-let throughput uarch block =
-  match Harness.Profiler.profile env uarch block with
-  | Ok p -> Some p.throughput
-  | Error _ -> None
+let throughput ?engine uarch block =
+  match engine with
+  | Some e -> (
+    match Engine.profile e env uarch block with
+    | Ok p -> Some p.Harness.Profiler.throughput
+    | Error _ -> None)
+  | None -> (
+    match Harness.Profiler.profile env uarch block with
+    | Ok p -> Some p.throughput
+    | Error _ -> None)
 
 (** Measured slowdown caused by adding the target to a saturated
     combination. *)
-let pressure_delta (uarch : Uarch.Descriptor.t) (target : Inst.t)
+let pressure_delta ?engine (uarch : Uarch.Descriptor.t) (target : Inst.t)
     (combo : Uarch.Port.set) : float option =
-  match (throughput uarch (probe_block target combo), throughput uarch (baseline_block combo)) with
+  match
+    ( throughput ?engine uarch (probe_block target combo),
+      throughput ?engine uarch (baseline_block combo) )
+  with
   | Some combined, Some baseline -> Some (combined -. baseline)
   | _ -> None
 
@@ -71,7 +80,7 @@ let pressure_delta (uarch : Uarch.Descriptor.t) (target : Inst.t)
     smallest candidate set whose saturation the target cannot escape.
     [None] when no candidate confines it (its ports lie outside the
     supported blockers, e.g. memory ports). *)
-let infer (uarch : Uarch.Descriptor.t) (target : Inst.t) :
+let infer ?engine (uarch : Uarch.Descriptor.t) (target : Inst.t) :
     Uarch.Port.set option =
   let confined =
     List.filter
@@ -79,7 +88,7 @@ let infer (uarch : Uarch.Descriptor.t) (target : Inst.t) :
         (* a confined micro-op adds 1 cycle spread over the combo's
            ports; an escaping one adds (nearly) nothing *)
         let threshold = 0.8 /. float_of_int (Uarch.Port.cardinal combo) in
-        match pressure_delta uarch target combo with
+        match pressure_delta ?engine uarch target combo with
         | Some delta -> delta >= threshold
         | None -> false)
       candidate_combos
@@ -107,11 +116,15 @@ let expected_ports (uarch : Uarch.Descriptor.t) (target : Inst.t) =
       if u.kind = Uarch.Uop.Exec then Some u.ports else None)
     d.uops
 
-let survey (uarch : Uarch.Descriptor.t) (targets : (string * Inst.t) list) :
-    entry list =
+let survey ?engine (uarch : Uarch.Descriptor.t)
+    (targets : (string * Inst.t) list) : entry list =
   List.map
     (fun (name, target) ->
-      { name; inferred = infer uarch target; expected = expected_ports uarch target })
+      {
+        name;
+        inferred = infer ?engine uarch target;
+        expected = expected_ports uarch target;
+      })
     targets
 
 (* Targets use non-accumulating (AVX three-operand) forms where they

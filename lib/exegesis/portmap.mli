@@ -12,13 +12,17 @@ val blocker_for_port : int -> int -> X86.Inst.t
 val supported_ports : int list
 
 (** Measured slowdown from adding the target to a saturated combination;
-    [None] when either measurement fails. *)
+    [None] when either measurement fails. [?engine] routes the probe
+    measurements through a supervising engine (memoised, fault-tolerant)
+    instead of the bare profiler. *)
 val pressure_delta :
+  ?engine:Engine.t ->
   Uarch.Descriptor.t -> X86.Inst.t -> Uarch.Port.set -> float option
 
 (** Infer the execution-port combination of the target's compute
     micro-op; [None] when no supported candidate set confines it. *)
-val infer : Uarch.Descriptor.t -> X86.Inst.t -> Uarch.Port.set option
+val infer :
+  ?engine:Engine.t -> Uarch.Descriptor.t -> X86.Inst.t -> Uarch.Port.set option
 
 type entry = {
   name : string;
@@ -30,7 +34,9 @@ type entry = {
     (the reference the inference is checked against). *)
 val expected_ports : Uarch.Descriptor.t -> X86.Inst.t -> Uarch.Port.set option
 
-val survey : Uarch.Descriptor.t -> (string * X86.Inst.t) list -> entry list
+val survey :
+  ?engine:Engine.t ->
+  Uarch.Descriptor.t -> (string * X86.Inst.t) list -> entry list
 
 (** Non-accumulating target forms whose port sets the survey infers. *)
 val standard_targets : (string * X86.Inst.t) list

@@ -21,11 +21,17 @@ type failure =
   | Mapping_failed of Mapping.failure
   | Rejected of reject_reason
 
-let failure_to_string = function
-  | Mapping_failed f -> "mapping: " ^ Mapping.failure_to_string f
-  | Rejected Misaligned_access -> "rejected: misaligned access"
-  | Rejected Never_clean -> "rejected: never clean"
-  | Rejected Unstable -> "rejected: unstable timings"
+let failure_to_string ?fingerprint f =
+  let base =
+    match f with
+    | Mapping_failed f -> "mapping: " ^ Mapping.failure_to_string f
+    | Rejected Misaligned_access -> "rejected: misaligned access"
+    | Rejected Never_clean -> "rejected: never clean"
+    | Rejected Unstable -> "rejected: unstable timings"
+  in
+  match fingerprint with
+  | None -> base
+  | Some fp -> Printf.sprintf "%s [job %s]" base fp
 
 (* Telemetry instruments. Counters are always on (an increment is one
    atomic add); spans are emitted only when a BHIVE_TRACE sink is

@@ -14,7 +14,10 @@ type failure =
   | Mapping_failed of Mapping.failure
   | Rejected of reject_reason
 
-val failure_to_string : failure -> string
+(** Render a failure; [?fingerprint] (the engine's hex job fingerprint)
+    is appended as [ [job <hex>] ] so a failure in a log can be matched
+    back to its quarantine-manifest / trace entry. *)
+val failure_to_string : ?fingerprint:string -> failure -> string
 
 (** One timed execution of the unrolled block, with its counters. *)
 type timing = {
@@ -54,5 +57,6 @@ val profile :
   (profile, failure) result
 
 (** The measured throughput when the block was accepted, [None]
-    otherwise. *)
-val accepted_throughput : (profile, failure) result -> float option
+    otherwise. Polymorphic in the error so it applies to both raw
+    profiler results and engine outcomes. *)
+val accepted_throughput : (profile, 'e) result -> float option

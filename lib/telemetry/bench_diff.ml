@@ -36,6 +36,22 @@ type report = { findings : finding list; verdict : verdict }
 
 let num_field name j = Option.bind (Json.member name j) Json.number
 
+let min_schema_version = 2.0
+
+let check_schema j =
+  match num_field "schema_version" j with
+  | None ->
+    Error
+      "summary has no schema_version field (schema v1, before the telemetry \
+       snapshot): schema too old to compare"
+  | Some v when v < min_schema_version ->
+    Error
+      (Printf.sprintf
+         "summary schema version %s is too old to compare (minimum %s)"
+         (Json.number_to_string v)
+         (Json.number_to_string min_schema_version))
+  | Some _ -> Ok ()
+
 (* One comparison: [violated] decides against the limit; findings at or
    below the limit become Info entries so CI logs show what was checked. *)
 let check ~severity ~metric ~baseline ~current ~limit ~violated ~detail acc =
@@ -103,6 +119,25 @@ let compare_summaries ?(thresholds = default_thresholds) ~baseline ~current ()
       }
       :: !acc
   | _ -> ());
+  (* fault accounting (schema v3): a lost job is an absolute invariant
+     violation, and quarantining more jobs than the baseline means the
+     engine's recovery regressed *)
+  let fault_num doc name = Option.bind (Json.path [ "faults"; name ] doc) Json.number in
+  (match fault_num current "lost" with
+  | Some l ->
+    acc :=
+      check ~severity:Regression ~metric:"faults.lost" ~baseline:0.0
+        ~current:l ~limit:0.0 ~violated:(l <> 0.0)
+        ~detail:"jobs lost (completed + quarantined <> submitted)" !acc
+  | None -> ());
+  (match fault_num current "quarantined_jobs" with
+  | Some c ->
+    let b = Option.value (fault_num baseline "quarantined_jobs") ~default:0.0 in
+    acc :=
+      check ~severity:Regression ~metric:"faults.quarantined_jobs" ~baseline:b
+        ~current:c ~limit:b ~violated:(c > b)
+        ~detail:"more quarantined jobs than baseline (recovery regressed)" !acc
+  | None -> ());
   let base_sections = sections baseline in
   let cur_sections = sections current in
   List.iter

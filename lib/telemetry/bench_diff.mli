@@ -21,6 +21,16 @@
     comparisons use strict inequality: a value exactly at its limit
     passes. *)
 
+(** Oldest summary schema the comparison understands (2.0, the first
+    with a telemetry snapshot). Schema v3 added the [faults] object;
+    v2 summaries still compare (the fault checks are skipped). *)
+val min_schema_version : float
+
+(** Reject a summary whose [schema_version] predates
+    {!min_schema_version} — or is absent entirely (schema v1) — with a
+    "schema too old" message suitable for the CLI's exit-2 path. *)
+val check_schema : Json.t -> (unit, string) result
+
 type thresholds = {
   executed_rel : float;  (** relative slack on executed counts *)
   executed_abs : float;  (** absolute slack on executed counts *)

@@ -298,6 +298,67 @@ let test_diff_section_regression_fails () =
   let report = diff (summary ()) (summary ~sections ()) in
   check_verdict "per-section executed regression fails" Bench_diff.Fail report
 
+let test_diff_schema_check () =
+  let versioned v = Json.Object [ ("schema_version", Json.Number v) ] in
+  Alcotest.(check bool) "current schema accepted" true
+    (Result.is_ok (Bench_diff.check_schema (versioned 3.0)));
+  Alcotest.(check bool) "v2 (telemetry era) accepted" true
+    (Result.is_ok (Bench_diff.check_schema (versioned 2.0)));
+  let too_old what doc =
+    match Bench_diff.check_schema doc with
+    | Ok () -> Alcotest.fail (what ^ ": accepted a too-old schema")
+    | Error msg ->
+      let contains needle =
+        let n = String.length needle and h = String.length msg in
+        let rec at i = i + n <= h && (String.sub msg i n = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) (what ^ ": message says too old") true
+        (contains "too old")
+  in
+  (* a v1 summary has no schema_version field at all *)
+  too_old "v1 (field absent)" (summary ());
+  too_old "explicit 1.0" (versioned 1.0)
+
+let with_faults ?(lost = 0.) ?(quarantined = 0.) s =
+  match s with
+  | Json.Object fields ->
+    Json.Object
+      (fields
+      @ [
+          ( "faults",
+            Json.Object
+              [
+                ("lost", Json.Number lost);
+                ("quarantined_jobs", Json.Number quarantined);
+              ] );
+        ])
+  | other -> other
+
+let test_diff_lost_jobs_fail () =
+  let report = diff (summary ()) (with_faults ~lost:1. (summary ())) in
+  check_verdict "a lost job fails regardless of baseline" Bench_diff.Fail
+    report;
+  let report = diff (summary ()) (with_faults (summary ())) in
+  check_verdict "zero lost passes" Bench_diff.Pass report
+
+let test_diff_quarantine_regression () =
+  let report = diff (summary ()) (with_faults ~quarantined:2. (summary ())) in
+  check_verdict "new quarantines vs clean baseline fail" Bench_diff.Fail
+    report;
+  let report =
+    diff
+      (with_faults ~quarantined:2. (summary ()))
+      (with_faults ~quarantined:2. (summary ()))
+  in
+  check_verdict "unchanged quarantine count passes" Bench_diff.Pass report;
+  let report =
+    diff
+      (with_faults ~quarantined:2. (summary ()))
+      (with_faults ~quarantined:1. (summary ()))
+  in
+  check_verdict "fewer quarantines pass" Bench_diff.Pass report
+
 let suite =
   [
     Alcotest.test_case "span nesting and parents" `Quick test_span_nesting;
@@ -332,4 +393,8 @@ let suite =
     Alcotest.test_case "diff: new section" `Quick test_diff_new_section_passes;
     Alcotest.test_case "diff: section regression" `Quick
       test_diff_section_regression_fails;
+    Alcotest.test_case "diff: schema too old" `Quick test_diff_schema_check;
+    Alcotest.test_case "diff: lost jobs fail" `Quick test_diff_lost_jobs_fail;
+    Alcotest.test_case "diff: quarantine regression" `Quick
+      test_diff_quarantine_regression;
   ]

@@ -14,6 +14,16 @@ let fmt = Format.std_formatter
    alongside the run. *)
 let () = Telemetry.Trace.init_from_env ()
 
+(* Fail fast on malformed engine environment (BHIVE_JOBS, BHIVE_FAULTS,
+   BHIVE_STORE) — a bench run that silently ignored its configuration
+   would gate CI on the wrong numbers. *)
+let () =
+  match Engine.validate_env () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("bench: " ^ msg);
+    exit 2
+
 (* One engine for the whole run: every section submits its profiling
    through it, so e.g. the Table V datasets are measured once and the
    case studies afterwards are pure cache hits. *)
@@ -44,11 +54,13 @@ let write_summary path =
     | Some r when String.trim r <> "" -> String.trim r
     | _ -> "unknown"
   in
+  (* schema v4: the engine summary now carries a "store" object with
+     disk-tier hit/miss/invalidation counters *)
   let summary =
     match Engine.summary_json engine with
     | Json.Object fields ->
       Json.Object
-        (("schema_version", Json.Number 3.0)
+        (("schema_version", Json.Number 4.0)
         :: ("scale", Json.Number (float_of_int config.scale))
         :: ("rev", Json.String rev)
         :: (fields @ [ ("telemetry", Metrics.snapshot ()) ]))
@@ -62,6 +74,15 @@ let write_summary path =
     "engine: %d workers, %d jobs submitted, %d executed, %d cache hits (%.1f%%)@."
     (Engine.jobs engine) s.submitted s.executed s.cache_hits
     (100.0 *. Engine.hit_rate s);
+  (match Engine.store engine with
+  | None -> ()
+  | Some store ->
+    Format.fprintf fmt
+      "store (%s): %d hits, %d misses, %d invalidated, %d writes (hit rate %.1f%%), %d entries@."
+      (Store.dir store) s.store_hits s.store_misses s.store_invalidated
+      s.store_writes
+      (100.0 *. Engine.store_hit_rate s)
+      (Store.stats store).Store.s_live);
   if not (Faultsim.is_none (Engine.faults engine)) then
     Format.fprintf fmt
       "faults (%s): %d retries, %d crashes, %d timeouts, %d stalls absorbed, %d workers replenished, %d jobs quarantined@."
@@ -229,8 +250,7 @@ let bench_ablation_unroll () =
           p.throughput p.accepted p.large.counters.l1i_misses
       | Error e ->
         let fingerprint =
-          Digest.to_hex
-            (Engine.fingerprint { Engine.env; uarch = Uarch.All.haswell; block })
+          Engine.fingerprint { Engine.env; uarch = Uarch.All.haswell; block }
         in
         Format.fprintf fmt "  u=%-4d failed: %s@." u
           (Engine.error_to_string ~fingerprint e))

@@ -32,7 +32,7 @@ let describe what j =
     (Option.value ~default:"?" (field "rev"))
 
 let run baseline_path current_path executed_rel executed_abs hit_rate_rel
-    wall_rel wall_abs wall_fails =
+    wall_rel wall_abs wall_fails identical min_store_hit_rate =
   match
     (read_summary "baseline" baseline_path, read_summary "current" current_path)
   with
@@ -69,7 +69,8 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
       }
     in
     let report =
-      Telemetry.Bench_diff.compare_summaries ~thresholds ~baseline ~current ()
+      Telemetry.Bench_diff.compare_summaries ~thresholds
+        ~require_identical:identical ?min_store_hit_rate ~baseline ~current ()
     in
     Telemetry.Bench_diff.pp_report Format.std_formatter report;
     exit (Telemetry.Bench_diff.exit_code report)
@@ -130,10 +131,32 @@ let cmd =
             "Treat wall-time violations as regressions instead of warnings \
              (leave off on shared CI runners).")
   in
+  let identical =
+    Arg.(
+      value & flag
+      & info [ "identical" ]
+          ~doc:
+            "Require the two summaries to be structurally identical after \
+             stripping volatile fields (wall times, utilization, store/cache \
+             traffic, telemetry snapshot). The warm-cache CI gate: a warm \
+             run must reproduce the cold run's experiment output \
+             byte-for-byte.")
+  in
+  let min_store_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-store-hit-rate" ] ~docv:"RATE"
+          ~doc:
+            "Fail unless the current run's store hit rate (schema v4 \
+             $(b,store.hit_rate)) is at least RATE — e.g. 0.95 for the \
+             warm-cache job.")
+  in
   let term =
     Term.(
       const run $ baseline $ current $ executed_rel $ executed_abs
-      $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails)
+      $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails $ identical
+      $ min_store_hit_rate)
   in
   Cmd.v
     (Cmd.info "bhive_bench_diff"

@@ -81,9 +81,7 @@ let run () uarch naive_unroll keep_underflow keep_misaligned with_models schedul
       Printf.printf "counters: %s\n"
         (Format.asprintf "%a" Pipeline.Counters.pp p.large.counters)
     | Error e ->
-      let fingerprint =
-        Digest.to_hex (Engine.fingerprint { Engine.env; uarch; block })
-      in
+      let fingerprint = Engine.fingerprint { Engine.env; uarch; block } in
       Printf.printf "\nprofiling failed: %s\n"
         (Engine.error_to_string ~fingerprint e));
     if schedule then print_ground_truth_schedule uarch block;

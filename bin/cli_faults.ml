@@ -1,7 +1,10 @@
-(* Shared resilience flags for the CLIs: --faults, --max-retries and
-   --quorum. Linked into every executable of this directory; each CLI
-   composes [setup] into its term so the overrides are installed before
-   it creates its engine. *)
+(* Shared resilience flags for the CLIs: --faults, --max-retries,
+   --quorum and --store. Linked into every executable of this
+   directory; each CLI composes [setup] into its term so the overrides
+   are installed before it creates its engine. [setup] also validates
+   every engine-relevant environment variable up front: a malformed
+   BHIVE_JOBS / BHIVE_FAULTS / BHIVE_STORE is a one-line error and
+   exit 2, never a silent fallback. *)
 
 open Cmdliner
 
@@ -40,11 +43,27 @@ let quorum_arg =
            strict majority of trials agree, which outvotes corrupted \
            timings (default 1: no voting).")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent measurement store directory — the engine's disk cache \
+           tier. Measured results are appended to it and warm runs are \
+           served from it without re-profiling. Overrides \\$BHIVE_STORE.")
+
 (* Evaluates before the command body runs, so overrides are in place
    when the CLI creates its engine. *)
 let setup : unit Term.t =
-  let apply faults max_retries quorum =
+  let apply faults max_retries quorum store =
+    (match Engine.validate_env () with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("bhive: " ^ msg);
+      exit 2);
     Option.iter Faultsim.set_default faults;
+    Option.iter Engine.set_default_store store;
     Engine.set_default_policy ?max_retries ?quorum ()
   in
-  Term.(const apply $ faults_arg $ max_retries_arg $ quorum_arg)
+  Term.(const apply $ faults_arg $ max_retries_arg $ quorum_arg $ store_arg)

@@ -30,17 +30,16 @@ type job = {
   block : X86.Inst.t list;
 }
 
-let env_fingerprint (env : Harness.Environment.t) =
-  Digest.string (Marshal.to_string env [])
+(* Stable SHA-256 hex digests (see stable_key.ml). These are the memo
+   keys, the persistent store keys and the faultsim draw seeds — they
+   must not depend on Marshal or Hashtbl.hash, whose bytes change
+   across OCaml releases and word sizes. *)
+let env_fingerprint = Stable_key.env_fingerprint
 
 let fingerprint (j : job) =
-  Digest.string
-    (String.concat "\x00"
-       [
-         env_fingerprint j.env;
-         j.uarch.short;
-         Marshal.to_string j.block [];
-       ])
+  Stable_key.job_fingerprint ~env:j.env ~uarch_short:j.uarch.short j.block
+
+let generation = Stable_key.generation
 
 (* --- retry policy ----------------------------------------------------- *)
 
@@ -77,6 +76,58 @@ let set_default_policy ?max_retries ?deadline_ms ?backoff_ms ?quorum () =
 
 (* backoff before attempt [k+1], simulated ms *)
 let backoff_of p k = p.backoff_ms * (1 lsl min k 20)
+
+(* --- persistent store tier -------------------------------------------- *)
+
+(* Process-default store path: the [--store] CLI flag wins over
+   [BHIVE_STORE]; unset/empty means no disk tier. *)
+let store_override : string option ref = ref None
+let set_default_store path = store_override := Some path
+
+let store_path_from_env () =
+  match Sys.getenv_opt "BHIVE_STORE" with
+  | None -> Ok None
+  | Some s ->
+    let s = String.trim s in
+    if s = "" then Ok None
+    else if Sys.file_exists s && not (Sys.is_directory s) then
+      Error
+        (Printf.sprintf "invalid BHIVE_STORE=%S: exists and is not a directory"
+           s)
+    else Ok (Some s)
+
+let default_store_path () =
+  match !store_override with
+  | Some _ as p -> p
+  | None -> (
+    match store_path_from_env () with Ok p -> p | Error msg -> failwith msg)
+
+let jobs_from_env () =
+  match Sys.getenv_opt "BHIVE_JOBS" with
+  | None -> Ok None
+  | Some s -> (
+    let trimmed = String.trim s in
+    if trimmed = "" then Ok None
+    else
+      match int_of_string_opt trimmed with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ ->
+        Error
+          (Printf.sprintf "invalid BHIVE_JOBS=%S: expected a positive integer"
+             s))
+
+(* One-stop startup validation for the CLIs: every engine-relevant
+   environment variable either parses or yields a one-line error. *)
+let validate_env () =
+  match jobs_from_env () with
+  | Error msg -> Error msg
+  | Ok _ -> (
+    match Faultsim.env_result () with
+    | Error msg -> Error msg
+    | Ok _ -> (
+      match store_path_from_env () with
+      | Error msg -> Error msg
+      | Ok _ -> Ok ()))
 
 (* --- outcomes and quarantine ------------------------------------------ *)
 
@@ -149,10 +200,20 @@ type stats = {
   stalls_absorbed : int;
   corruptions : int;
   workers_replenished : int;
+  store_hits : int;
+  store_misses : int;
+  store_invalidated : int;
+  store_writes : int;
   wall_seconds : float;
 }
 
 let lost (s : stats) = s.submitted - s.completed - s.quarantined
+
+(* Disk-tier effectiveness: hits over consultations. Invalidated
+   lookups count as misses here — they cost a re-profile. *)
+let store_hit_rate (s : stats) =
+  let denom = s.store_hits + s.store_misses + s.store_invalidated in
+  if denom = 0 then 0.0 else float_of_int s.store_hits /. float_of_int denom
 
 type phase_metrics = {
   phase_name : string;
@@ -172,6 +233,12 @@ type t = {
   faults : Faultsim.config;
   policy : policy;
   cache : (string, outcome) Hashtbl.t;
+  store : Store.t option;  (** disk tier; absent without BHIVE_STORE/--store *)
+  mutable gen_cache : (Uarch.Descriptor.t * string) list;
+      (** generation fingerprints memoised by descriptor identity
+          (physical equality — a perturbed copy of a descriptor must
+          get its own generation); only the submitting thread touches
+          it *)
   lock : Mutex.t;  (** guards the progress hook only *)
   worker_busy_ns : int64 array;
       (** per-worker-slot execution time; only the slot's current
@@ -190,6 +257,10 @@ type t = {
   mutable stalls_absorbed : int;
   mutable corruptions : int;
   mutable workers_replenished : int;
+  mutable store_hit_count : int;
+  mutable store_miss_count : int;
+  mutable store_invalidated_count : int;
+  mutable store_write_count : int;
   mutable wall_seconds : float;
   mutable phase_log : phase_metrics list;  (** reverse order *)
   mutable quarantine_log : quarantine list;  (** reverse order *)
@@ -210,21 +281,38 @@ let m_quarantined = Telemetry.Metrics.counter "engine.quarantined"
 let m_replenished =
   Telemetry.Metrics.counter "engine.workers_replenished"
 
+let m_store_hits = Telemetry.Metrics.counter "engine.store_hits"
+let m_store_misses = Telemetry.Metrics.counter "engine.store_misses"
+let m_store_invalidated = Telemetry.Metrics.counter "engine.store_invalidated"
+let m_store_writes = Telemetry.Metrics.counter "engine.store_writes"
+
 let h_job_seconds = Telemetry.Metrics.histogram "engine.job_seconds"
 let h_batch_seconds = Telemetry.Metrics.histogram "engine.batch_seconds"
 
 let default_jobs () =
-  match Sys.getenv_opt "BHIVE_JOBS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+  match jobs_from_env () with
+  | Ok (Some n) -> n
+  | Ok None -> Domain.recommended_domain_count ()
+  | Error msg -> failwith msg
 
-let create ?jobs ?progress ?faults ?max_retries ?deadline_ms ?backoff_ms
-    ?quorum () =
+let open_store path =
+  if Telemetry.Trace.enabled () then begin
+    let opened = ref None in
+    Telemetry.Trace.span "engine.store_open"
+      ~attrs:(fun () -> [ ("path", Telemetry.Trace.Str path) ])
+      (fun () -> opened := Some (Store.open_ path));
+    Option.get !opened
+  end
+  else Store.open_ path
+
+let create ?jobs ?progress ?faults ?store_path ?max_retries ?deadline_ms
+    ?backoff_ms ?quorum () =
   let n_jobs = max 1 (match jobs with Some n -> n | None -> default_jobs ()) in
   let faults = match faults with Some f -> f | None -> Faultsim.default () in
+  let store_path =
+    match store_path with Some _ as p -> p | None -> default_store_path ()
+  in
+  let store = Option.map open_store store_path in
   let base = !policy_override in
   let policy =
     clamp_policy
@@ -241,6 +329,8 @@ let create ?jobs ?progress ?faults ?max_retries ?deadline_ms ?backoff_ms
     faults;
     policy;
     cache = Hashtbl.create 4096;
+    store;
+    gen_cache = [];
     lock = Mutex.create ();
     worker_busy_ns = Array.make n_jobs 0L;
     worker_jobs = Array.make n_jobs 0;
@@ -257,6 +347,10 @@ let create ?jobs ?progress ?faults ?max_retries ?deadline_ms ?backoff_ms
     stalls_absorbed = 0;
     corruptions = 0;
     workers_replenished = 0;
+    store_hit_count = 0;
+    store_miss_count = 0;
+    store_invalidated_count = 0;
+    store_write_count = 0;
     wall_seconds = 0.0;
     phase_log = [];
     quarantine_log = [];
@@ -268,6 +362,16 @@ let jobs t = t.n_jobs
 let faults t = t.faults
 let policy t = t.policy
 let cache_size t = Hashtbl.length t.cache
+let store t = t.store
+
+(* Generation fingerprints, memoised by descriptor identity. *)
+let generation_of t (u : Uarch.Descriptor.t) =
+  match List.find_opt (fun (d, _) -> d == u) t.gen_cache with
+  | Some (_, g) -> g
+  | None ->
+    let g = Stable_key.generation u in
+    t.gen_cache <- (u, g) :: t.gen_cache;
+    g
 
 let stats t =
   {
@@ -284,6 +388,10 @@ let stats t =
     stalls_absorbed = t.stalls_absorbed;
     corruptions = t.corruptions;
     workers_replenished = t.workers_replenished;
+    store_hits = t.store_hit_count;
+    store_misses = t.store_miss_count;
+    store_invalidated = t.store_invalidated_count;
+    store_writes = t.store_write_count;
     wall_seconds = t.wall_seconds;
   }
 
@@ -345,6 +453,12 @@ let run_batch t (submission : job list) : batch =
   let results : outcome option array = Array.make n None in
   let m_ref = ref 0 in
   let batch_hits = ref 0 in
+  (* disk-tier accounting; lookups happen on the submitting thread,
+     writes in the workers *)
+  let b_store_hits = ref 0 in
+  let b_store_misses = ref 0 in
+  let b_store_invalidated = ref 0 in
+  let a_store_writes = Atomic.make 0 in
   let fresh_quarantines = ref [] in
   (* batch-local fault/retry accounting; folded into [t] after the pool
      drains (workers may not touch [t]'s mutable fields directly) *)
@@ -367,6 +481,56 @@ let run_batch t (submission : job list) : batch =
     in
     let worklist = ref [] in
     let traced = Telemetry.Trace.enabled () in
+    (* Disk-tier lookup for the first occurrence of a fingerprint. A
+       hit fills the memo immediately (later duplicates in this batch
+       resolve exactly like cold-run duplicates: through the memo), so
+       cache-hit counts are identical cold vs warm. A stale record —
+       same job, written under a different generation of the uarch
+       tables or profiler — is the invalidation path. *)
+    let store_lookup i fp (j : job) : outcome option =
+      match t.store with
+      | None -> None
+      | Some st -> (
+        let gen = generation_of t j.uarch in
+        match Store.get st ~key:fp ~gen with
+        | Store.Hit payload -> (
+          match
+            try Some (Marshal.from_string payload 0 : outcome)
+            with _ -> None
+          with
+          | Some r ->
+            incr b_store_hits;
+            Telemetry.Metrics.incr m_store_hits;
+            if traced then
+              Telemetry.Trace.instant "engine.store_hit" ~attrs:(fun () ->
+                  [
+                    ("slot", Telemetry.Trace.Int i);
+                    ("fingerprint", Telemetry.Trace.Str fp);
+                  ]);
+            Some r
+          | None ->
+            (* checksummed but undecodable (should not happen: the
+               format tag pins the Marshal dialect) — re-profile and
+               overwrite *)
+            incr b_store_misses;
+            Telemetry.Metrics.incr m_store_misses;
+            None)
+        | Store.Stale ->
+          incr b_store_invalidated;
+          Telemetry.Metrics.incr m_store_invalidated;
+          if traced then
+            Telemetry.Trace.instant "engine.store_invalidated"
+              ~attrs:(fun () ->
+                [
+                  ("slot", Telemetry.Trace.Int i);
+                  ("fingerprint", Telemetry.Trace.Str fp);
+                ]);
+          None
+        | Store.Miss ->
+          incr b_store_misses;
+          Telemetry.Metrics.incr m_store_misses;
+          None)
+    in
     Array.iteri
       (fun i j ->
         let fp = fingerprint j in
@@ -388,13 +552,49 @@ let run_batch t (submission : job list) : batch =
                     ("dedup", Telemetry.Trace.Bool true);
                   ]);
             slots := i :: !slots
-          | None ->
-            Hashtbl.add claims fp (ref [ i ]);
-            worklist := (fp, i) :: !worklist))
+          | None -> (
+            match store_lookup i fp j with
+            | Some r ->
+              Hashtbl.replace t.cache fp r;
+              results.(i) <- Some r
+            | None ->
+              Hashtbl.add claims fp (ref [ i ]);
+              worklist := (fp, i) :: !worklist)))
       submission;
     let worklist = Array.of_list (List.rev !worklist) in
     let m = Array.length worklist in
     m_ref := m;
+    (* Per-unique generation fingerprints, precomputed on the
+       submitting thread so workers read them without touching
+       [gen_cache]. *)
+    let gens =
+      match t.store with
+      | None -> [||]
+      | Some _ ->
+        Array.map
+          (fun (_, slot) -> generation_of t submission.(slot).uarch)
+          worklist
+    in
+    (* Persist measured outcomes from the worker that produced them.
+       Quarantines are never persisted: they are artifacts of the
+       simulated substrate, not measurements, and the same fault seed
+       re-derives them deterministically on a warm run. *)
+    let store_put u fp (r : outcome) =
+      match t.store with
+      | None -> ()
+      | Some st -> (
+        match r with
+        | Error (Quarantined _) -> ()
+        | Ok _ | Error (Profiler_failure _) ->
+          if Store.put st ~key:fp ~gen:gens.(u) (Marshal.to_string r [])
+          then begin
+            Atomic.incr a_store_writes;
+            Telemetry.Metrics.incr m_store_writes;
+            if traced then
+              Telemetry.Trace.instant "engine.store_write" ~attrs:(fun () ->
+                  [ ("fingerprint", Telemetry.Trace.Str fp) ])
+          end)
+    in
     let out : outcome option array = Array.make m None in
     (* per-unique attempt history (reverse order); owned by whichever
        worker currently holds the job — ownership transfers through the
@@ -431,7 +631,7 @@ let run_batch t (submission : job list) : batch =
       let fp, slot = worklist.(u) in
       let j = submission.(slot) in
       {
-        q_fingerprint = Digest.to_hex fp;
+        q_fingerprint = fp;
         q_uarch = j.uarch.short;
         q_block_insts = List.length j.block;
         q_attempts = List.rev !(logs.(u));
@@ -465,7 +665,7 @@ let run_batch t (submission : job list) : batch =
                  Telemetry.Trace.Float
                    (Int64.to_float (Int64.sub start_ns batch_start_ns)
                    /. 1e3) );
-               ("fingerprint", Telemetry.Trace.Str (Digest.to_hex fp));
+               ("fingerprint", Telemetry.Trace.Str fp);
              ])
            run
        else run ());
@@ -482,7 +682,7 @@ let run_batch t (submission : job list) : batch =
        escapes as Worker_crashed (the domain dies). *)
     let run_attempts ~worker u attempt0 =
       let fp, slot = worklist.(u) in
-      let fp_hex = Digest.to_hex fp in
+      let fp_hex = fp in
       let j = submission.(slot) in
       let trials = t.policy.quorum in
       let record ~attempt ~verdict ~faults_rev ~sim_ms ~backoff_ms =
@@ -595,11 +795,13 @@ let run_batch t (submission : job list) : batch =
           | Some v ->
             record ~attempt ~verdict:"ok" ~faults_rev:!faults_seen
               ~sim_ms:!sim_ms ~backoff_ms:0;
-            out.(u) <-
-              Some
-                (match v with
-                | Ok p -> Ok p
-                | Error f -> Error (Profiler_failure f));
+            let r : outcome =
+              match v with
+              | Ok p -> Ok p
+              | Error f -> Error (Profiler_failure f)
+            in
+            out.(u) <- Some r;
+            store_put u fp r;
             mark_resolved ()
           | None ->
             Atomic.incr a_quorum_failures;
@@ -712,6 +914,10 @@ let run_batch t (submission : job list) : batch =
   t.stalls_absorbed <- t.stalls_absorbed + Atomic.get a_stalls;
   t.corruptions <- t.corruptions + Atomic.get a_corruptions;
   t.workers_replenished <- t.workers_replenished + Atomic.get a_replenished;
+  t.store_hit_count <- t.store_hit_count + !b_store_hits;
+  t.store_miss_count <- t.store_miss_count + !b_store_misses;
+  t.store_invalidated_count <- t.store_invalidated_count + !b_store_invalidated;
+  t.store_write_count <- t.store_write_count + Atomic.get a_store_writes;
   t.quarantine_log <- List.rev_append quarantined t.quarantine_log;
   Telemetry.Metrics.add m_submitted n;
   Telemetry.Metrics.add m_executed !m_ref;
@@ -804,6 +1010,24 @@ let summary_json t =
         ("lost", num (lost s));
       ]
   in
+  let store_json =
+    Json.Object
+      ([
+         ("enabled", Json.Bool (t.store <> None));
+         ( "path",
+           Json.String
+             (match t.store with Some st -> Store.dir st | None -> "") );
+         ("hits", num s.store_hits);
+         ("misses", num s.store_misses);
+         ("invalidated", num s.store_invalidated);
+         ("writes", num s.store_writes);
+         ("hit_rate", Json.Number (store_hit_rate s));
+       ]
+      @
+      match t.store with
+      | None -> []
+      | Some st -> [ ("entries", num (Store.stats st).Store.s_live) ])
+  in
   Json.Object
     [
       ("jobs", num t.n_jobs);
@@ -814,6 +1038,7 @@ let summary_json t =
       ("completed", num s.completed);
       ("quarantined", num s.quarantined);
       ("engine_wall_seconds", Json.Number s.wall_seconds);
+      ("store", store_json);
       ("faults", fault_json);
       ("workers", Json.List (List.map worker_json (worker_stats t)));
       ("sections", Json.List (List.map phase_json (phases t)));

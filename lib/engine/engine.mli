@@ -39,14 +39,26 @@ type job = {
   block : X86.Inst.t list;
 }
 
-(** Content fingerprint of a measurement environment (MD5 of its
-    marshalled representation; the environment is immutable data). *)
+(** Stable content fingerprint of a measurement environment: SHA-256
+    (64-char lowercase hex) over a canonical fixed-width byte encoding
+    of every field. Identical across OCaml releases, word sizes and
+    domains — it is safe as a persistent disk key. *)
 val env_fingerprint : Harness.Environment.t -> string
 
-(** Content fingerprint of a job: environment fingerprint +
-    microarchitecture short name + marshalled instruction list.
-    Microarchitectures form a closed set keyed by [short]. *)
+(** Stable content fingerprint of a job, identifying {e what} is
+    measured: SHA-256 hex over the canonical encoding of the
+    environment, the microarchitecture short name and the {e encoded
+    machine bytes} of the block. This is the memo key, the persistent
+    store key and the faultsim draw seed. *)
 val fingerprint : job -> string
+
+(** Generation fingerprint, identifying {e how} a job is measured:
+    SHA-256 hex over the full uarch descriptor tables (every port set
+    and latency) plus {!Harness.Profiler.algorithm_version}. The store
+    records it next to each measurement; editing one latency table
+    entry changes exactly that uarch's generation, invalidating
+    exactly its stored entries. *)
+val generation : Uarch.Descriptor.t -> string
 
 (** {1 Retry policy} *)
 
@@ -135,11 +147,21 @@ type stats = {
   stalls_absorbed : int;  (** stalls that fit inside the deadline *)
   corruptions : int;  (** corrupted trials injected *)
   workers_replenished : int;  (** replacement domains spawned *)
+  store_hits : int;  (** disk-tier lookups served from the store *)
+  store_misses : int;  (** disk-tier lookups finding nothing *)
+  store_invalidated : int;
+      (** disk-tier lookups finding only a stale generation *)
+  store_writes : int;  (** records appended to the store *)
   wall_seconds : float;  (** total wall time spent inside [run_batch] *)
 }
 
 (** [submitted - completed - quarantined]; 0 for a healthy engine. *)
 val lost : stats -> int
+
+(** Disk-tier hit rate: [store_hits] over all store consultations
+    (hits + misses + invalidated); 0 when the store was never
+    consulted. *)
+val store_hit_rate : stats -> float
 
 type t
 
@@ -154,6 +176,7 @@ val create :
   ?jobs:int ->
   ?progress:(done_:int -> total:int -> unit) ->
   ?faults:Faultsim.config ->
+  ?store_path:string ->
   ?max_retries:int ->
   ?deadline_ms:int ->
   ?backoff_ms:int ->
@@ -167,14 +190,45 @@ val create :
 val default : unit -> t
 
 (** Worker-pool size resolved from [$BHIVE_JOBS] (what [create]
-    uses when [?jobs] is omitted). *)
+    uses when [?jobs] is omitted). Raises [Failure] on a malformed
+    value — use {!validate_env} at CLI startup to turn that into a
+    clean exit. *)
 val default_jobs : unit -> int
+
+(** [$BHIVE_JOBS] parsed strictly: unset/empty is [Ok None], a
+    positive integer is [Ok (Some n)], anything else is [Error msg]
+    with a one-line message. *)
+val jobs_from_env : unit -> (int option, string) result
+
+(** {1 Persistent store tier} *)
+
+(** Process-default store path (the [--store] CLI flag; wins over
+    [$BHIVE_STORE]). Must be called before the first engine is
+    created. *)
+val set_default_store : string -> unit
+
+(** [$BHIVE_STORE] parsed strictly: unset/empty is [Ok None]; a path
+    that exists but is not a directory is [Error msg]. *)
+val store_path_from_env : unit -> (string option, string) result
+
+(** The store path [create] uses when [?store_path] is omitted: the
+    {!set_default_store} override if any, else [$BHIVE_STORE]. *)
+val default_store_path : unit -> string option
+
+(** Validate every engine-relevant environment variable
+    ([BHIVE_JOBS], [BHIVE_FAULTS], [BHIVE_STORE]) without side
+    effects. CLIs call this first and turn [Error msg] into a one-line
+    stderr message and exit code 2 — never a silent fallback. *)
+val validate_env : unit -> (unit, string) result
 
 val jobs : t -> int
 val faults : t -> Faultsim.config
 val policy : t -> policy
 val stats : t -> stats
 val cache_size : t -> int
+
+(** The engine's disk tier, if one is attached. *)
+val store : t -> Store.t option
 
 (** [hit_rate s] is cache hits over submitted jobs, 0 when nothing was
     submitted. *)

@@ -56,13 +56,16 @@ let parse spec =
     in
     fold none parts
 
-let of_env () =
+let env_result () =
   match Sys.getenv_opt "BHIVE_FAULTS" with
-  | None -> none
+  | None -> Ok none
   | Some s -> (
     match parse s with
-    | Ok c -> c
-    | Error msg -> failwith (Printf.sprintf "invalid BHIVE_FAULTS=%S: %s" s msg))
+    | Ok c -> Ok c
+    | Error msg -> Error (Printf.sprintf "invalid BHIVE_FAULTS=%S: %s" s msg))
+
+let of_env () =
+  match env_result () with Ok c -> c | Error msg -> failwith msg
 
 let override = ref None
 let set_default c = override := Some c

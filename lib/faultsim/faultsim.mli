@@ -45,6 +45,12 @@ val parse : string -> (config, string) result
 (** Canonical spec string: [parse (to_string c) = Ok c]. *)
 val to_string : config -> string
 
+(** Read [BHIVE_FAULTS] without raising: unset or empty is [Ok none];
+    a malformed value is [Error msg] with the same one-line message
+    {!of_env} raises. This is what CLI startup validation uses to turn
+    a bad spec into a clean non-zero exit. *)
+val env_result : unit -> (config, string) result
+
 (** Read [BHIVE_FAULTS]. Unset or empty means {!none}; a malformed
     value raises [Failure] with a usable message — a chaos run that
     silently ran without chaos would defeat its purpose. *)

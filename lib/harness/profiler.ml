@@ -11,6 +11,12 @@
 
 open X86
 
+(* Bump whenever the measurement algorithm changes in a way that can
+   alter results for the same (env, uarch, block) — the persistent
+   store folds this into its generation fingerprint, so a bump
+   invalidates every stored measurement at once. *)
+let algorithm_version = "bhive-measure-1"
+
 type reject_reason =
   | Misaligned_access  (** MISALIGNED_MEM_REFERENCE counter non-zero *)
   | Never_clean

@@ -4,6 +4,13 @@
     protocol (16 timings, at least 8 clean and identical, misalignment
     filter). *)
 
+(** Semantic version of the measurement algorithm itself. Bumped when
+    a change to the protocol can alter results for an unchanged
+    (env, uarch, block) triple; the persistent measurement store folds
+    it into the generation fingerprint so stored results from an older
+    protocol are invalidated rather than served. *)
+val algorithm_version : string
+
 type reject_reason =
   | Misaligned_access  (** MISALIGNED_MEM_REFERENCE counter non-zero *)
   | Never_clean

@@ -1,0 +1,439 @@
+(* See store.mli. *)
+
+module Sha256 = Sha256
+module Codec = Codec
+
+let shard_count = 16
+let segment_magic = "BHIVESTORE1\n"
+
+(* Payloads are Marshal blobs, which are not stable across OCaml
+   releases or word sizes. The writer stamps its format into the
+   segment header; a segment from an incompatible writer is treated as
+   empty (stale) and rewritten on first append, so an OCaml upgrade
+   degrades to a cold store instead of undefined behaviour. *)
+let format_tag = Printf.sprintf "marshal/%s/%d" Sys.ocaml_version Sys.word_size
+let record_magic = 0xB17EC0DE
+let max_key_len = 4096
+let max_payload_len = 1 lsl 26
+
+type entry = { e_gen : string; e_off : int; e_len : int }
+
+type shard = {
+  path : string;
+  index : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable size : int; (* valid byte length of the segment *)
+  mutable oc : out_channel option;
+  mutable ic : in_channel option;
+  mutable records : int; (* records on disk, including superseded *)
+  mutable superseded : int;
+  mutable torn : int; (* torn-tail truncation events at open *)
+  mutable stale : bool;
+}
+
+type t = { t_dir : string; shards : shard array; mutable closed : bool }
+
+let dir t = t.t_dir
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let header () =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf segment_magic;
+  Codec.str buf format_tag;
+  Buffer.contents buf
+
+let encode_record ~key ~gen payload =
+  let buf =
+    Buffer.create
+      (24 + String.length key + String.length gen + String.length payload)
+  in
+  Codec.u32 buf record_magic;
+  Codec.u16 buf (String.length key);
+  Codec.u16 buf (String.length gen);
+  Codec.u32 buf (String.length payload);
+  Buffer.add_string buf key;
+  Buffer.add_string buf gen;
+  Buffer.add_string buf payload;
+  let sum = Codec.fnv1a64 (Buffer.contents buf) in
+  Codec.i64 buf sum;
+  Buffer.contents buf
+
+(* Scan one decoded segment image. Returns the byte offset of the end
+   of the last intact record ("good" prefix) plus what was indexed; a
+   record that fails frame bounds or checksum ends the scan — the log
+   is append-only, so everything past the first bad byte is a torn
+   tail from an interrupted writer. [emit] sees records in log order,
+   later generations superseding earlier ones at the caller. *)
+let scan_image b ~len ~emit =
+  let header_ok, data_start, stale =
+    let hm = String.length segment_magic in
+    if len < hm + 4 then (false, 0, len > 0)
+    else if Bytes.sub_string b 0 hm <> segment_magic then (false, 0, true)
+    else
+      let tag_len = Codec.get_u32 b hm in
+      if tag_len > 256 || len < hm + 4 + tag_len then (false, 0, true)
+      else if Bytes.sub_string b (hm + 4) tag_len <> format_tag then
+        (false, 0, true)
+      else (true, hm + 4 + tag_len, false)
+  in
+  if not header_ok then (`Stale stale, 0)
+  else begin
+    let pos = ref data_start in
+    let torn = ref false in
+    (try
+       while !pos < len do
+         let off = !pos in
+         if off + 12 > len then raise Exit;
+         if Codec.get_u32 b off <> record_magic then raise Exit;
+         let klen = Codec.get_u16 b (off + 4) in
+         let glen = Codec.get_u16 b (off + 6) in
+         let plen = Codec.get_u32 b (off + 8) in
+         if klen = 0 || klen > max_key_len || glen > max_key_len
+            || plen > max_payload_len
+         then raise Exit;
+         let body_len = 12 + klen + glen + plen in
+         if off + body_len + 8 > len then raise Exit;
+         let sum = Codec.fnv1a64_bytes ~off ~len:body_len b in
+         if sum <> Codec.get_i64 b (off + body_len) then raise Exit;
+         let key = Bytes.sub_string b (off + 12) klen in
+         let gen = Bytes.sub_string b (off + 12 + klen) glen in
+         emit ~key ~gen ~payload_off:(off + 12 + klen + glen) ~payload_len:plen;
+         pos := off + body_len + 8
+       done
+     with Exit -> torn := true);
+    (`Good !pos, if !torn then 1 else 0)
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      b)
+
+let open_shard path =
+  let sh =
+    {
+      path;
+      index = Hashtbl.create 64;
+      lock = Mutex.create ();
+      size = 0;
+      oc = None;
+      ic = None;
+      records = 0;
+      superseded = 0;
+      torn = 0;
+      stale = false;
+    }
+  in
+  if Sys.file_exists path then begin
+    let b = read_file path in
+    let len = Bytes.length b in
+    let result, torn =
+      scan_image b ~len ~emit:(fun ~key ~gen ~payload_off ~payload_len ->
+          sh.records <- sh.records + 1;
+          if Hashtbl.mem sh.index key then sh.superseded <- sh.superseded + 1;
+          Hashtbl.replace sh.index key
+            { e_gen = gen; e_off = payload_off; e_len = payload_len })
+    in
+    sh.torn <- torn;
+    match result with
+    | `Stale nonempty ->
+      (* foreign or pre-format segment: serve nothing from it and
+         rewrite it wholesale on first append *)
+      sh.stale <- nonempty;
+      sh.size <- 0
+    | `Good good ->
+      if good < len then Unix.truncate path good;
+      sh.size <- good
+  end;
+  sh
+
+let shard_path root i = Filename.concat root (Printf.sprintf "seg-%02d.bhs" i)
+
+let open_ root =
+  if Sys.file_exists root && not (Sys.is_directory root) then
+    failwith (Printf.sprintf "store path %S exists and is not a directory" root);
+  mkdir_p root;
+  {
+    t_dir = root;
+    shards = Array.init shard_count (fun i -> open_shard (shard_path root i));
+    closed = false;
+  }
+
+let shard_of t key =
+  let h = Codec.fnv1a64 key in
+  t.shards.(Int64.to_int (Int64.logand h (Int64.of_int (shard_count - 1))))
+
+let close_channels sh =
+  (match sh.oc with
+  | Some oc ->
+    close_out_noerr oc;
+    sh.oc <- None
+  | None -> ());
+  match sh.ic with
+  | Some ic ->
+    close_in_noerr ic;
+    sh.ic <- None
+  | None -> ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter (fun sh -> with_lock sh.lock (fun () -> close_channels sh))
+      t.shards
+  end
+
+(* Must hold the shard lock. Opens the append channel, writing (or
+   rewriting, for stale/foreign segments) the header first. *)
+let ensure_oc sh =
+  match sh.oc with
+  | Some oc -> oc
+  | None ->
+    let fresh = sh.stale || not (Sys.file_exists sh.path) || sh.size = 0 in
+    let oc =
+      if fresh then begin
+        let oc =
+          open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+            sh.path
+        in
+        let h = header () in
+        output_string oc h;
+        flush oc;
+        sh.size <- String.length h;
+        sh.stale <- false;
+        sh.records <- 0;
+        sh.superseded <- 0;
+        Hashtbl.reset sh.index;
+        oc
+      end
+      else
+        open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 sh.path
+    in
+    sh.oc <- Some oc;
+    oc
+
+let ensure_ic sh =
+  match sh.ic with
+  | Some ic -> ic
+  | None ->
+    let ic = open_in_bin sh.path in
+    sh.ic <- Some ic;
+    ic
+
+type lookup = Hit of string | Stale | Miss
+
+let get t ~key ~gen =
+  let sh = shard_of t key in
+  with_lock sh.lock (fun () ->
+      match Hashtbl.find_opt sh.index key with
+      | None -> Miss
+      | Some e when e.e_gen <> gen -> Stale
+      | Some e ->
+        let ic = ensure_ic sh in
+        seek_in ic e.e_off;
+        let b = Bytes.create e.e_len in
+        really_input ic b 0 e.e_len;
+        Hit (Bytes.unsafe_to_string b))
+
+let put t ~key ~gen payload =
+  let sh = shard_of t key in
+  with_lock sh.lock (fun () ->
+      match Hashtbl.find_opt sh.index key with
+      | Some e when e.e_gen = gen -> false
+      | prev ->
+        let oc = ensure_oc sh in
+        let rec_ = encode_record ~key ~gen payload in
+        output_string oc rec_;
+        flush oc;
+        let payload_off =
+          sh.size + 12 + String.length key + String.length gen
+        in
+        Hashtbl.replace sh.index key
+          { e_gen = gen; e_off = payload_off; e_len = String.length payload };
+        sh.size <- sh.size + String.length rec_;
+        sh.records <- sh.records + 1;
+        if prev <> None then sh.superseded <- sh.superseded + 1;
+        true)
+
+let live_entries_sorted sh =
+  Hashtbl.fold (fun key e acc -> (key, e) :: acc) sh.index []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let read_payload sh e =
+  let ic = ensure_ic sh in
+  seek_in ic e.e_off;
+  let b = Bytes.create e.e_len in
+  really_input ic b 0 e.e_len;
+  Bytes.unsafe_to_string b
+
+let fold t ~init ~f =
+  (* entries are gathered under the shard locks, then globally
+     key-sorted so export order is independent of shard layout *)
+  let all =
+    Array.to_list t.shards
+    |> List.concat_map (fun sh ->
+           with_lock sh.lock (fun () ->
+               List.map
+                 (fun (key, e) -> (key, e.e_gen, read_payload sh e))
+                 (live_entries_sorted sh)))
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  List.fold_left (fun acc (key, gen, payload) -> f acc ~key ~gen payload) init
+    all
+
+type stats = {
+  s_dir : string;
+  s_shards : int;
+  s_live : int;
+  s_records : int;
+  s_superseded : int;
+  s_torn : int;
+  s_stale_segments : int;
+  s_bytes : int;
+}
+
+let stats t =
+  let acc = ref (0, 0, 0, 0, 0, 0) in
+  Array.iter
+    (fun sh ->
+      with_lock sh.lock (fun () ->
+          let live, recs, sup, torn, stale, bytes = !acc in
+          acc :=
+            ( live + Hashtbl.length sh.index,
+              recs + sh.records,
+              sup + sh.superseded,
+              torn + sh.torn,
+              (stale + if sh.stale then 1 else 0),
+              bytes + sh.size )))
+    t.shards;
+  let live, recs, sup, torn, stale, bytes = !acc in
+  {
+    s_dir = t.t_dir;
+    s_shards = shard_count;
+    s_live = live;
+    s_records = recs;
+    s_superseded = sup;
+    s_torn = torn;
+    s_stale_segments = stale;
+    s_bytes = bytes;
+  }
+
+type verify_report = {
+  v_live : int;
+  v_records : int;
+  v_corrupt : int;
+  v_torn : int;
+  v_stale_segments : int;
+}
+
+let verify t =
+  let live = ref 0 and records = ref 0 and corrupt = ref 0 in
+  let torn = ref 0 and stale = ref 0 in
+  Array.iter
+    (fun sh ->
+      with_lock sh.lock (fun () ->
+          live := !live + Hashtbl.length sh.index;
+          torn := !torn + sh.torn;
+          if sh.stale then incr stale
+          else if Sys.file_exists sh.path then begin
+            (match sh.oc with Some oc -> flush oc | None -> ());
+            let b = read_file sh.path in
+            let len = Bytes.length b in
+            let result, bad =
+              scan_image b ~len ~emit:(fun ~key:_ ~gen:_ ~payload_off:_
+                                           ~payload_len:_ -> incr records)
+            in
+            corrupt := !corrupt + bad;
+            match result with
+            | `Stale nonempty -> if nonempty then incr stale
+            | `Good _ -> ()
+          end))
+    t.shards;
+  {
+    v_live = !live;
+    v_records = !records;
+    v_corrupt = !corrupt;
+    v_torn = !torn;
+    v_stale_segments = !stale;
+  }
+
+type gc_report = {
+  g_live : int;
+  g_dropped : int;
+  g_bytes_before : int;
+  g_bytes_after : int;
+}
+
+let gc t =
+  let live = ref 0 and dropped = ref 0 in
+  let before = ref 0 and after = ref 0 in
+  Array.iter
+    (fun sh ->
+      with_lock sh.lock (fun () ->
+          before := !before + sh.size;
+          dropped := !dropped + (sh.records - Hashtbl.length sh.index);
+          let entries =
+            List.map
+              (fun (key, e) -> (key, e.e_gen, read_payload sh e))
+              (live_entries_sorted sh)
+          in
+          close_channels sh;
+          if entries = [] then begin
+            if Sys.file_exists sh.path then Sys.remove sh.path;
+            Hashtbl.reset sh.index;
+            sh.size <- 0
+          end
+          else begin
+            let tmp = sh.path ^ ".gc" in
+            let oc =
+              open_out_gen
+                [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+                0o644 tmp
+            in
+            let h = header () in
+            output_string oc h;
+            let pos = ref (String.length h) in
+            Hashtbl.reset sh.index;
+            List.iter
+              (fun (key, gen, payload) ->
+                let rec_ = encode_record ~key ~gen payload in
+                output_string oc rec_;
+                Hashtbl.replace sh.index key
+                  {
+                    e_gen = gen;
+                    e_off = !pos + 12 + String.length key + String.length gen;
+                    e_len = String.length payload;
+                  };
+                pos := !pos + String.length rec_)
+              entries;
+            close_out oc;
+            Sys.rename tmp sh.path;
+            sh.size <- !pos
+          end;
+          sh.records <- Hashtbl.length sh.index;
+          sh.superseded <- 0;
+          sh.torn <- 0;
+          sh.stale <- false;
+          live := !live + Hashtbl.length sh.index;
+          after := !after + sh.size))
+    t.shards;
+  {
+    g_live = !live;
+    g_dropped = !dropped;
+    g_bytes_before = !before;
+    g_bytes_after = !after;
+  }

@@ -1,0 +1,107 @@
+(** Persistent, sharded, content-addressed measurement store.
+
+    This is the disk tier of the engine's cache hierarchy (memory memo
+    -> disk store -> real profiler). A store is a directory of 16
+    append-only binary segments, sharded by key so engine worker
+    domains append concurrently without contending on one file lock.
+
+    Records are framed as
+
+    {v
+      u32 magic | u16 key_len | u16 gen_len | u32 payload_len
+      key bytes | gen bytes | payload bytes | u64 FNV-1a checksum
+    v}
+
+    where [key] is the stable content digest of the job (block bytes +
+    environment + uarch id), [gen] is the generation fingerprint of the
+    profiler configuration and uarch descriptor tables, and [payload]
+    is an opaque measurement blob. The checksum covers frame and body,
+    so a torn or bit-flipped tail record is detected at open time and
+    truncated away — never served.
+
+    Lookups are generation-keyed: a record whose key matches but whose
+    generation does not is reported as {!Stale}, which is how editing a
+    latency table invalidates exactly the affected entries. Appending
+    a record for an existing key supersedes the previous generation;
+    {!gc} rewrites live records and drops superseded ones.
+
+    All operations are safe to call from multiple domains of one
+    process. The store is single-writer per directory across
+    processes. *)
+
+type t
+
+(** Open (creating if needed) the store rooted at a directory path.
+    Scans every segment to rebuild the in-memory index, truncating any
+    torn tail. Raises [Failure] if the path exists and is not a
+    directory. *)
+val open_ : string -> t
+
+val close : t -> unit
+val dir : t -> string
+
+type lookup =
+  | Hit of string  (** payload, current generation *)
+  | Stale  (** key present but written under a different generation *)
+  | Miss
+
+val get : t -> key:string -> gen:string -> lookup
+
+(** Append a record. Returns [false] (and writes nothing) when the
+    live record for [key] already has this [gen]: payloads are
+    deterministic functions of (key, gen), so rewriting is pure
+    churn. Returns [true] after a durable append. *)
+val put : t -> key:string -> gen:string -> string -> bool
+
+(** Iterate live records in deterministic (key-sorted) order. *)
+val fold : t -> init:'a -> f:('a -> key:string -> gen:string -> string -> 'a) -> 'a
+
+type stats = {
+  s_dir : string;
+  s_shards : int;
+  s_live : int;  (** records served by the index *)
+  s_records : int;  (** total records on disk, including superseded *)
+  s_superseded : int;
+  s_torn : int;  (** torn-tail truncation events observed at open *)
+  s_stale_segments : int;
+      (** segments whose header belongs to an incompatible writer
+          (different format or OCaml version); treated as empty and
+          rewritten on first append *)
+  s_bytes : int;
+}
+
+val stats : t -> stats
+
+type verify_report = {
+  v_live : int;
+  v_records : int;
+  v_corrupt : int;  (** checksum failures found by this scan *)
+  v_torn : int;  (** torn-tail events recorded when the store was opened *)
+  v_stale_segments : int;
+}
+
+(** Re-scan every segment from disk and re-check every record
+    checksum. A clean store reports [v_corrupt = 0]. *)
+val verify : t -> verify_report
+
+type gc_report = {
+  g_live : int;
+  g_dropped : int;  (** superseded records removed *)
+  g_bytes_before : int;
+  g_bytes_after : int;
+}
+
+(** Compact: rewrite each segment with only live records, key-sorted,
+    dropping superseded generations and reclaiming torn/stale bytes. *)
+val gc : t -> gc_report
+
+(** Number of key shards (segment files) per store. *)
+val shard_count : int
+
+module Sha256 : sig
+  val digest : string -> string
+  val hex : string -> string
+  val to_hex : string -> string
+end
+
+module Codec : module type of Codec

@@ -81,6 +81,80 @@ let check_wall t ~metric ~baseline ~current acc =
     ~violated:(current > limit)
     ~detail:"wall time regressed past threshold" acc
 
+(* --- identical-mode support (warm-cache CI gate) ---------------------- *)
+
+(* Keys whose values legitimately differ between two runs of the same
+   workload: timing, utilization, tier traffic (a warm run executes
+   nothing) and run metadata. Everything else — schema, scale, job
+   counts, accept/reject tallies, section structure, experiment
+   payloads — must match byte-for-byte. *)
+let volatile_keys =
+  [
+    "wall_seconds";
+    "engine_wall_seconds";
+    "busy_seconds";
+    "utilization";
+    "telemetry";
+    "store";
+    "executed";
+    "cache_hits";
+    "cache_hit_rate";
+    "profiler_calls";
+    "workers";
+    "faults";
+    "rev";
+    "generated_unix_time";
+  ]
+
+let rec strip_volatile (j : Json.t) : Json.t =
+  match j with
+  | Json.Object kvs ->
+    Json.Object
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k volatile_keys then None
+           else Some (k, strip_volatile v))
+         kvs)
+  | Json.List items -> Json.List (List.map strip_volatile items)
+  | other -> other
+
+(* Structural diff of the stripped trees; collects dotted paths of the
+   first [limit] mismatches. *)
+let diff_paths ~limit a b =
+  let out = ref [] and count = ref 0 in
+  let emit path what =
+    if !count < limit then
+      out := (String.concat "." (List.rev path), what) :: !out;
+    incr count
+  in
+  let rec go path (a : Json.t) (b : Json.t) =
+    match (a, b) with
+    | Json.Object ka, Json.Object kb ->
+      List.iter
+        (fun (k, va) ->
+          match List.assoc_opt k kb with
+          | None -> emit (k :: path) "missing from current"
+          | Some vb -> go (k :: path) va vb)
+        ka;
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem_assoc k ka) then
+            emit (k :: path) "absent from baseline")
+        kb
+    | Json.List la, Json.List lb ->
+      if List.length la <> List.length lb then
+        emit path
+          (Printf.sprintf "list length %d vs %d" (List.length la)
+             (List.length lb))
+      else
+        List.iteri
+          (fun i (va, vb) -> go (string_of_int i :: path) va vb)
+          (List.combine la lb)
+    | a, b -> if a <> b then emit path "value differs"
+  in
+  go [] a b;
+  (List.rev !out, !count)
+
 let sections j =
   match Option.bind (Json.member "sections" j) Json.list_value with
   | None -> []
@@ -92,8 +166,8 @@ let sections j =
         | None -> None)
       items
 
-let compare_summaries ?(thresholds = default_thresholds) ~baseline ~current ()
-    =
+let compare_summaries ?(thresholds = default_thresholds)
+    ?(require_identical = false) ?min_store_hit_rate ~baseline ~current () =
   let t = thresholds in
   let acc = ref [] in
   let top name checker =
@@ -138,6 +212,61 @@ let compare_summaries ?(thresholds = default_thresholds) ~baseline ~current ()
         ~current:c ~limit:b ~violated:(c > b)
         ~detail:"more quarantined jobs than baseline (recovery regressed)" !acc
   | None -> ());
+  (* store tier (schema v4): hit-rate regressions against the baseline,
+     and an optional absolute floor for the warm-cache CI job *)
+  let store_num doc name =
+    Option.bind (Json.path [ "store"; name ] doc) Json.number
+  in
+  (match (store_num baseline "hit_rate", store_num current "hit_rate") with
+  | Some b, Some c when b > 0.0 ->
+    acc := check_hit_rate t ~metric:"store.hit_rate" ~baseline:b ~current:c !acc
+  | _ -> ());
+  (match min_store_hit_rate with
+  | None -> ()
+  | Some floor ->
+    let c = Option.value (store_num current "hit_rate") ~default:0.0 in
+    acc :=
+      check ~severity:Regression ~metric:"store.hit_rate" ~baseline:floor
+        ~current:c ~limit:floor ~violated:(c < floor)
+        ~detail:
+          "store hit rate below required floor (warm run re-profiled too much)"
+        !acc);
+  (* identical mode: after stripping volatile fields, the two summaries
+     must be structurally equal — the warm-run byte-identity gate *)
+  if require_identical then begin
+    let a = strip_volatile baseline and b = strip_volatile current in
+    if a = b then
+      acc :=
+        check ~severity:Regression ~metric:"identical" ~baseline:0.0
+          ~current:0.0 ~limit:0.0 ~violated:false ~detail:"ok" !acc
+    else begin
+      let paths, total = diff_paths ~limit:16 a b in
+      List.iter
+        (fun (path, what) ->
+          acc :=
+            {
+              severity = Regression;
+              metric = "identical:" ^ path;
+              baseline = 0.0;
+              current = 1.0;
+              limit = 0.0;
+              detail = what;
+            }
+            :: !acc)
+        paths;
+      if total > 16 then
+        acc :=
+          {
+            severity = Regression;
+            metric = "identical";
+            baseline = 0.0;
+            current = float_of_int total;
+            limit = 0.0;
+            detail = Printf.sprintf "%d differing paths in total" total;
+          }
+          :: !acc
+    end
+  end;
   let base_sections = sections baseline in
   let cur_sections = sections current in
   List.iter

@@ -59,8 +59,28 @@ type verdict = Pass | Warn | Fail
 
 type report = { findings : finding list; verdict : verdict }
 
+(** Remove fields that legitimately differ between two runs of the
+    same workload (wall times, utilization, tier traffic, telemetry
+    snapshot, run metadata) from a summary, recursively. What remains
+    must be byte-identical between a cold and a warm run. *)
+val strip_volatile : Json.t -> Json.t
+
+(** [compare_summaries ?thresholds ?require_identical
+    ?min_store_hit_rate ~baseline ~current ()].
+
+    Beyond the threshold checks above, schema v4 summaries carry a
+    [store] object: its [hit_rate] is compared like the cache-hit rate
+    whenever the baseline consulted a store. [?min_store_hit_rate]
+    additionally imposes an absolute floor on the {e current} run's
+    store hit rate (the warm-cache CI gate). [?require_identical]
+    demands the two summaries be structurally equal after
+    {!strip_volatile}; each differing path fails as
+    [identical:<path>]. *)
 val compare_summaries :
-  ?thresholds:thresholds -> baseline:Json.t -> current:Json.t -> unit -> report
+  ?thresholds:thresholds ->
+  ?require_identical:bool ->
+  ?min_store_hit_rate:float ->
+  baseline:Json.t -> current:Json.t -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -130,6 +130,43 @@ let parse s =
     end
     else fail "invalid literal"
   in
+  (* Exactly four hex digits after the 'u' at !pos; no leading signs
+     or underscores (which [int_of_string "0x..."] would accept).
+     Leaves !pos on the last digit. *)
+  let parse_hex4 () =
+    if !pos + 4 >= n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for i = 1 to 4 do
+      let d =
+        match s.[!pos + i] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid \\u escape (expected 4 hex digits)"
+      in
+      v := (!v lsl 4) lor d
+    done;
+    pos := !pos + 4;
+    !v
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -152,21 +189,27 @@ let parse s =
         | 'r' -> Buffer.add_char buf '\r'
         | 't' -> Buffer.add_char buf '\t'
         | 'u' ->
-          if !pos + 4 >= n then fail "truncated \\u escape";
-          (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
-          | None -> fail "invalid \\u escape"
-          | Some code ->
-            if code < 0x80 then Buffer.add_char buf (Char.chr code)
-            else if code < 0x800 then begin
-              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          let hi = parse_hex4 () in
+          let code =
+            if hi >= 0xD800 && hi <= 0xDBFF then begin
+              (* surrogate pair: the low half must follow immediately
+                 as another \u escape; the two combine into one
+                 supplementary-plane code point (4-byte UTF-8) *)
+              if !pos + 2 < n && s.[!pos + 1] = '\\' && s.[!pos + 2] = 'u'
+              then begin
+                pos := !pos + 2;
+                let lo = parse_hex4 () in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+                else fail "invalid low surrogate in \\u pair"
+              end
+              else fail "unpaired high surrogate"
             end
-            else begin
-              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-            end);
-          pos := !pos + 4
+            else if hi >= 0xDC00 && hi <= 0xDFFF then
+              fail "unpaired low surrogate"
+            else hi
+          in
+          add_utf8 buf code
         | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
         incr pos;
         go ()
@@ -190,7 +233,13 @@ let parse s =
     | Some v -> v
     | None -> fail "invalid number"
   in
-  let rec parse_value () =
+  (* A depth bound turns pathological nesting ("[[[[...") into a
+     Parse_error instead of a stack overflow — this parser reads
+     machine-generated summaries but also imported store dumps, which
+     are untrusted. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -207,7 +256,7 @@ let parse s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -229,7 +278,7 @@ let parse s =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -249,7 +298,7 @@ let parse s =
     | Some _ -> Number (parse_number ())
   in
   try
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then Error (Printf.sprintf "trailing data at offset %d" !pos)
     else Ok v

@@ -27,4 +27,5 @@ let () =
       ("bhive", Test_bhive.suite);
       ("export", Test_export.suite);
       ("kernels", Test_kernels.suite);
+      ("store", Test_store.suite);
     ]

@@ -1,0 +1,713 @@
+(* Tests for the persistent content-addressed measurement store and
+   its engine integration: the SHA-256 and codec primitives, segment
+   crash-safety (truncation at every byte offset of the final record),
+   compaction, golden fingerprint pins, the warm-run zero-profiler-call
+   guarantee, generation-keyed invalidation, and the determinism matrix
+   {cold, warm, post-gc} x workers {1, 2, 4}. *)
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store_dir prefix f =
+  let dir = temp_dir prefix in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+(* --- SHA-256 ---------------------------------------------------------- *)
+
+let test_sha256_vectors () =
+  let check what input expected =
+    Alcotest.(check string) what expected (Store.Sha256.hex input)
+  in
+  check "empty string" ""
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc" "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "two-block message"
+    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  check "million a's"
+    (String.make 1_000_000 'a')
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0";
+  (* length straddling the padding boundary (55/56/64 bytes) *)
+  List.iter
+    (fun len ->
+      let s = String.make len 'x' in
+      Alcotest.(check string)
+        (Printf.sprintf "len %d digest is stable" len)
+        (Store.Sha256.hex s) (Store.Sha256.hex s);
+      Alcotest.(check int)
+        (Printf.sprintf "len %d digest is 32 bytes" len)
+        32
+        (String.length (Store.Sha256.digest s)))
+    [ 55; 56; 63; 64; 65 ]
+
+let test_codec_roundtrip () =
+  let b = Buffer.create 64 in
+  Store.Codec.u8 b 0xAB;
+  Store.Codec.u16 b 0xBEEF;
+  Store.Codec.u32 b 0xDEADBEEF;
+  Store.Codec.i64 b (-1L);
+  let s = Buffer.to_bytes b in
+  Alcotest.(check int) "u8" 0xAB (Store.Codec.get_u8 s 0);
+  Alcotest.(check int) "u16" 0xBEEF (Store.Codec.get_u16 s 1);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Store.Codec.get_u32 s 3);
+  Alcotest.(check int64) "i64" (-1L) (Store.Codec.get_i64 s 7);
+  let payload = String.init 256 Char.chr in
+  let hex = Store.Codec.to_hex payload in
+  Alcotest.(check (option string))
+    "hex round-trips arbitrary bytes" (Some payload)
+    (Store.Codec.of_hex hex);
+  Alcotest.(check (option string)) "odd-length hex rejected" None
+    (Store.Codec.of_hex "abc");
+  Alcotest.(check (option string)) "non-hex rejected" None
+    (Store.Codec.of_hex "zz")
+
+let test_fnv1a64_vectors () =
+  (* classic FNV-1a 64-bit test vectors *)
+  Alcotest.(check int64) "fnv1a64(\"\")" 0xCBF29CE484222325L
+    (Store.Codec.fnv1a64 "");
+  Alcotest.(check int64) "fnv1a64(\"a\")" 0xAF63DC4C8601EC8CL
+    (Store.Codec.fnv1a64 "a");
+  Alcotest.(check int64) "fnv1a64(\"foobar\")" 0x85944171F73967E8L
+    (Store.Codec.fnv1a64 "foobar")
+
+(* --- store basics ----------------------------------------------------- *)
+
+let key_of i = Store.Sha256.hex (Printf.sprintf "key-%d" i)
+let gen_a = Store.Sha256.hex "generation-a"
+let gen_b = Store.Sha256.hex "generation-b"
+
+let test_store_basics () =
+  with_store_dir "bhive_store_basics" (fun dir ->
+      let st = Store.open_ dir in
+      Alcotest.(check bool) "fresh store misses" true
+        (Store.get st ~key:(key_of 0) ~gen:gen_a = Store.Miss);
+      Alcotest.(check bool) "put appends" true
+        (Store.put st ~key:(key_of 0) ~gen:gen_a "payload-0");
+      Alcotest.(check bool) "hit under the written generation" true
+        (Store.get st ~key:(key_of 0) ~gen:gen_a = Store.Hit "payload-0");
+      Alcotest.(check bool) "other generation is stale" true
+        (Store.get st ~key:(key_of 0) ~gen:gen_b = Store.Stale);
+      Alcotest.(check bool) "same (key, gen) put is skipped" false
+        (Store.put st ~key:(key_of 0) ~gen:gen_a "payload-0");
+      Alcotest.(check bool) "new generation supersedes" true
+        (Store.put st ~key:(key_of 0) ~gen:gen_b "payload-0b");
+      Alcotest.(check bool) "new generation now hits" true
+        (Store.get st ~key:(key_of 0) ~gen:gen_b = Store.Hit "payload-0b");
+      Alcotest.(check bool) "old generation now stale" true
+        (Store.get st ~key:(key_of 0) ~gen:gen_a = Store.Stale);
+      let s = Store.stats st in
+      Alcotest.(check int) "one live record" 1 s.Store.s_live;
+      Alcotest.(check int) "two records on disk" 2 s.Store.s_records;
+      Alcotest.(check int) "one superseded" 1 s.Store.s_superseded;
+      Store.close st;
+      (* reopen: the index is rebuilt from the segments *)
+      let st = Store.open_ dir in
+      Alcotest.(check bool) "reopened store still hits" true
+        (Store.get st ~key:(key_of 0) ~gen:gen_b = Store.Hit "payload-0b");
+      let v = Store.verify st in
+      Alcotest.(check int) "verify: no corruption" 0 v.Store.v_corrupt;
+      Alcotest.(check int) "verify: no torn tail" 0 v.Store.v_torn;
+      Store.close st)
+
+let test_store_fold_sorted () =
+  with_store_dir "bhive_store_fold" (fun dir ->
+      let st = Store.open_ dir in
+      (* enough keys to land in several shards *)
+      for i = 0 to 63 do
+        ignore
+          (Store.put st ~key:(key_of i) ~gen:gen_a
+             (Printf.sprintf "payload-%d" i))
+      done;
+      let keys =
+        Store.fold st ~init:[] ~f:(fun acc ~key ~gen payload ->
+            Alcotest.(check string) "generation preserved" gen_a gen;
+            Alcotest.(check bool) "payload preserved" true
+              (String.length payload > 0);
+            key :: acc)
+        |> List.rev
+      in
+      Alcotest.(check int) "fold visits every record" 64 (List.length keys);
+      Alcotest.(check bool) "fold is key-sorted" true
+        (keys = List.sort compare keys);
+      Store.close st)
+
+let test_store_binary_payload () =
+  with_store_dir "bhive_store_binary" (fun dir ->
+      let st = Store.open_ dir in
+      let payload = String.init 4096 (fun i -> Char.chr (i land 0xFF)) in
+      ignore (Store.put st ~key:(key_of 1) ~gen:gen_a payload);
+      Alcotest.(check bool) "4 KiB binary payload round-trips" true
+        (Store.get st ~key:(key_of 1) ~gen:gen_a = Store.Hit payload);
+      Store.close st;
+      let st = Store.open_ dir in
+      Alcotest.(check bool) "and survives reopen" true
+        (Store.get st ~key:(key_of 1) ~gen:gen_a = Store.Hit payload);
+      Store.close st)
+
+let test_store_rejects_file_path () =
+  let path = Filename.temp_file "bhive_store_notdir" "" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      match Store.open_ path with
+      | exception Failure msg ->
+        Alcotest.(check bool) "error names the path" true
+          (contains ~needle:path msg)
+      | st ->
+        Store.close st;
+        Alcotest.fail "opening a file as a store should fail")
+
+(* --- crash safety ----------------------------------------------------- *)
+
+let shard_of_key key =
+  Int64.to_int (Int64.logand (Store.Codec.fnv1a64 key) 15L)
+
+let shard_file dir key =
+  Filename.concat dir (Printf.sprintf "seg-%02d.bhs" (shard_of_key key))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+(* Truncate the last record's shard segment at every byte offset inside
+   that record, reopen, and check: the torn record is dropped, every
+   earlier record is still served, and the torn-tail event is counted.
+   This is the recovery path a mid-append crash exercises. *)
+let test_truncation_at_every_offset () =
+  with_store_dir "bhive_store_torn" (fun dir ->
+      (* Pick three keys that land in the same shard so the truncated
+         segment holds context records before the victim. *)
+      let shard0 = shard_of_key (key_of 0) in
+      let same_shard =
+        List.filter (fun i -> shard_of_key (key_of i) = shard0)
+          (List.init 400 Fun.id)
+      in
+      let k1, k2, k3 =
+        match same_shard with
+        | a :: b :: c :: _ -> (key_of a, key_of b, key_of c)
+        | _ -> Alcotest.fail "could not find three keys in one shard"
+      in
+      let st = Store.open_ dir in
+      ignore (Store.put st ~key:k1 ~gen:gen_a "first");
+      ignore (Store.put st ~key:k2 ~gen:gen_a "second");
+      let seg = shard_file dir k1 in
+      let before = (Unix.stat seg).Unix.st_size in
+      ignore (Store.put st ~key:k3 ~gen:gen_a "third-the-victim");
+      Store.close st;
+      let intact = read_file seg in
+      let total = String.length intact in
+      Alcotest.(check bool) "the victim record appended" true (total > before);
+      for cut = before to total - 1 do
+        write_file seg (String.sub intact 0 cut);
+        let st = Store.open_ dir in
+        Alcotest.(check bool)
+          (Printf.sprintf "cut@%d: earlier record 1 survives" cut)
+          true
+          (Store.get st ~key:k1 ~gen:gen_a = Store.Hit "first");
+        Alcotest.(check bool)
+          (Printf.sprintf "cut@%d: earlier record 2 survives" cut)
+          true
+          (Store.get st ~key:k2 ~gen:gen_a = Store.Hit "second");
+        Alcotest.(check bool)
+          (Printf.sprintf "cut@%d: torn record never served" cut)
+          true
+          (Store.get st ~key:k3 ~gen:gen_a = Store.Miss);
+        let s = Store.stats st in
+        Alcotest.(check int)
+          (Printf.sprintf "cut@%d: only the torn record dropped" cut)
+          2 s.Store.s_live;
+        (* a cut exactly at the record boundary is a clean tail, any
+           cut inside the record is a detected torn tail *)
+        Alcotest.(check int)
+          (Printf.sprintf "cut@%d: torn-tail event counted" cut)
+          (if cut = before then 0 else 1)
+          s.Store.s_torn;
+        let v = Store.verify st in
+        Alcotest.(check int)
+          (Printf.sprintf "cut@%d: verify sees no corruption after repair" cut)
+          0 v.Store.v_corrupt;
+        Alcotest.(check int)
+          (Printf.sprintf "cut@%d: verify reports the torn tail" cut)
+          (if cut = before then 0 else 1)
+          v.Store.v_torn;
+        Store.close st;
+        (* the tail was truncated away: a fresh append must work *)
+        let st = Store.open_ dir in
+        ignore (Store.put st ~key:k3 ~gen:gen_a "third-again");
+        Alcotest.(check bool)
+          (Printf.sprintf "cut@%d: store is writable after repair" cut)
+          true
+          (Store.get st ~key:k3 ~gen:gen_a = Store.Hit "third-again");
+        Store.close st;
+        write_file seg intact
+      done)
+
+let test_bitflip_detected () =
+  with_store_dir "bhive_store_bitflip" (fun dir ->
+      let st = Store.open_ dir in
+      ignore (Store.put st ~key:(key_of 7) ~gen:gen_a "precious");
+      Store.close st;
+      let seg = shard_file dir (key_of 7) in
+      let intact = read_file seg in
+      (* flip one bit inside the final record's payload *)
+      let b = Bytes.of_string intact in
+      let pos = Bytes.length b - 12 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      write_file seg (Bytes.to_string b);
+      let st = Store.open_ dir in
+      Alcotest.(check bool) "bit-flipped record never served" true
+        (Store.get st ~key:(key_of 7) ~gen:gen_a = Store.Miss);
+      Alcotest.(check int) "counted as a torn tail" 1 (Store.stats st).Store.s_torn;
+      Store.close st)
+
+(* --- compaction ------------------------------------------------------- *)
+
+let test_gc_compaction () =
+  with_store_dir "bhive_store_gc" (fun dir ->
+      let st = Store.open_ dir in
+      for i = 0 to 31 do
+        ignore (Store.put st ~key:(key_of i) ~gen:gen_a (Printf.sprintf "a%d" i))
+      done;
+      (* supersede half of them *)
+      for i = 0 to 15 do
+        ignore (Store.put st ~key:(key_of i) ~gen:gen_b (Printf.sprintf "b%d" i))
+      done;
+      let s0 = Store.stats st in
+      Alcotest.(check int) "pre-gc live" 32 s0.Store.s_live;
+      Alcotest.(check int) "pre-gc superseded" 16 s0.Store.s_superseded;
+      let g = Store.gc st in
+      Alcotest.(check int) "gc keeps live records" 32 g.Store.g_live;
+      Alcotest.(check int) "gc drops superseded" 16 g.Store.g_dropped;
+      Alcotest.(check bool) "gc reclaims bytes" true
+        (g.Store.g_bytes_after < g.Store.g_bytes_before);
+      let s1 = Store.stats st in
+      Alcotest.(check int) "post-gc superseded" 0 s1.Store.s_superseded;
+      Alcotest.(check int) "post-gc records = live" s1.Store.s_live
+        s1.Store.s_records;
+      (* every surviving record still reads back, through the open
+         handle and after a reopen *)
+      let check_all st =
+        for i = 0 to 15 do
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d hits under gen b" i)
+            true
+            (Store.get st ~key:(key_of i) ~gen:gen_b
+            = Store.Hit (Printf.sprintf "b%d" i))
+        done;
+        for i = 16 to 31 do
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d hits under gen a" i)
+            true
+            (Store.get st ~key:(key_of i) ~gen:gen_a
+            = Store.Hit (Printf.sprintf "a%d" i))
+        done
+      in
+      check_all st;
+      Store.close st;
+      let st = Store.open_ dir in
+      check_all st;
+      Alcotest.(check int) "verify clean after gc" 0
+        (Store.verify st).Store.v_corrupt;
+      Store.close st)
+
+let test_concurrent_puts () =
+  with_store_dir "bhive_store_domains" (fun dir ->
+      let st = Store.open_ dir in
+      let n_domains = 4 and per_domain = 64 in
+      let worker d () =
+        for i = 0 to per_domain - 1 do
+          let key = key_of ((d * per_domain) + i) in
+          ignore (Store.put st ~key ~gen:gen_a (Printf.sprintf "%d:%d" d i))
+        done
+      in
+      let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join domains;
+      Alcotest.(check int) "every record landed" (n_domains * per_domain)
+        (Store.stats st).Store.s_live;
+      Store.close st;
+      let st = Store.open_ dir in
+      Alcotest.(check int) "and survives reopen" (n_domains * per_domain)
+        (Store.stats st).Store.s_live;
+      Alcotest.(check int) "no torn tails from concurrent appends" 0
+        (Store.stats st).Store.s_torn;
+      Store.close st)
+
+(* --- golden fingerprints ---------------------------------------------- *)
+
+(* Pinned digests: these keys address persistent measurement stores, so
+   any change to the canonical encoding silently orphans every existing
+   store. If one of these checks fails, the encoding changed — either
+   revert it or treat it as a store-format break (bump
+   Stable_key.job_version / generation_version deliberately). *)
+let test_golden_fingerprints () =
+  let job =
+    {
+      Engine.env = Harness.Environment.default;
+      uarch = Uarch.All.haswell;
+      block = Corpus.Paper_blocks.gzip_crc;
+    }
+  in
+  Alcotest.(check string) "golden job fingerprint (hsw/gzip_crc)"
+    "9b673043800bb9657360ca40415efdc9977629373140a7ef09d54603ac610475"
+    (Engine.fingerprint job);
+  Alcotest.(check string) "golden env fingerprint (default)"
+    "26d524332960903c6b8b30d6fdb7cc4b90bc0e18fd5b2dfe93dffd979098244a"
+    (Engine.env_fingerprint Harness.Environment.default);
+  Alcotest.(check string) "golden generation (hsw)"
+    "0e4f0a9588c1b077ef04db6085e3a8f2363fca89e95c071392edbc6920035e0d"
+    (Engine.generation Uarch.All.haswell);
+  Alcotest.(check string) "golden generation (skl)"
+    "cef5f774d7008fc937c5dfb85825e9f5cc4754ce8c715881da2c59071c3f2c46"
+    (Engine.generation Uarch.All.skylake)
+
+let test_generation_sensitivity () =
+  let hsw = Uarch.All.haswell in
+  let perturbed =
+    {
+      hsw with
+      Uarch.Descriptor.profile =
+        {
+          hsw.Uarch.Descriptor.profile with
+          Uarch.Profile.div32_latency =
+            hsw.Uarch.Descriptor.profile.Uarch.Profile.div32_latency + 1;
+        };
+    }
+  in
+  Alcotest.(check bool) "one latency entry changes the generation" false
+    (Engine.generation hsw = Engine.generation perturbed);
+  Alcotest.(check bool) "but not the job fingerprint (same uarch id)" true
+    (Engine.fingerprint
+       { Engine.env = Harness.Environment.default; uarch = hsw;
+         block = Corpus.Paper_blocks.gzip_crc }
+    = Engine.fingerprint
+        { Engine.env = Harness.Environment.default; uarch = perturbed;
+          block = Corpus.Paper_blocks.gzip_crc });
+  Alcotest.(check bool) "uarches have distinct generations" false
+    (Engine.generation Uarch.All.haswell = Engine.generation Uarch.All.skylake)
+
+(* --- engine integration ----------------------------------------------- *)
+
+let paper_jobs uarch =
+  List.map
+    (fun block -> { Engine.env = Harness.Environment.default; uarch; block })
+    [
+      Corpus.Paper_blocks.gzip_crc;
+      Corpus.Paper_blocks.division;
+      Corpus.Paper_blocks.zero_idiom;
+      Corpus.Paper_blocks.tensorflow_ablation;
+    ]
+
+(* The acceptance criterion: a second run against a populated store
+   performs zero profiler calls for unchanged jobs and produces
+   byte-identical output. *)
+let test_warm_run_zero_profiler_calls () =
+  with_store_dir "bhive_store_warm" (fun dir ->
+      let jobs = paper_jobs Uarch.All.haswell in
+      let n = List.length jobs in
+      let cold = Engine.create ~jobs:2 ~faults:Faultsim.none ~store_path:dir () in
+      let b_cold = Engine.run_batch cold jobs in
+      let s_cold = Engine.stats cold in
+      Alcotest.(check int) "cold run misses the store" n s_cold.store_misses;
+      Alcotest.(check int) "cold run executes everything" n s_cold.executed;
+      Alcotest.(check int) "cold run persists every measurement" n
+        s_cold.store_writes;
+      Alcotest.(check bool) "cold run profiles" true (s_cold.profiler_calls > 0);
+      Option.iter Store.close (Engine.store cold);
+      (* a fresh engine: empty memo, warm disk tier *)
+      let warm = Engine.create ~jobs:2 ~faults:Faultsim.none ~store_path:dir () in
+      let b_warm = Engine.run_batch warm jobs in
+      let s_warm = Engine.stats warm in
+      Alcotest.(check int) "warm run: zero profiler calls" 0
+        s_warm.profiler_calls;
+      Alcotest.(check int) "warm run: zero executions" 0 s_warm.executed;
+      Alcotest.(check int) "warm run: every job served by the store" n
+        s_warm.store_hits;
+      Alcotest.(check int) "warm run: nothing invalidated" 0
+        s_warm.store_invalidated;
+      Alcotest.(check int) "warm run: nothing re-written" 0 s_warm.store_writes;
+      Alcotest.(check (float 0.0)) "warm run: hit rate 1.0" 1.0
+        (Engine.store_hit_rate s_warm);
+      Alcotest.(check bool) "warm outcomes byte-identical to cold" true
+        (b_cold.outcomes = b_warm.outcomes);
+      (* resubmission within the warm engine stays in the memo tier:
+         the store is consulted once per fingerprint *)
+      ignore (Engine.run_batch warm jobs);
+      let s2 = Engine.stats warm in
+      Alcotest.(check int) "memo shields the store" n s2.store_hits;
+      Alcotest.(check int) "resubmission hits the memo" n s2.cache_hits;
+      Option.iter Store.close (Engine.store warm))
+
+(* Perturbing one uarch table entry invalidates exactly that uarch's
+   entries: the other uarch's records still hit. *)
+let test_invalidation_is_surgical () =
+  with_store_dir "bhive_store_inval" (fun dir ->
+      let hsw_jobs = paper_jobs Uarch.All.haswell in
+      let skl_jobs = paper_jobs Uarch.All.skylake in
+      let n = List.length hsw_jobs in
+      let cold = Engine.create ~jobs:2 ~faults:Faultsim.none ~store_path:dir () in
+      ignore (Engine.run_batch cold (hsw_jobs @ skl_jobs));
+      Option.iter Store.close (Engine.store cold);
+      (* edit one latency table entry of haswell *)
+      let hsw = Uarch.All.haswell in
+      let perturbed =
+        {
+          hsw with
+          Uarch.Descriptor.profile =
+            {
+              hsw.Uarch.Descriptor.profile with
+              Uarch.Profile.div32_latency =
+                hsw.Uarch.Descriptor.profile.Uarch.Profile.div32_latency + 1;
+            };
+        }
+      in
+      let perturbed_jobs =
+        List.map (fun j -> { j with Engine.uarch = perturbed }) hsw_jobs
+      in
+      let warm = Engine.create ~jobs:2 ~faults:Faultsim.none ~store_path:dir () in
+      let batch = Engine.run_batch warm (perturbed_jobs @ skl_jobs) in
+      let s = Engine.stats warm in
+      Alcotest.(check int)
+        "exactly the perturbed uarch's entries invalidated" n
+        s.store_invalidated;
+      Alcotest.(check int) "the other uarch still hits" n s.store_hits;
+      Alcotest.(check int) "invalidated jobs re-executed" n s.executed;
+      Alcotest.(check int) "and re-persisted under the new generation" n
+        s.store_writes;
+      Alcotest.(check bool) "nothing quarantined by re-measurement" true
+        (batch.quarantined = []);
+      Option.iter Store.close (Engine.store warm);
+      (* third run: the perturbed generation is now persisted too *)
+      let third = Engine.create ~jobs:2 ~faults:Faultsim.none ~store_path:dir () in
+      ignore (Engine.run_batch third (perturbed_jobs @ skl_jobs));
+      let s3 = Engine.stats third in
+      Alcotest.(check int) "perturbed generation now hits" (2 * n) s3.store_hits;
+      Alcotest.(check int) "nothing invalidated on the third run" 0
+        s3.store_invalidated;
+      Alcotest.(check int) "zero profiler calls on the third run" 0
+        s3.profiler_calls;
+      Option.iter Store.close (Engine.store third))
+
+(* Quarantines are never persisted: a warm run re-derives them from the
+   fault seed instead of trusting the disk. *)
+let test_quarantines_not_persisted () =
+  with_store_dir "bhive_store_quar" (fun dir ->
+      let faults =
+        match Faultsim.parse "crash=1,seed=2" with
+        | Ok c -> c
+        | Error msg -> Alcotest.fail msg
+      in
+      let job =
+        {
+          Engine.env = Harness.Environment.default;
+          uarch = Uarch.All.haswell;
+          block = Corpus.Paper_blocks.gzip_crc;
+        }
+      in
+      let e1 = Engine.create ~jobs:1 ~faults ~max_retries:1 ~store_path:dir () in
+      let b1 = Engine.run_batch e1 [ job ] in
+      Alcotest.(check int) "the job quarantined" 1
+        (List.length b1.quarantined);
+      Alcotest.(check int) "quarantine not written to the store" 0
+        (Engine.stats e1).store_writes;
+      Option.iter
+        (fun st ->
+          Alcotest.(check int) "store is empty" 0 (Store.stats st).Store.s_live;
+          Store.close st)
+        (Engine.store e1);
+      let e2 = Engine.create ~jobs:1 ~faults ~max_retries:1 ~store_path:dir () in
+      let b2 = Engine.run_batch e2 [ job ] in
+      Alcotest.(check bool) "warm run re-derives the same quarantine" true
+        (b1.outcomes = b2.outcomes);
+      Option.iter Store.close (Engine.store e2))
+
+(* --- determinism matrix ----------------------------------------------- *)
+
+let matrix_blocks =
+  lazy
+    (let config = { Corpus.Suite.default_config with scale = 2000 } in
+     List.filteri (fun i _ -> i mod 5 = 0) (Corpus.Suite.generate ~config ()))
+
+let check_datasets_equal what (a : Bhive.Dataset.t) (b : Bhive.Dataset.t) =
+  Alcotest.(check int) (what ^ ": entry count") (List.length a.entries)
+    (List.length b.entries);
+  Alcotest.(check bool) (what ^ ": entries identical") true
+    (a.entries = b.entries);
+  Alcotest.(check bool) (what ^ ": failures identical") true
+    (a.failures = b.failures);
+  Alcotest.(check bool) (what ^ ": quarantined identical") true
+    (a.quarantined = b.quarantined)
+
+(* The ISSUE's determinism matrix: {cold, warm, post-compaction} x
+   workers {1, 2, 4} must all produce byte-identical datasets, faults
+   included. *)
+let test_determinism_matrix () =
+  let u = Uarch.All.haswell in
+  let blocks = Lazy.force matrix_blocks in
+  let faults =
+    match Faultsim.parse "crash=0.02,stall=0.01,seed=7" with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  let reference =
+    Bhive.Dataset.build
+      ~engine:(Engine.create ~jobs:1 ~faults:Faultsim.none ())
+      u blocks
+  in
+  List.iter
+    (fun jobs ->
+      with_store_dir "bhive_store_matrix" (fun dir ->
+          let build () =
+            let engine = Engine.create ~jobs ~faults ~store_path:dir () in
+            let ds = Bhive.Dataset.build ~engine u blocks in
+            let stats = Engine.stats engine in
+            Option.iter Store.close (Engine.store engine);
+            (ds, stats)
+          in
+          let cold, _ = build () in
+          check_datasets_equal
+            (Printf.sprintf "jobs=%d cold vs reference" jobs)
+            reference cold;
+          let warm, warm_stats = build () in
+          check_datasets_equal (Printf.sprintf "jobs=%d warm" jobs) reference
+            warm;
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d warm: zero profiler calls" jobs)
+            0 warm_stats.profiler_calls;
+          (* compact, then run again against the compacted store *)
+          let st = Store.open_ dir in
+          ignore (Store.gc st);
+          Store.close st;
+          let post_gc, gc_stats = build () in
+          check_datasets_equal (Printf.sprintf "jobs=%d post-gc" jobs)
+            reference post_gc;
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d post-gc: zero profiler calls" jobs)
+            0 gc_stats.profiler_calls))
+    [ 1; 2; 4 ]
+
+(* --- environment validation ------------------------------------------- *)
+
+(* Unix.putenv cannot unset a variable, so every parser treats the
+   empty string as unset — restore with "" after each case. *)
+let with_env var value f =
+  let old = Option.value (Sys.getenv_opt var) ~default:"" in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var old) f
+
+let test_env_jobs_messages () =
+  with_env "BHIVE_JOBS" "abc" (fun () ->
+      Alcotest.(check bool) "malformed BHIVE_JOBS rejected" true
+        (Engine.jobs_from_env ()
+        = Error "invalid BHIVE_JOBS=\"abc\": expected a positive integer");
+      Alcotest.(check bool) "validate_env reports it" true
+        (Result.is_error (Engine.validate_env ())));
+  with_env "BHIVE_JOBS" "0" (fun () ->
+      Alcotest.(check bool) "zero rejected" true
+        (Engine.jobs_from_env ()
+        = Error "invalid BHIVE_JOBS=\"0\": expected a positive integer"));
+  with_env "BHIVE_JOBS" "-4" (fun () ->
+      Alcotest.(check bool) "negative rejected" true
+        (Result.is_error (Engine.jobs_from_env ())));
+  with_env "BHIVE_JOBS" "3" (fun () ->
+      Alcotest.(check bool) "positive accepted" true
+        (Engine.jobs_from_env () = Ok (Some 3)));
+  with_env "BHIVE_JOBS" "" (fun () ->
+      Alcotest.(check bool) "empty means unset" true
+        (Engine.jobs_from_env () = Ok None))
+
+let test_env_faults_messages () =
+  with_env "BHIVE_FAULTS" "crash=2" (fun () ->
+      match Faultsim.env_result () with
+      | Error msg ->
+        Alcotest.(check bool) "message names the variable and value" true
+          (contains ~needle:"invalid BHIVE_FAULTS=\"crash=2\":" msg);
+        Alcotest.(check bool) "validate_env reports it" true
+          (Result.is_error (Engine.validate_env ()))
+      | Ok _ -> Alcotest.fail "crash=2 should be rejected");
+  with_env "BHIVE_FAULTS" "bogus=1" (fun () ->
+      Alcotest.(check bool) "unknown key rejected" true
+        (Result.is_error (Faultsim.env_result ())));
+  with_env "BHIVE_FAULTS" "crash=0.1,seed=5" (fun () ->
+      Alcotest.(check bool) "well-formed spec accepted" true
+        (Result.is_ok (Faultsim.env_result ())));
+  with_env "BHIVE_FAULTS" "" (fun () ->
+      Alcotest.(check bool) "empty means unset" true
+        (Faultsim.env_result () = Ok Faultsim.none))
+
+let test_env_store_messages () =
+  let file = Filename.temp_file "bhive_store_env" "" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      with_env "BHIVE_STORE" file (fun () ->
+          Alcotest.(check bool) "non-directory path rejected" true
+            (Engine.store_path_from_env ()
+            = Error
+                (Printf.sprintf
+                   "invalid BHIVE_STORE=%S: exists and is not a directory" file));
+          Alcotest.(check bool) "validate_env reports it" true
+            (Result.is_error (Engine.validate_env ()))));
+  with_env "BHIVE_STORE" "" (fun () ->
+      Alcotest.(check bool) "empty means unset" true
+        (Engine.store_path_from_env () = Ok None));
+  with_store_dir "bhive_store_envdir" (fun dir ->
+      with_env "BHIVE_STORE" dir (fun () ->
+          Alcotest.(check bool) "directory accepted" true
+            (Engine.store_path_from_env () = Ok (Some dir))))
+
+let suite =
+  [
+    Alcotest.test_case "sha256: FIPS 180-4 vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "codec: round-trip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec: fnv1a64 vectors" `Quick test_fnv1a64_vectors;
+    Alcotest.test_case "store: put/get/stale/supersede" `Quick
+      test_store_basics;
+    Alcotest.test_case "store: fold is key-sorted" `Quick
+      test_store_fold_sorted;
+    Alcotest.test_case "store: binary payloads" `Quick
+      test_store_binary_payload;
+    Alcotest.test_case "store: rejects a file path" `Quick
+      test_store_rejects_file_path;
+    Alcotest.test_case "crash safety: truncation at every offset" `Quick
+      test_truncation_at_every_offset;
+    Alcotest.test_case "crash safety: bit flip detected" `Quick
+      test_bitflip_detected;
+    Alcotest.test_case "gc: compaction" `Quick test_gc_compaction;
+    Alcotest.test_case "concurrent puts from domains" `Quick
+      test_concurrent_puts;
+    Alcotest.test_case "golden fingerprints pinned" `Quick
+      test_golden_fingerprints;
+    Alcotest.test_case "generation sensitivity" `Quick
+      test_generation_sensitivity;
+    Alcotest.test_case "warm run: zero profiler calls" `Quick
+      test_warm_run_zero_profiler_calls;
+    Alcotest.test_case "invalidation is surgical" `Quick
+      test_invalidation_is_surgical;
+    Alcotest.test_case "quarantines are not persisted" `Quick
+      test_quarantines_not_persisted;
+    Alcotest.test_case "determinism matrix: tiers x workers" `Quick
+      test_determinism_matrix;
+    Alcotest.test_case "env: BHIVE_JOBS messages" `Quick
+      test_env_jobs_messages;
+    Alcotest.test_case "env: BHIVE_FAULTS messages" `Quick
+      test_env_faults_messages;
+    Alcotest.test_case "env: BHIVE_STORE messages" `Quick
+      test_env_store_messages;
+  ]

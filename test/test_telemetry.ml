@@ -212,6 +212,133 @@ let test_json_parse_errors () =
   bad "{\"a\":1} trailing";
   bad "nul"
 
+(* Escape-sequence edge cases: escaped quotes and backslashes inside
+   strings, strict \uXXXX handling (including surrogate pairs and the
+   errors around them), and unknown escapes. *)
+let test_json_string_escapes () =
+  let parses input expected =
+    match Json.parse input with
+    | Ok (Json.String s) -> Alcotest.(check string) input expected s
+    | Ok v -> Alcotest.failf "%s parsed as non-string %s" input (Json.to_string v)
+    | Error msg -> Alcotest.failf "%s failed to parse: %s" input msg
+  in
+  parses {|"a\"b"|} "a\"b";
+  parses {|"a\\b"|} "a\\b";
+  parses {|"\\\""|} "\\\"";
+  parses {|"a\/b"|} "a/b";
+  parses {|"\b\f\n\r\t"|} "\b\012\n\r\t";
+  (* \uXXXX: ASCII, 2-byte and 3-byte UTF-8, hex case-insensitive *)
+  parses "\"\\u0041\"" "A";
+  parses "\"\\u00e9\"" "\xc3\xa9";
+  parses "\"\\u00E9\"" "\xc3\xa9";
+  parses "\"\\u20ac\"" "\xe2\x82\xac";
+  parses "\"\\u0000\"" "\x00";
+  (* surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8 *)
+  parses "\"\\ud83d\\ude00\"" "\xf0\x9f\x98\x80";
+  let bad input =
+    match Json.parse input with
+    | Error _ -> ()
+    | Ok v -> Alcotest.failf "accepted %s as %s" input (Json.to_string v)
+  in
+  bad {|"\u12"|};
+  (* int_of_string "0x..." laxness must not leak: underscores are not hex *)
+  bad {|"\u00_1"|};
+  bad {|"\u 041"|};
+  bad {|"\ug000"|};
+  (* unpaired surrogates *)
+  bad {|"\ud83d"|};
+  bad {|"\ud83dx"|};
+  bad {|"\ud83dA"|};
+  bad {|"\ude00"|};
+  (* unknown escape *)
+  bad {|"\x41"|};
+  (* escaped quote does not close the string *)
+  bad {|"a\"|}
+
+let test_json_escape_roundtrip () =
+  (* every byte value survives to_string -> parse, escapes included *)
+  let every_byte = String.init 256 Char.chr in
+  let v = Json.Object [ ("bytes", Json.String every_byte) ] in
+  (match Json.parse (Json.to_string ~compact:true v) with
+  | Ok v' -> Alcotest.(check bool) "all 256 byte values round-trip" true (v = v')
+  | Error msg -> Alcotest.failf "serialized bytes failed to parse: %s" msg);
+  let tricky = "ends with backslash \\" in
+  match Json.parse (Json.to_string (Json.String tricky)) with
+  | Ok (Json.String s) -> Alcotest.(check string) "trailing backslash" tricky s
+  | _ -> Alcotest.fail "trailing-backslash string did not round-trip"
+
+let test_json_deep_nesting () =
+  let nested depth =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  (match Json.parse (nested 100) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "100-deep array rejected: %s" msg);
+  (match Json.parse (nested 5000) with
+  | Ok _ -> Alcotest.fail "5000-deep array should exceed the depth limit"
+  | Error msg ->
+    let contains needle =
+      let n = String.length needle and h = String.length msg in
+      let rec at i = i + n <= h && (String.sub msg i n = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "error names the depth limit" true
+      (contains "deep"));
+  (* objects count against the same limit *)
+  let nested_obj depth =
+    String.concat "" (List.init depth (fun _ -> {|{"a":|}))
+    ^ "1"
+    ^ String.make depth '}'
+  in
+  match Json.parse (nested_obj 5000) with
+  | Ok _ -> Alcotest.fail "5000-deep object should exceed the depth limit"
+  | Error _ -> ()
+
+(* Property: any JSON value built from exactly-representable numbers
+   serializes and reparses to itself, pretty or compact. *)
+let json_gen =
+  let open QCheck.Gen in
+  (* halves are exact in binary floating point, so formatting is stable *)
+  let number = map (fun n -> Json.Number (float_of_int n /. 2.0)) (int_range (-10000) 10000) in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let scalar =
+    oneof
+      [
+        number;
+        map (fun s -> Json.String s) (string_size (int_range 0 12));
+        map (fun b -> Json.Bool b) bool;
+        return Json.Null;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (2, scalar);
+               ( 1,
+                 map (fun l -> Json.List l)
+                   (list_size (int_range 0 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Json.Object kvs)
+                   (list_size (int_range 0 4)
+                      (pair key (self (n / 2)))) );
+             ])
+
+let json_arbitrary =
+  QCheck.make ~print:(fun j -> Json.to_string j) json_gen
+
+let json_roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"json round-trip property" ~count:500
+       json_arbitrary (fun v ->
+         Json.parse_exn (Json.to_string v) = v
+         && Json.parse_exn (Json.to_string ~compact:true v) = v))
+
 (* --- Bench_diff --- *)
 
 let summary ?(executed = 1000.) ?(hit_rate = 0.5) ?(wall = 10.)
@@ -359,6 +486,119 @@ let test_diff_quarantine_regression () =
   in
   check_verdict "fewer quarantines pass" Bench_diff.Pass report
 
+(* --- schema v4: store tier and the warm-cache gate --- *)
+
+let with_store ?(hits = 95.) ?(misses = 5.) ?(hit_rate = 0.95) s =
+  match s with
+  | Json.Object fields ->
+    Json.Object
+      (fields
+      @ [
+          ( "store",
+            Json.Object
+              [
+                ("enabled", Json.Bool true);
+                ("path", Json.String "/tmp/store");
+                ("hits", Json.Number hits);
+                ("misses", Json.Number misses);
+                ("invalidated", Json.Number 0.);
+                ("writes", Json.Number misses);
+                ("hit_rate", Json.Number hit_rate);
+              ] );
+        ])
+  | other -> other
+
+let test_diff_store_hit_rate () =
+  (* a regressed store hit rate fails like a regressed cache-hit rate *)
+  let report =
+    diff (with_store (summary ())) (with_store ~hit_rate:0.5 (summary ()))
+  in
+  check_verdict "store hit-rate drop fails" Bench_diff.Fail report;
+  let report = diff (with_store (summary ())) (with_store (summary ())) in
+  check_verdict "unchanged store hit rate passes" Bench_diff.Pass report;
+  (* a cold baseline (rate 0) imposes nothing on the current run *)
+  let report =
+    diff (with_store ~hits:0. ~hit_rate:0. (summary ())) (summary ())
+  in
+  check_verdict "cold baseline imposes no store check" Bench_diff.Pass report
+
+let test_diff_min_store_hit_rate_floor () =
+  let gate baseline current =
+    Bench_diff.compare_summaries ~min_store_hit_rate:0.95 ~baseline ~current ()
+  in
+  let report =
+    gate (with_store (summary ())) (with_store ~hit_rate:0.90 (summary ()))
+  in
+  check_verdict "below the floor fails" Bench_diff.Fail report;
+  let report =
+    gate (with_store (summary ())) (with_store ~hit_rate:0.99 (summary ()))
+  in
+  check_verdict "above the floor passes" Bench_diff.Pass report;
+  (* a summary with no store object cannot satisfy the floor *)
+  let report = gate (summary ()) (summary ()) in
+  check_verdict "no store object fails the floor" Bench_diff.Fail report
+
+let test_strip_volatile () =
+  let s =
+    with_store ~hit_rate:0.95
+      (with_faults (summary ~executed:1000. ~wall:10. ()))
+  in
+  let stripped = Bench_diff.strip_volatile s in
+  Alcotest.(check bool) "wall stripped" true
+    (Json.member "engine_wall_seconds" stripped = None);
+  Alcotest.(check bool) "store stripped" true
+    (Json.member "store" stripped = None);
+  Alcotest.(check bool) "executed stripped" true
+    (Json.member "executed" stripped = None);
+  Alcotest.(check bool) "submitted kept" true
+    (Json.member "submitted" stripped <> None);
+  (* stripping recurses into sections *)
+  match Json.member "sections" stripped with
+  | Some (Json.List (sec :: _)) ->
+    Alcotest.(check bool) "section wall stripped" true
+      (Json.member "wall_seconds" sec = None);
+    Alcotest.(check bool) "section name kept" true
+      (Json.member "section" sec <> None)
+  | _ -> Alcotest.fail "sections missing after strip"
+
+let test_diff_identical_mode () =
+  let identical baseline current =
+    Bench_diff.compare_summaries ~require_identical:true ~baseline ~current ()
+  in
+  (* volatile-only differences (store traffic) pass identically *)
+  let report =
+    identical
+      (with_store ~hits:0. ~misses:100. ~hit_rate:0. (summary ()))
+      (with_store ~hit_rate:0.95 (summary ()))
+  in
+  check_verdict "volatile-only differences are identical" Bench_diff.Pass
+    report;
+  (* a non-volatile difference fails and names its path *)
+  let bumped_submitted =
+    match summary () with
+    | Json.Object fields ->
+      Json.Object
+        (List.map
+           (function
+             | "submitted", _ -> ("submitted", Json.Number 2001.)
+             | kv -> kv)
+           fields)
+    | other -> other
+  in
+  let report = identical (summary ()) bumped_submitted in
+  check_verdict "non-volatile difference fails" Bench_diff.Fail report;
+  Alcotest.(check bool) "finding names the differing path" true
+    (List.exists
+       (fun (f : Bench_diff.finding) ->
+         String.length f.metric >= 10
+         && String.sub f.metric 0 10 = "identical:")
+       report.Bench_diff.findings)
+
+let test_diff_schema_v4_accepted () =
+  let versioned v = Json.Object [ ("schema_version", Json.Number v) ] in
+  Alcotest.(check bool) "v4 (store era) accepted" true
+    (Result.is_ok (Bench_diff.check_schema (versioned 4.0)))
+
 let suite =
   [
     Alcotest.test_case "span nesting and parents" `Quick test_span_nesting;
@@ -377,6 +617,11 @@ let suite =
     Alcotest.test_case "metrics snapshot json" `Quick test_snapshot_json;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json string escapes" `Quick test_json_string_escapes;
+    Alcotest.test_case "json escape round-trip" `Quick
+      test_json_escape_roundtrip;
+    Alcotest.test_case "json deep nesting limit" `Quick test_json_deep_nesting;
+    json_roundtrip_prop;
     Alcotest.test_case "diff: identical passes" `Quick test_diff_identical;
     Alcotest.test_case "diff: executed regression" `Quick
       test_diff_executed_regression;
@@ -397,4 +642,11 @@ let suite =
     Alcotest.test_case "diff: lost jobs fail" `Quick test_diff_lost_jobs_fail;
     Alcotest.test_case "diff: quarantine regression" `Quick
       test_diff_quarantine_regression;
+    Alcotest.test_case "diff: store hit rate" `Quick test_diff_store_hit_rate;
+    Alcotest.test_case "diff: min store hit-rate floor" `Quick
+      test_diff_min_store_hit_rate_floor;
+    Alcotest.test_case "diff: strip volatile" `Quick test_strip_volatile;
+    Alcotest.test_case "diff: identical mode" `Quick test_diff_identical_mode;
+    Alcotest.test_case "diff: schema v4 accepted" `Quick
+      test_diff_schema_v4_accepted;
   ]

@@ -1,17 +1,20 @@
 (** Benchmark harness: regenerates every table and figure of the paper's
     evaluation, plus speed micro-benchmarks and methodology ablations.
 
-    Each [table*] / [fig*] function below corresponds to one artefact of
-    the paper (see DESIGN.md's per-experiment index). Output goes to
-    stdout; `dune exec bench/main.exe | tee bench_output.txt` reproduces
-    the full evaluation. The corpus scale is controlled by BHIVE_SCALE
-    (default 100 = 1/100 of the paper's block counts). *)
+    A thin wrapper since the manifest refactor: the whole run is the
+    built-in benchmark manifest ([Manifest.Spec.bench] — print it with
+    `--emit-manifest`, or run the checked-in copy with
+    `bhive_run examples/bench.manifest.json`). Output goes to stdout;
+    `dune exec bench/main.exe | tee bench_output.txt` reproduces the
+    full evaluation. The corpus scale is controlled by BHIVE_SCALE
+    (default 100 = 1/100 of the paper's block counts); BHIVE_TRACE
+    streams a JSONL span trace alongside the run.
 
-let fmt = Format.std_formatter
+    The run always starts from a fresh journal (`~fresh:true`): bench
+    re-executes every section each time — the persistent store
+    (BHIVE_STORE) still makes warm runs cheap. Use bhive_run directly
+    for resumable runs. *)
 
-(* BHIVE_TRACE=<path> streams a JSONL span trace (engine batches,
-   per-job executions, profiler measurements, pipeline simulations)
-   alongside the run. *)
 let () = Telemetry.Trace.init_from_env ()
 
 (* Fail fast on malformed engine environment (BHIVE_JOBS, BHIVE_FAULTS,
@@ -24,368 +27,22 @@ let () =
     prerr_endline ("bench: " ^ msg);
     exit 2
 
-(* One engine for the whole run: every section submits its profiling
-   through it, so e.g. the Table V datasets are measured once and the
-   case studies afterwards are pure cache hits. *)
-let engine = Engine.default ()
-
-let section name f =
-  let t0 = Unix.gettimeofday () in
-  let result = Engine.phase engine name f in
-  Format.fprintf fmt "@.(%s finished in %.1fs)@." name (Unix.gettimeofday () -. t0);
-  result
-
-(* ------------------------------------------------------------------ *)
-(* Shared state: corpus, datasets, classifier.                         *)
-(* ------------------------------------------------------------------ *)
-
-let config = Corpus.Suite.config_from_env ()
-
-(* Machine-readable perf trajectory: section names, wall seconds,
-   worker count, per-worker utilization, cache-hit rates, and the
-   telemetry counter/histogram snapshot — the document
-   bin/bhive_bench_diff gates CI on. The scale and git revision
-   (BHIVE_REV, when the caller exports it) make a summary
-   self-describing when diffed across revisions. *)
-let write_summary path =
-  let open Telemetry in
-  let rev =
-    match Sys.getenv_opt "BHIVE_REV" with
-    | Some r when String.trim r <> "" -> String.trim r
-    | _ -> "unknown"
-  in
-  (* schema v4: the engine summary now carries a "store" object with
-     disk-tier hit/miss/invalidation counters *)
-  let summary =
-    match Engine.summary_json engine with
-    | Json.Object fields ->
-      Json.Object
-        (("schema_version", Json.Number 4.0)
-        :: ("scale", Json.Number (float_of_int config.scale))
-        :: ("rev", Json.String rev)
-        :: (fields @ [ ("telemetry", Metrics.snapshot ()) ]))
-    | other -> other
-  in
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (Json.to_string summary);
-      Out_channel.output_char oc '\n');
-  let s = Engine.stats engine in
-  Format.fprintf fmt
-    "engine: %d workers, %d jobs submitted, %d executed, %d cache hits (%.1f%%)@."
-    (Engine.jobs engine) s.submitted s.executed s.cache_hits
-    (100.0 *. Engine.hit_rate s);
-  (match Engine.store engine with
-  | None -> ()
-  | Some store ->
-    Format.fprintf fmt
-      "store (%s): %d hits, %d misses, %d invalidated, %d writes (hit rate %.1f%%), %d entries@."
-      (Store.dir store) s.store_hits s.store_misses s.store_invalidated
-      s.store_writes
-      (100.0 *. Engine.store_hit_rate s)
-      (Store.stats store).Store.s_live);
-  if not (Faultsim.is_none (Engine.faults engine)) then
-    Format.fprintf fmt
-      "faults (%s): %d retries, %d crashes, %d timeouts, %d stalls absorbed, %d workers replenished, %d jobs quarantined@."
-      (Faultsim.to_string (Engine.faults engine))
-      s.retries s.crashes s.timeouts s.stalls_absorbed s.workers_replenished
-      s.quarantined;
-  Format.fprintf fmt "summary written to %s@." path
-
-(* Every submitted job must resolve: quarantines go to the manifest and
-   a lost job (neither completed nor quarantined) fails the run — the
-   invariant the CI chaos job gates on. *)
-let finalize () =
-  let s = Engine.stats engine in
-  (match Engine.quarantines engine with
-  | [] -> ()
-  | _ ->
-    let n = Engine.write_quarantine_manifest engine "failures.jsonl" in
-    Format.fprintf fmt "%d quarantined job(s) written to failures.jsonl@." n);
-  let lost = Engine.lost s in
-  if lost <> 0 then begin
-    Format.fprintf fmt
-      "FATAL: %d job(s) lost (submitted=%d completed=%d quarantined=%d)@."
-      lost s.submitted s.completed s.quarantined;
-    exit 1
-  end
-
-let suite = lazy (Corpus.Suite.generate ~config ())
-
-let classifier = lazy (Classify.Categories.fit (Lazy.force suite))
-
-let dataset (uarch : Uarch.Descriptor.t) =
-  Bhive.Dataset.build ~engine uarch (Lazy.force suite)
-
-let datasets =
-  lazy (List.map (fun u -> (u, dataset u)) Uarch.All.all)
-
-(* ------------------------------------------------------------------ *)
-(* Tables                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let table1_ablation_suite () =
-  let rows = Bhive.Ablation.suite_ablation ~engine (Lazy.force suite) in
-  Bhive.Report.suite_ablation fmt rows
-
-let table2_ablation_block () =
-  let rows = Bhive.Ablation.block_ablation ~engine Corpus.Paper_blocks.tensorflow_ablation in
-  Bhive.Report.block_ablation fmt rows
-
-let table3_applications () = Bhive.Report.applications fmt (Lazy.force suite)
-
-let table4_categories () =
-  Bhive.Report.categories fmt (Lazy.force classifier) (Lazy.force suite)
-
-let table5_overall_error () =
-  let evals =
-    List.map
-      (fun ((u : Uarch.Descriptor.t), ds) ->
-        (u.name, Bhive.Validation.evaluate_all ~engine ds))
-      (Lazy.force datasets)
-  in
-  Bhive.Report.overall_error fmt evals;
-  evals
-
-let table6_case_study () =
-  let hsw = Uarch.All.haswell in
-  let hsw_ds = List.assoc hsw (Lazy.force datasets) in
-  let models, _ = Bhive.Validation.standard_models ~engine hsw_ds in
-  let measure block =
-    match Engine.profile engine Harness.Environment.default hsw block with
-    | Ok p -> p.throughput
-    | Error _ -> nan
-  in
-  let rows =
-    List.map
-      (fun (name, block) ->
-        ( name,
-          block,
-          measure block,
-          List.map (fun (m : Models.Model_intf.t) -> (m.name, m.predict block)) models ))
-      [
-        ("unsigned division (64/32-bit)", Corpus.Paper_blocks.division);
-        ("zero idiom (vxorps xmm2,xmm2,xmm2)", Corpus.Paper_blocks.zero_idiom);
-        ("gzip updcrc inner loop", Corpus.Paper_blocks.gzip_crc);
-      ]
-  in
-  Bhive.Report.case_study fmt rows;
-  (* the mis-scheduling figure: IACA vs llvm-mca schedules on the gzip
-     block *)
-  let block = Corpus.Paper_blocks.gzip_crc in
-  List.iter
-    (fun (m : Models.Model_intf.t) ->
-      match m.schedule with
-      | Some sched when m.name <> "OSACA" ->
-        Bhive.Report.schedule fmt ~model:m.name ~block (sched block)
-      | _ -> ())
-    models
-
-let table7_google () =
-  let hsw = Uarch.All.haswell in
-  let google = Corpus.Suite.generate_google ~config () in
-  let spanner, dremel =
-    List.partition (fun (b : Corpus.Block.t) -> b.app = "spanner") google
-  in
-  (* composition figure, frequency-weighted *)
-  let cls = Lazy.force classifier in
-  Bhive.Report.composition fmt
-    ~title:"Figure: basic block composition of Spanner and Dremel (frequency-weighted)"
-    (Classify.Composition.rows ~weighted:true cls google);
-  (* accuracy table: IACA, llvm-mca, Ithemal (no OSACA, as in the paper) *)
-  let hsw_ds = List.assoc hsw (Lazy.force datasets) in
-  let models, _ = Bhive.Validation.standard_models ~engine hsw_ds in
-  let models =
-    List.filter (fun (m : Models.Model_intf.t) -> m.name <> "OSACA") models
-  in
-  let rows =
-    List.map
-      (fun (app, blocks) ->
-        let ds = Bhive.Dataset.build ~engine hsw blocks in
-        ( app,
-          List.map (fun m -> Bhive.Validation.evaluate_entries hsw m ds.entries) models ))
-      [ ("Spanner", spanner); ("Dremel", dremel) ]
-  in
-  Bhive.Report.google_numbers fmt rows
-
-(* ------------------------------------------------------------------ *)
-(* Figures                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let fig_examples () =
-  Bhive.Report.exemplars fmt
-    (Classify.Categories.exemplars (Lazy.force classifier) (Lazy.force suite))
-
-let fig_apps_vs_clusters () =
-  Bhive.Report.composition fmt
-    ~title:"Figure: breakdown of applications by basic block categories"
-    (Classify.Composition.rows (Lazy.force classifier) (Lazy.force suite))
-
-let fig_errors (evals : (string * Bhive.Validation.eval list) list) =
-  let cls = Lazy.force classifier in
-  List.iter
-    (fun (uarch_name, per_model) ->
-      Bhive.Report.per_app_error fmt ~uarch:uarch_name per_model;
-      Bhive.Report.per_category_error fmt ~uarch:uarch_name cls per_model)
-    evals;
-  (* extension: error vs block length on Haswell *)
-  match List.assoc_opt "Haswell" evals with
-  | Some per_model -> Bhive.Report.per_length_error fmt ~uarch:"Haswell" per_model
-  | None -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Methodology ablations beyond the paper's tables                     *)
-(* ------------------------------------------------------------------ *)
-
-let bench_ablation_unroll () =
-  Bhive.Report.rule fmt "Ablation: unroll-factor sweep on the TensorFlow block (naive strategy)";
-  let block = Corpus.Paper_blocks.tensorflow_ablation in
-  List.iter
-    (fun u ->
-      let env =
-        { Harness.Environment.default with unroll = Harness.Environment.Naive u }
-      in
-      match Engine.profile engine env Uarch.All.haswell block with
-      | Ok p ->
-        Format.fprintf fmt "  u=%-4d tp=%8.2f accepted=%b l1i_misses=%d@." u
-          p.throughput p.accepted p.large.counters.l1i_misses
-      | Error e ->
-        let fingerprint =
-          Engine.fingerprint { Engine.env; uarch = Uarch.All.haswell; block }
-        in
-        Format.fprintf fmt "  u=%-4d failed: %s@." u
-          (Engine.error_to_string ~fingerprint e))
-    [ 4; 8; 16; 32; 64; 100; 200 ]
-
-let bench_ablation_filters () =
-  Bhive.Report.rule fmt "Ablation: clean-timing threshold sweep (accepted fraction of suite sample)";
-  let blocks =
-    List.filteri (fun i _ -> i mod 7 = 0) (Lazy.force suite)
-  in
-  List.iter
-    (fun min_clean ->
-      let env = { Harness.Environment.default with min_clean } in
-      let { Engine.outcomes; _ } =
-        Engine.run_batch engine
-          (List.map
-             (fun (b : Corpus.Block.t) ->
-               { Engine.env; uarch = Uarch.All.haswell; block = b.insts })
-             blocks)
-      in
-      let ok =
-        Array.fold_left
-          (fun acc -> function
-            | Ok (p : Harness.Profiler.profile) when p.accepted -> acc + 1
-            | _ -> acc)
-          0 outcomes
-      in
-      Format.fprintf fmt "  min_clean=%-3d accepted=%.2f%%@." min_clean
-        (100.0 *. float_of_int ok /. float_of_int (List.length blocks)))
-    [ 2; 4; 8; 12; 16 ]
-
-let bench_ablation_noise () =
-  Bhive.Report.rule fmt "Ablation: context-switch rate vs acceptance (suite sample)";
-  let blocks = List.filteri (fun i _ -> i mod 7 = 0) (Lazy.force suite) in
-  List.iter
-    (fun rate ->
-      let env = { Harness.Environment.default with context_switch_rate = rate } in
-      let { Engine.outcomes; _ } =
-        Engine.run_batch engine
-          (List.map
-             (fun (b : Corpus.Block.t) ->
-               { Engine.env; uarch = Uarch.All.haswell; block = b.insts })
-             blocks)
-      in
-      let ok =
-        Array.fold_left
-          (fun acc -> function
-            | Ok (p : Harness.Profiler.profile) when p.accepted -> acc + 1
-            | _ -> acc)
-          0 outcomes
-      in
-      Format.fprintf fmt "  ctx_switch_rate=%.2f accepted=%.2f%%@." rate
-        (100.0 *. float_of_int ok /. float_of_int (List.length blocks)))
-    [ 0.0; 0.08; 0.25; 0.5 ]
-
-let bench_instruction_table () =
-  Bhive.Report.rule fmt
-    "Per-instruction characterisation on Haswell (llvm-exegesis-style)";
-  Exegesis.Characterize.pp_table fmt
-    (Exegesis.Characterize.table ~engine Uarch.All.haswell)
-
-let bench_port_mapping () =
-  Bhive.Report.rule fmt
-    "Port-mapping inference on Haswell (Abel-Reineke-style blocker probes)";
-  Exegesis.Portmap.pp_survey fmt
-    (Exegesis.Portmap.survey ~engine Uarch.All.haswell
-       Exegesis.Portmap.standard_targets)
-
-(* ------------------------------------------------------------------ *)
-(* Speed micro-benchmarks (Bechamel)                                   *)
-(* ------------------------------------------------------------------ *)
-
-let speed_benchmarks () =
-  Bhive.Report.rule fmt
-    "Speed: profiler vs analyzers on the gzip block (ns per prediction)";
-  let open Bechamel in
-  let block = Corpus.Paper_blocks.gzip_crc in
-  let hsw = Uarch.All.haswell in
-  let iaca = Models.Iaca.create hsw in
-  let mca = Models.Llvm_mca.create hsw in
-  let osaca = Models.Osaca.create hsw in
-  let env = Harness.Environment.default in
-  let tests =
-    Test.make_grouped ~name:"prediction"
-      [
-        Test.make ~name:"bhive-profiler"
-          (Staged.stage (fun () -> ignore (Harness.Profiler.profile env hsw block)));
-        Test.make ~name:"iaca-like"
-          (Staged.stage (fun () -> ignore (iaca.predict block)));
-        Test.make ~name:"llvm-mca-like"
-          (Staged.stage (fun () -> ignore (mca.predict block)));
-        Test.make ~name:"osaca-like"
-          (Staged.stage (fun () -> ignore (osaca.predict block)));
-      ]
-  in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
-  in
-  let raw = Benchmark.all cfg [ instance ] tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false
-      ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols instance raw in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Format.fprintf fmt "  %-24s %12.0f ns/run@." name est
-      | _ -> Format.fprintf fmt "  %-24s (no estimate)@." name)
-    results
-
-(* ------------------------------------------------------------------ *)
-
 let () =
-  Format.fprintf fmt "BHive reproduction benchmark harness (scale 1/%d)@."
-    config.scale;
-  section "corpus" (fun () -> ignore (Lazy.force suite));
-  section "table3" table3_applications;
-  section "table1" table1_ablation_suite;
-  section "table2" table2_ablation_block;
-  section "classifier" (fun () -> ignore (Lazy.force classifier));
-  section "table4" table4_categories;
-  section "fig-examples" fig_examples;
-  section "fig-apps-vs-clusters" fig_apps_vs_clusters;
-  let evals = section "table5" table5_overall_error in
-  section "fig-errors" (fun () -> fig_errors evals);
-  section "table6" table6_case_study;
-  section "table7" table7_google;
-  section "instruction-table" bench_instruction_table;
-  section "port-mapping" bench_port_mapping;
-  section "ablation-unroll" bench_ablation_unroll;
-  section "ablation-filters" bench_ablation_filters;
-  section "ablation-noise" bench_ablation_noise;
-  section "speed" speed_benchmarks;
-  write_summary "bench_summary.json";
-  finalize ();
-  Format.fprintf fmt "@.done.@."
+  let config = Corpus.Suite.config_from_env () in
+  let spec = Manifest.Spec.bench ~scale:config.Corpus.Suite.scale () in
+  if Array.exists (( = ) "--emit-manifest") Sys.argv then begin
+    print_string (Manifest.Spec.to_string spec);
+    exit 0
+  end;
+  Format.printf "BHive reproduction benchmark harness (scale 1/%d)@."
+    config.Corpus.Suite.scale;
+  match Manifest.Runner.run ~fresh:true spec with
+  | Error msg ->
+    prerr_endline ("bench: " ^ msg);
+    exit 2
+  | Ok (o : Manifest.Runner.outcome) ->
+    if o.lost <> 0 then begin
+      Format.eprintf "FATAL: %d job(s) lost@." o.lost;
+      exit 1
+    end;
+    Format.printf "@.done.@."

@@ -3,8 +3,10 @@
 
      bhive_bench_diff baseline.json current.json [thresholds]
 
-   Exit codes: 0 pass (warnings allowed), 1 regression, 2 unreadable
-   or unparseable input. See Telemetry.Bench_diff for the comparison
+   Exit codes: 0 pass (warnings allowed), 1 regression, 2 unreadable /
+   unparseable / too-old-schema input, 3 the two summaries come from
+   different experiments (manifest experiment ids differ) and are not
+   comparable at all. See Telemetry.Bench_diff for the comparison
    rules. *)
 
 open Cmdliner
@@ -40,8 +42,9 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     prerr_endline msg;
     exit 2
   | Ok baseline, Ok current ->
-    (* a schema-v1 summary (no telemetry snapshot) cannot be compared:
-       say so precisely instead of failing on a missing field *)
+    (* pre-manifest summaries (schema < 5: no manifest ids, counters
+       not yet classified volatile) cannot be compared: say so
+       precisely instead of failing on a missing field *)
     (match
        ( Telemetry.Bench_diff.check_schema baseline,
          Telemetry.Bench_diff.check_schema current )
@@ -138,9 +141,11 @@ let cmd =
           ~doc:
             "Require the two summaries to be structurally identical after \
              stripping volatile fields (wall times, utilization, store/cache \
-             traffic, telemetry snapshot). The warm-cache CI gate: a warm \
-             run must reproduce the cold run's experiment output \
-             byte-for-byte.")
+             traffic, telemetry snapshot). The warm-cache and kill-resume \
+             CI gate: the second run must reproduce the first run's \
+             experiment output byte-for-byte. Relative counter thresholds \
+             are not gated in this mode (those fields are volatile by its \
+             contract); absolute invariants still are.")
   in
   let min_store_hit_rate =
     Arg.(
@@ -148,8 +153,8 @@ let cmd =
       & opt (some float) None
       & info [ "min-store-hit-rate" ] ~docv:"RATE"
           ~doc:
-            "Fail unless the current run's store hit rate (schema v4 \
-             $(b,store.hit_rate)) is at least RATE — e.g. 0.95 for the \
+            "Fail unless the current run's store hit rate \
+             ($(b,store.hit_rate)) is at least RATE — e.g. 0.95 for the \
              warm-cache job.")
   in
   let term =

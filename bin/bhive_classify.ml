@@ -1,19 +1,24 @@
 (* bhive_classify: fit the LDA category model on the generated suite and
-   print the category table, per-application composition and exemplars. *)
+   print the category table, per-application composition and exemplars.
+   A thin wrapper around a classification manifest. *)
 
 open Cmdliner
 
-let run () scale exemplars =
-  let config = { Corpus.Suite.default_config with scale } in
-  let blocks = Corpus.Suite.generate ~config () in
-  Printf.printf "classifying %d blocks...\n%!" (List.length blocks);
-  let cls = Classify.Categories.fit blocks in
-  let fmt = Format.std_formatter in
-  Bhive.Report.categories fmt cls blocks;
-  Bhive.Report.composition fmt
-    ~title:"Per-application composition" (Classify.Composition.rows cls blocks);
-  if exemplars then
-    Bhive.Report.exemplars fmt (Classify.Categories.exemplars cls blocks)
+let spec scale exemplars =
+  let sections =
+    [
+      Manifest.Spec.section Manifest.Spec.Classifier;
+      Manifest.Spec.section Manifest.Spec.Categories;
+      Manifest.Spec.section
+        (Manifest.Spec.Composition { title = "Per-application composition" });
+    ]
+    @
+    if exemplars then [ Manifest.Spec.section Manifest.Spec.Exemplars ]
+    else []
+  in
+  Manifest.Spec.make ~name:"classify" ~scale ~sections ()
+
+let run setup scale exemplars = Cli_common.run_spec setup (spec scale exemplars)
 
 let cmd =
   let scale =
@@ -24,8 +29,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "bhive_classify" ~doc:"Classify the benchmark suite into port-usage categories")
-    Term.(const run $ Cli_faults.setup $ scale $ exemplars)
+    Term.(const run $ Cli_common.setup $ scale $ exemplars)
 
-let () =
-  Telemetry.Trace.init_from_env ();
-  exit (Cmd.eval cmd)
+let () = exit (Cmd.eval cmd)

@@ -1,29 +1,21 @@
 (* bhive_corpus: dump generated basic blocks as assembly text, optionally
    filtered by application — useful for feeding other tools or eyeballing
-   what the generators produce. *)
+   what the generators produce. A thin wrapper around a one-section
+   dump manifest. *)
 
 open Cmdliner
 
-let run () scale app limit with_freq =
-  let config = { Corpus.Suite.default_config with scale } in
-  let blocks = Corpus.Suite.generate_extended ~config () in
-  let blocks =
-    match app with
-    | Some name -> List.filter (fun (b : Corpus.Block.t) -> b.app = name) blocks
-    | None -> blocks
-  in
-  let blocks =
-    match limit with
-    | Some n -> List.filteri (fun i _ -> i < n) blocks
-    | None -> blocks
-  in
-  List.iter
-    (fun (b : Corpus.Block.t) ->
-      if with_freq then Printf.printf "# %s freq=%d\n" b.id b.freq
-      else Printf.printf "# %s\n" b.id;
-      print_endline (Corpus.Block.text b);
-      print_newline ())
-    blocks
+let spec scale app limit freq =
+  Manifest.Spec.make ~name:"corpus" ~scale
+    ~sections:
+      [
+        Manifest.Spec.section
+          (Manifest.Spec.Corpus_dump { variant = "extended"; app; limit; freq });
+      ]
+    ()
+
+let run setup scale app limit freq =
+  Cli_common.run_spec setup (spec scale app limit freq)
 
 let cmd =
   let scale =
@@ -40,8 +32,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "bhive_corpus" ~doc:"Dump generated benchmark-suite basic blocks as assembly")
-    Term.(const run $ Cli_faults.setup $ scale $ app_arg $ limit $ with_freq)
+    Term.(const run $ Cli_common.setup $ scale $ app_arg $ limit $ with_freq)
 
-let () =
-  Telemetry.Trace.init_from_env ();
-  exit (Cmd.eval cmd)
+let () = exit (Cmd.eval cmd)

@@ -1,48 +1,32 @@
 (* bhive_exegesis: per-instruction latency / reciprocal-throughput /
    micro-op characterisation via automatically generated micro-benchmarks
    run through the block profiler (the llvm-exegesis role from the
-   paper's background section). *)
+   paper's background section). A thin wrapper around a
+   characterisation manifest. *)
 
 open Cmdliner
 
-let uarch_conv =
-  let parse s =
-    match Uarch.All.by_short s with
-    | Some d -> Ok d
-    | None -> Error (`Msg (Printf.sprintf "unknown microarchitecture %S (ivb/hsw/skl)" s))
+let spec uarch ports =
+  let sections =
+    Manifest.Spec.section (Manifest.Spec.Instruction_table { uarch })
+    ::
+    (if ports then
+       [ Manifest.Spec.section (Manifest.Spec.Port_mapping { uarch }) ]
+     else [])
   in
-  Arg.conv (parse, fun fmt (d : Uarch.Descriptor.t) -> Format.pp_print_string fmt d.short)
+  Manifest.Spec.make ~name:"exegesis" ~uarches:[ uarch ] ~sections ()
 
-let run () uarch ports jobs =
-  let engine = Engine.create ?jobs () in
-  Printf.printf "Instruction characterisation on %s:\n\n" uarch.Uarch.Descriptor.name;
-  Exegesis.Characterize.pp_table Format.std_formatter
-    (Exegesis.Characterize.table ~engine uarch);
-  if ports then begin
-    print_newline ();
-    print_endline "Port-mapping inference (blocker probes):";
-    Exegesis.Portmap.pp_survey Format.std_formatter
-      (Exegesis.Portmap.survey ~engine uarch Exegesis.Portmap.standard_targets)
-  end;
-  let s = Engine.stats engine in
-  if s.quarantined > 0 then
-    Printf.printf "\n%d micro-benchmark(s) quarantined by the engine\n"
-      s.quarantined
+let run setup uarch ports = Cli_common.run_spec setup (spec uarch ports)
 
 let cmd =
   let uarch =
-    Arg.(value & opt uarch_conv Uarch.All.haswell & info [ "u"; "uarch" ] ~doc:"Microarchitecture: ivb, hsw or skl.")
+    Arg.(value & opt string "hsw" & info [ "u"; "uarch" ] ~doc:"Microarchitecture: ivb, hsw or skl.")
   in
   let ports =
     Arg.(value & flag & info [ "p"; "ports" ] ~doc:"Also infer port mappings with blocker probes.")
   in
-  let jobs =
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc:"Measurement worker domains for the engine (default \\$BHIVE_JOBS).")
-  in
   Cmd.v
     (Cmd.info "bhive_exegesis" ~doc:"Measure per-instruction latency and throughput with generated micro-benchmarks")
-    Term.(const run $ Cli_faults.setup $ uarch $ ports $ jobs)
+    Term.(const run $ Cli_common.setup $ uarch $ ports)
 
-let () =
-  Telemetry.Trace.init_from_env ();
-  exit (Cmd.eval cmd)
+let () = exit (Cmd.eval cmd)

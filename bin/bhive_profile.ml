@@ -1,6 +1,7 @@
 (* bhive_profile: profile one basic block, given as assembly text, on a
    chosen microarchitecture — the command-line face of the measurement
-   framework.
+   framework. A thin wrapper: the input and flags synthesize a
+   one-section manifest (printable with --emit-manifest).
 
      echo 'xor edx, edx
            div ecx' | dune exec bin/bhive_profile.exe -- --uarch hsw -
@@ -10,95 +11,38 @@ open Cmdliner
 
 let read_input = function
   | "-" -> In_channel.input_all In_channel.stdin
-  | path -> In_channel.with_open_text path In_channel.input_all
+  | path -> (
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg ->
+      prerr_endline ("bhive: " ^ msg);
+      exit 2)
 
-let uarch_conv =
-  let parse s =
-    match Uarch.All.by_short s with
-    | Some d -> Ok d
-    | None -> Error (`Msg (Printf.sprintf "unknown microarchitecture %S (ivb/hsw/skl)" s))
-  in
-  Arg.conv (parse, fun fmt (d : Uarch.Descriptor.t) -> Format.pp_print_string fmt d.short)
+let spec uarch naive_unroll keep_underflow keep_misaligned with_models
+    schedule asm =
+  Manifest.Spec.make ~name:"profile" ~uarches:[ uarch ]
+    ~filters:
+      {
+        Manifest.Spec.default_filters with
+        naive_unroll;
+        keep_underflow;
+        keep_misaligned;
+      }
+    ~sections:
+      [
+        Manifest.Spec.section
+          (Manifest.Spec.Profile { asm; uarch; with_models; schedule });
+      ]
+    ()
 
-let print_ground_truth_schedule uarch block =
-  (* map, execute a few copies, and dump the simulated core's schedule *)
-  match Harness.Mapping.run Harness.Environment.default block ~unroll:4 with
-  | Error f ->
-    Printf.printf "cannot map block: %s\n" (Harness.Mapping.failure_to_string f)
-  | Ok mapped ->
-    let machine = Pipeline.Machine.create uarch in
-    ignore (Pipeline.Machine.run machine mapped.steps);
-    let r = Pipeline.Machine.run ~record_schedule:true machine mapped.steps in
-    let insts = Array.of_list block in
-    Printf.printf "\nground-truth schedule (4 unrolled iterations, warm):\n";
-    List.iter
-      (fun (e : Pipeline.Core.schedule_entry) ->
-        let n = Array.length insts in
-        let name =
-          if n > 0 then X86.Inst.to_string insts.(e.static_index mod n) else ""
-        in
-        if e.port < 0 then
-          Printf.printf "  %4d..%-4d (eliminated)  %s\n" e.dispatch e.complete name
-        else
-          Printf.printf "  %4d..%-4d p%d %-7s %s\n" e.dispatch e.complete e.port
-            (Uarch.Uop.kind_name e.uop.kind) name)
-      r.schedule
-
-let run () uarch naive_unroll keep_underflow keep_misaligned with_models schedule jobs file =
-  let engine = Engine.create ?jobs () in
-  let text = read_input file in
-  match X86.Parser.block text with
-  | Error e ->
-    Printf.eprintf "parse error: %s\n" e;
-    exit 1
-  | Ok [] ->
-    Printf.eprintf "empty block\n";
-    exit 1
-  | Ok block ->
-    let env = Harness.Environment.default in
-    let env =
-      match naive_unroll with
-      | Some u -> { env with unroll = Harness.Environment.Naive u }
-      | None -> env
-    in
-    let env = { env with disable_underflow = not keep_underflow } in
-    let env = { env with drop_misaligned = not keep_misaligned } in
-    Printf.printf "block (%d instructions, %d bytes):\n" (List.length block)
-      (X86.Encoder.block_length block);
-    List.iter (fun i -> Printf.printf "    %s\n" (X86.Inst.to_string i)) block;
-    (match Engine.profile engine env uarch block with
-    | Ok p ->
-      Printf.printf "\nmeasured inverse throughput on %s: %.2f cycles/iteration\n"
-        uarch.Uarch.Descriptor.name p.throughput;
-      Printf.printf "accepted: %b%s\n" p.accepted
-        (match p.reject with
-        | Some Harness.Profiler.Misaligned_access -> " (misaligned access)"
-        | Some Harness.Profiler.Never_clean -> " (no clean timing)"
-        | Some Harness.Profiler.Unstable -> " (unstable timings)"
-        | None -> "");
-      Printf.printf "unroll factors: %d / %d; pages mapped: %d\n" p.factors.large
-        p.factors.small p.large.faults;
-      Printf.printf "counters: %s\n"
-        (Format.asprintf "%a" Pipeline.Counters.pp p.large.counters)
-    | Error e ->
-      let fingerprint = Engine.fingerprint { Engine.env; uarch; block } in
-      Printf.printf "\nprofiling failed: %s\n"
-        (Engine.error_to_string ~fingerprint e));
-    if schedule then print_ground_truth_schedule uarch block;
-    if with_models then begin
-      print_newline ();
-      List.iter
-        (fun (m : Models.Model_intf.t) ->
-          match m.predict block with
-          | Models.Model_intf.Throughput tp -> Printf.printf "%-10s %.2f\n" m.name tp
-          | Models.Model_intf.Unsupported r -> Printf.printf "%-10s - (%s)\n" m.name r)
-        [ Models.Iaca.create uarch; Models.Llvm_mca.create uarch;
-          Models.Osaca.create uarch ]
-    end
+let run setup uarch naive keep_underflow keep_misaligned with_models schedule
+    file =
+  let asm = read_input file in
+  Cli_common.run_spec setup
+    (spec uarch naive keep_underflow keep_misaligned with_models schedule asm)
 
 let cmd =
   let uarch =
-    Arg.(value & opt uarch_conv Uarch.All.haswell & info [ "u"; "uarch" ] ~doc:"Microarchitecture: ivb, hsw or skl.")
+    Arg.(value & opt string "hsw" & info [ "u"; "uarch" ] ~doc:"Microarchitecture: ivb, hsw or skl.")
   in
   let naive =
     Arg.(value & opt (some int) None & info [ "naive-unroll" ] ~doc:"Use naive unrolling with the given factor instead of the two-point method.")
@@ -115,16 +59,13 @@ let cmd =
   let schedule =
     Arg.(value & flag & info [ "schedule" ] ~doc:"Dump the simulated core's execution schedule.")
   in
-  let jobs =
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc:"Measurement worker domains for the engine (default \\$BHIVE_JOBS).")
-  in
   let file =
     Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Assembly file ('-' for stdin). AT&T and Intel syntax accepted.")
   in
   Cmd.v
     (Cmd.info "bhive_profile" ~doc:"Measure the steady-state throughput of an x86-64 basic block")
-    Term.(const run $ Cli_faults.setup $ uarch $ naive $ keep_underflow $ keep_misaligned $ with_models $ schedule $ jobs $ file)
+    Term.(
+      const run $ Cli_common.setup $ uarch $ naive $ keep_underflow
+      $ keep_misaligned $ with_models $ schedule $ file)
 
-let () =
-  Telemetry.Trace.init_from_env ();
-  exit (Cmd.eval cmd)
+let () = exit (Cmd.eval cmd)

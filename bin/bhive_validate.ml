@@ -1,64 +1,30 @@
 (* bhive_validate: generate the suite, build ground-truth datasets, and
-   evaluate the four cost models — the Table V pipeline as a CLI. *)
+   evaluate the cost models — the Table V pipeline as a CLI. A thin
+   wrapper: the flags synthesize a manifest (printable with
+   --emit-manifest) which [Manifest.Runner] executes. *)
 
 open Cmdliner
 
-let run () scale uarches seed export jobs =
-  let config = { Corpus.Suite.default_config with scale } in
-  let config =
-    match seed with Some s -> { config with seed = Int64.of_int s } | None -> config
+let spec scale uarches seed export =
+  let sections =
+    Manifest.Spec.section Manifest.Spec.Corpus_load
+    :: (List.map
+          (fun (u : Uarch.Descriptor.t) ->
+            Manifest.Spec.section (Manifest.Spec.Dataset { uarch = u.short }))
+          (match uarches with
+          | [] -> Uarch.All.all
+          | shorts -> List.filter_map Uarch.All.by_short shorts)
+       @ [ Manifest.Spec.section Manifest.Spec.Validate ])
   in
-  (* one engine for every microarchitecture: measurement results are
-     deterministic and byte-identical for any worker count *)
-  let engine = Engine.create ?jobs () in
-  let blocks = Corpus.Suite.generate ~config () in
-  Printf.printf "suite: %d blocks (scale 1/%d)\n%!" (List.length blocks) scale;
-  (* stderr, so stdout stays byte-identical across worker counts *)
-  Printf.eprintf "engine: %d measurement workers\n%!" (Engine.jobs engine);
-  let uarches =
-    match uarches with
-    | [] -> Uarch.All.all
-    | shorts ->
-      List.filter_map Uarch.All.by_short shorts
-  in
-  let evals =
-    List.map
-      (fun (u : Uarch.Descriptor.t) ->
-        Printf.printf "profiling on %s...\n%!" u.name;
-        let ds = Bhive.Dataset.build ~engine u blocks in
-        Printf.printf "  %d/%d blocks measured (%.1f%%), %d AVX2-excluded\n%!"
-          (Bhive.Dataset.size ds) ds.n_input
-          (100.0 *. Bhive.Dataset.profiled_fraction ds)
-          ds.n_avx2_excluded;
-        if ds.quarantined <> [] then
-          Printf.printf "  %d block(s) quarantined by the engine\n%!"
-            (List.length ds.quarantined);
-        (match export with
-        | Some prefix ->
-          let path = Printf.sprintf "%s-%s.csv" prefix u.short in
-          Bhive.Export.to_file path ds;
-          Printf.printf "  dataset written to %s\n%!" path
-        | None -> ());
-        (u.name, Bhive.Validation.evaluate_all ~engine ds))
-      uarches
-  in
-  Bhive.Report.overall_error Format.std_formatter evals;
-  let s = Engine.stats engine in
-  Printf.printf "engine: %d jobs submitted, %d executed, %d cache hits\n"
-    s.submitted s.executed s.cache_hits;
-  if not (Faultsim.is_none (Engine.faults engine)) then
-    Printf.printf
-      "faults: %d retries, %d crashes, %d timeouts, %d workers replenished, %d quarantined\n"
-      s.retries s.crashes s.timeouts s.workers_replenished s.quarantined;
-  (match Engine.quarantines engine with
-  | [] -> ()
-  | _ ->
-    let n = Engine.write_quarantine_manifest engine "failures.jsonl" in
-    Printf.printf "%d quarantined job(s) written to failures.jsonl\n" n);
-  if Engine.lost s <> 0 then begin
-    Printf.eprintf "FATAL: %d job(s) lost\n" (Engine.lost s);
-    exit 1
-  end
+  Manifest.Spec.make ~name:"validate" ~scale
+    ?seed:(Option.map Int64.of_int seed)
+    ~uarches
+    ~output:
+      { Manifest.Spec.default_output with export_prefix = export }
+    ~sections ()
+
+let run setup scale uarches seed export =
+  Cli_common.run_spec setup (spec scale uarches seed export)
 
 let cmd =
   let scale =
@@ -73,13 +39,8 @@ let cmd =
   let export =
     Arg.(value & opt (some string) None & info [ "export" ] ~doc:"Write each measured dataset to PREFIX-<uarch>.csv." ~docv:"PREFIX")
   in
-  let jobs =
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc:"Measurement worker domains (default \\$BHIVE_JOBS or the machine's recommended domain count). Results are identical for any value.")
-  in
   Cmd.v
     (Cmd.info "bhive_validate" ~doc:"Validate the cost models against measured ground truth")
-    Term.(const run $ Cli_faults.setup $ scale $ uarches $ seed $ export $ jobs)
+    Term.(const run $ Cli_common.setup $ scale $ uarches $ seed $ export)
 
-let () =
-  Telemetry.Trace.init_from_env ();
-  exit (Cmd.eval cmd)
+let () = exit (Cmd.eval cmd)

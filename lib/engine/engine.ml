@@ -851,20 +851,32 @@ let run_batch t (submission : job list) : batch =
       drain ()
     end
     else begin
-      let rec supervise pool =
-        match pool with
-        | [] -> ()
-        | (w, d) :: rest -> (
+      (* A non-crash exception escaping a worker (a caller's progress
+         hook aborting the run, an unexpected profiler error) must not
+         leak live domains past run_batch: remember the first such
+         exception, join every remaining domain without replenishing,
+         and re-raise only once the pool is fully drained. *)
+      let rec supervise ~fatal pool =
+        match (pool, fatal) with
+        | [], None -> ()
+        | [], Some e -> raise e
+        | (w, d) :: rest, _ -> (
           match Domain.join d with
-          | () -> supervise rest
-          | exception Worker_crashed { unique; attempt; worker } ->
-            recover ~unique ~attempt;
-            (* replenish the pool on the same worker slot; the
-               replacement sees any requeued job before exiting *)
-            let d' = Domain.spawn (worker_loop worker) in
-            supervise (rest @ [ (w, d') ]))
+          | () -> supervise ~fatal rest
+          | exception Worker_crashed { unique; attempt; worker } -> (
+            match fatal with
+            | None ->
+              recover ~unique ~attempt;
+              (* replenish the pool on the same worker slot; the
+                 replacement sees any requeued job before exiting *)
+              let d' = Domain.spawn (worker_loop worker) in
+              supervise ~fatal (rest @ [ (w, d') ])
+            | Some _ -> supervise ~fatal rest)
+          | exception e ->
+            let fatal = match fatal with None -> Some e | some -> some in
+            supervise ~fatal rest)
       in
-      supervise
+      supervise ~fatal:None
         (List.init workers (fun k -> (k, Domain.spawn (worker_loop k))))
     end;
     (* Commit to the cache and expand into submission order. *)

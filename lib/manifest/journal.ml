@@ -1,0 +1,164 @@
+(* The append-only run journal.
+
+   One JSONL file per run directory, keyed by the manifest id: a header
+   record stamps which manifest the journal belongs to, then one
+   [section_start] record when a section begins and one [section_end]
+   record — carrying the section's full rendered output, its SHA-256
+   digest and the engine counter deltas it caused — when it completes.
+
+   Resume is a pure function of this file: a section whose
+   [section_end] record is present is replayed (its recorded output is
+   printed verbatim, nothing is re-executed); everything else runs.
+   The file discipline is [Store.Jsonl]'s: a record only exists once
+   its newline is on disk, a torn or unparseable tail is truncated at
+   open, and mid-file corruption refuses to open. *)
+
+module Json = Telemetry.Json
+
+let digest_version = "bhive-journal-v1"
+
+type entry = {
+  e_index : int;  (** position in the manifest's section list *)
+  e_section : string;
+  e_output : string;  (** full rendered stdout text of the section *)
+  e_digest : string;  (** SHA-256 hex of [e_output], or "-" if volatile *)
+  e_submitted : int;
+  e_executed : int;
+  e_cache_hits : int;
+  e_retries : int;
+  e_quarantined : int;
+  e_wall_seconds : float;
+}
+
+type sink = Disk of Store.Jsonl.t | Memory
+
+type t = { sink : sink; mutable entries : entry list (* reverse order *) }
+
+let num i = Json.Number (float_of_int i)
+let int_field name j = Option.map int_of_float (Option.bind (Json.member name j) Json.number)
+let str_field name j = Option.bind (Json.member name j) Json.string_value
+
+let entry_to_json e =
+  Json.Object
+    [
+      ("type", Json.String "section_end");
+      ("index", num e.e_index);
+      ("section", Json.String e.e_section);
+      ("output_sha256", Json.String e.e_digest);
+      ("submitted", num e.e_submitted);
+      ("executed", num e.e_executed);
+      ("cache_hits", num e.e_cache_hits);
+      ("retries", num e.e_retries);
+      ("quarantined", num e.e_quarantined);
+      ("wall_seconds", Json.Number e.e_wall_seconds);
+      ("output", Json.String e.e_output);
+    ]
+
+let entry_of_json j =
+  match
+    ( int_field "index" j,
+      str_field "section" j,
+      str_field "output_sha256" j,
+      str_field "output" j )
+  with
+  | Some e_index, Some e_section, Some e_digest, Some e_output ->
+    let i name = Option.value ~default:0 (int_field name j) in
+    Some
+      {
+        e_index;
+        e_section;
+        e_output;
+        e_digest;
+        e_submitted = i "submitted";
+        e_executed = i "executed";
+        e_cache_hits = i "cache_hits";
+        e_retries = i "retries";
+        e_quarantined = i "quarantined";
+        e_wall_seconds =
+          Option.value ~default:0.0
+            (Option.bind (Json.member "wall_seconds" j) Json.number);
+      }
+  | _ -> None
+
+let header_json manifest_id =
+  Json.Object
+    [ ("type", Json.String "run"); ("manifest_id", Json.String manifest_id) ]
+
+let memory () = { sink = Memory; entries = [] }
+
+let open_ ?(fresh = false) ~manifest_id path =
+  let valid line = Result.is_ok (Json.parse line) in
+  match Store.Jsonl.open_ ~fresh ~valid path with
+  | Error msg -> Error ("journal " ^ msg)
+  | Ok (file, lines) -> (
+    let records = List.map Json.parse_exn lines in
+    match records with
+    | [] ->
+      Store.Jsonl.append file
+        (Json.to_string ~compact:true (header_json manifest_id));
+      Ok { sink = Disk file; entries = [] }
+    | header :: rest ->
+      (match (str_field "type" header, str_field "manifest_id" header) with
+      | Some "run", Some id when id = manifest_id ->
+        let entries =
+          List.filter_map
+            (fun r ->
+              match str_field "type" r with
+              | Some "section_end" -> entry_of_json r
+              | _ -> None)
+            rest
+        in
+        Ok { sink = Disk file; entries = List.rev entries }
+      | Some "run", Some id ->
+        Store.Jsonl.close file;
+        Error
+          (Printf.sprintf
+             "journal %s belongs to manifest %s…, not %s… (use --fresh to \
+              discard it)"
+             path
+             (String.sub id 0 (min 12 (String.length id)))
+             (String.sub manifest_id 0 (min 12 (String.length manifest_id))))
+      | _ ->
+        Store.Jsonl.close file;
+        Error (Printf.sprintf "journal %s: malformed header record" path)))
+
+let entries t = List.rev t.entries
+
+let find t ~index ~section =
+  List.find_opt
+    (fun e -> e.e_index = index && e.e_section = section)
+    t.entries
+
+let append_json t j =
+  match t.sink with
+  | Memory -> ()
+  | Disk file -> Store.Jsonl.append file (Json.to_string ~compact:true j)
+
+let section_start t ~index ~section =
+  append_json t
+    (Json.Object
+       [
+         ("type", Json.String "section_start");
+         ("index", num index);
+         ("section", Json.String section);
+       ])
+
+let add t entry =
+  t.entries <- entry :: t.entries;
+  append_json t (entry_to_json entry)
+
+let close t = match t.sink with Memory -> () | Disk file -> Store.Jsonl.close file
+
+(* Digest of a completed run: the ordered (section name, output digest)
+   pairs, canonically encoded. Two runs with equal journal digests
+   produced byte-identical section outputs in the same order —
+   regardless of how many kills and resumes it took. *)
+let digest pairs =
+  let buf = Buffer.create 256 in
+  Store.Codec.str buf digest_version;
+  List.iter
+    (fun (name, d) ->
+      Store.Codec.str buf name;
+      Store.Codec.str buf d)
+    pairs;
+  Store.Sha256.hex (Buffer.contents buf)

@@ -1,0 +1,11 @@
+(* Declarative, resumable experiment manifests.
+
+   [Spec] is the versioned description of an experiment (what to run),
+   [Journal] the append-only record of a run in progress (what
+   happened), and [Runner] the driver that executes a spec against one
+   shared engine, journaling each section so a killed run resumes
+   where it stopped. *)
+
+module Spec = Spec
+module Journal = Journal
+module Runner = Runner

@@ -2,6 +2,7 @@
 
 module Sha256 = Sha256
 module Codec = Codec
+module Jsonl = Jsonl
 
 let shard_count = 16
 let segment_magic = "BHIVESTORE1\n"

@@ -105,3 +105,28 @@ module Sha256 : sig
 end
 
 module Codec : module type of Codec
+
+(** Crash-safe append-only JSONL files — the discipline the run journal
+    (lib/manifest) shares with the store's segments: a record counts
+    only once its terminating newline is on disk; a torn or invalid
+    tail is truncated at open time; mid-file corruption refuses to
+    open. *)
+module Jsonl : sig
+  type t
+
+  (** Open (creating if needed) for appending, returning the complete
+      lines already present. [~fresh:true] truncates first. A final
+      line that is unterminated or fails [valid] is truncated away; an
+      invalid line anywhere else is an [Error]. *)
+  val open_ :
+    ?fresh:bool ->
+    ?valid:(string -> bool) ->
+    string ->
+    (t * string list, string) result
+
+  (** Append one line (the newline is added) and push it to the OS. *)
+  val append : t -> string -> unit
+
+  val path : t -> string
+  val close : t -> unit
+end

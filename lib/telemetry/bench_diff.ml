@@ -30,13 +30,16 @@ type finding = {
   detail : string;
 }
 
-type verdict = Pass | Warn | Fail
+type verdict = Pass | Warn | Fail | Mismatch
 
 type report = { findings : finding list; verdict : verdict }
 
 let num_field name j = Option.bind (Json.member name j) Json.number
 
-let min_schema_version = 2.0
+(* v5: the first schema carrying the manifest/experiment identity and
+   the journal digest; anything older cannot prove the two runs
+   executed the same experiment. *)
+let min_schema_version = 5.0
 
 let check_schema j =
   match num_field "schema_version" j with
@@ -84,10 +87,13 @@ let check_wall t ~metric ~baseline ~current acc =
 (* --- identical-mode support (warm-cache CI gate) ---------------------- *)
 
 (* Keys whose values legitimately differ between two runs of the same
-   workload: timing, utilization, tier traffic (a warm run executes
-   nothing) and run metadata. Everything else — schema, scale, job
-   counts, accept/reject tallies, section structure, experiment
-   payloads — must match byte-for-byte. *)
+   experiment: timing, utilization, tier traffic (a warm run executes
+   nothing), scheduling-dependent job accounting (a resumed run
+   replays completed sections from the journal, so where submissions
+   and retries land shifts even though every section's output is
+   byte-identical), worker count, and run metadata. Everything else —
+   schema, scale, manifest/experiment ids, journal digest, section
+   structure and section output digests — must match byte-for-byte. *)
 let volatile_keys =
   [
     "wall_seconds";
@@ -96,9 +102,14 @@ let volatile_keys =
     "utilization";
     "telemetry";
     "store";
+    "submitted";
     "executed";
     "cache_hits";
     "cache_hit_rate";
+    "completed";
+    "quarantined";
+    "retries";
+    "jobs";
     "profiler_calls";
     "workers";
     "faults";
@@ -166,18 +177,73 @@ let sections j =
         | None -> None)
       items
 
+let manifest_field doc name =
+  Option.bind (Json.path [ "manifest"; name ] doc) Json.string_value
+
 let compare_summaries ?(thresholds = default_thresholds)
     ?(require_identical = false) ?min_store_hit_rate ~baseline ~current () =
   let t = thresholds in
+  (* Same experiment? Two summaries with different experiment ids were
+     produced by manifests that measure different things — comparing
+     their numbers would gate CI on an apples-to-oranges diff, so this
+     is a distinct verdict, not a threshold failure. A different
+     manifest id under the same experiment id (e.g. the chaos manifest:
+     same corpus/sections, different fault injection) is fine and only
+     worth a note. *)
+  match (manifest_field baseline "experiment", manifest_field current "experiment") with
+  | Some b, Some c when b <> c ->
+    {
+      findings =
+        [
+          {
+            severity = Regression;
+            metric = "manifest.experiment";
+            baseline = 0.0;
+            current = 1.0;
+            limit = 0.0;
+            detail =
+              Printf.sprintf
+                "different experiments: baseline %s vs current %s — these \
+                 runs are not comparable"
+                (String.sub b 0 (min 12 (String.length b)))
+                (String.sub c 0 (min 12 (String.length c)));
+          };
+        ];
+      verdict = Mismatch;
+    }
+  | _ ->
   let acc = ref [] in
+  (match (manifest_field baseline "id", manifest_field current "id") with
+  | Some b, Some c when b <> c ->
+    acc :=
+      {
+        severity = Info;
+        metric = "manifest.id";
+        baseline = 0.0;
+        current = 1.0;
+        limit = 0.0;
+        detail =
+          "manifest ids differ (same experiment, different execution \
+           configuration)";
+      }
+      :: !acc
+  | _ -> ());
+  (* identical mode declares the counter fields volatile (a resumed or
+     warm run legitimately shifts memo hits into store hits and moves
+     submissions between sections), so gating them against relative
+     thresholds would contradict the mode's own contract — the identity
+     check and the absolute invariants below are the gate instead. *)
+  let gate_thresholds = not require_identical in
   let top name checker =
     match (num_field name baseline, num_field name current) with
     | Some b, Some c -> acc := checker t ~metric:name ~baseline:b ~current:c !acc
     | _ -> ()
   in
-  top "executed" check_executed;
-  top "cache_hit_rate" check_hit_rate;
-  top "engine_wall_seconds" check_wall;
+  if gate_thresholds then begin
+    top "executed" check_executed;
+    top "cache_hit_rate" check_hit_rate;
+    top "engine_wall_seconds" check_wall
+  end;
   (* a submitted-count change is not a regression, but it explains
      executed-count drift, so surface it *)
   (match (num_field "submitted" baseline, num_field "submitted" current) with
@@ -218,7 +284,7 @@ let compare_summaries ?(thresholds = default_thresholds)
     Option.bind (Json.path [ "store"; name ] doc) Json.number
   in
   (match (store_num baseline "hit_rate", store_num current "hit_rate") with
-  | Some b, Some c when b > 0.0 ->
+  | Some b, Some c when b > 0.0 && gate_thresholds ->
     acc := check_hit_rate t ~metric:"store.hit_rate" ~baseline:b ~current:c !acc
   | _ -> ());
   (match min_store_hit_rate with
@@ -292,9 +358,11 @@ let compare_summaries ?(thresholds = default_thresholds)
                 !acc
           | _ -> ()
         in
-        sec "executed" check_executed;
-        sec "cache_hit_rate" check_hit_rate;
-        sec "wall_seconds" check_wall)
+        if gate_thresholds then begin
+          sec "executed" check_executed;
+          sec "cache_hit_rate" check_hit_rate;
+          sec "wall_seconds" check_wall
+        end)
     base_sections;
   List.iter
     (fun (name, _) ->
@@ -323,7 +391,11 @@ let severity_tag = function
   | Warning -> "WARN"
   | Regression -> "FAIL"
 
-let verdict_tag = function Pass -> "PASS" | Warn -> "PASS (with warnings)" | Fail -> "FAIL"
+let verdict_tag = function
+  | Pass -> "PASS"
+  | Warn -> "PASS (with warnings)"
+  | Fail -> "FAIL"
+  | Mismatch -> "MISMATCH (different experiment)"
 
 let pp_report fmt r =
   List.iter
@@ -346,4 +418,5 @@ let pp_report fmt r =
   Format.fprintf fmt "bench-diff: %s (%d comparisons, %d regressions, %d warnings)@."
     (verdict_tag r.verdict) checked bad warned
 
-let exit_code r = match r.verdict with Fail -> 1 | Pass | Warn -> 0
+let exit_code r =
+  match r.verdict with Fail -> 1 | Mismatch -> 3 | Pass | Warn -> 0

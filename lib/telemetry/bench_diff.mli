@@ -21,9 +21,10 @@
     comparisons use strict inequality: a value exactly at its limit
     passes. *)
 
-(** Oldest summary schema the comparison understands (2.0, the first
-    with a telemetry snapshot). Schema v3 added the [faults] object;
-    v2 summaries still compare (the fault checks are skipped). *)
+(** Oldest summary schema the comparison understands (5.0, the first
+    carrying the manifest/experiment identity and journal digest).
+    Older summaries cannot answer "did these two runs execute the same
+    experiment?", so they are rejected rather than half-compared. *)
 val min_schema_version : float
 
 (** Reject a summary whose [schema_version] predates
@@ -55,7 +56,11 @@ type finding = {
   detail : string;
 }
 
-type verdict = Pass | Warn | Fail
+(** [Mismatch] is the distinct verdict for two summaries whose
+    [manifest.experiment] ids differ: the runs measured {e different
+    experiments}, so no threshold comparison of their numbers is
+    meaningful. It maps to its own exit code. *)
+type verdict = Pass | Warn | Fail | Mismatch
 
 type report = { findings : finding list; verdict : verdict }
 
@@ -75,7 +80,11 @@ val strip_volatile : Json.t -> Json.t
     store hit rate (the warm-cache CI gate). [?require_identical]
     demands the two summaries be structurally equal after
     {!strip_volatile}; each differing path fails as
-    [identical:<path>]. *)
+    [identical:<path>]. In identical mode the relative threshold
+    checks on counters are skipped — those fields are volatile by the
+    mode's own contract (a warm or resumed run shifts memo hits into
+    store hits) — while the absolute invariants ([faults.lost],
+    quarantine regressions, the store-hit-rate floor) still gate. *)
 val compare_summaries :
   ?thresholds:thresholds ->
   ?require_identical:bool ->
@@ -84,5 +93,5 @@ val compare_summaries :
 
 val pp_report : Format.formatter -> report -> unit
 
-(** CI exit code: [Pass]/[Warn] → 0, [Fail] → 1. *)
+(** CI exit code: [Pass]/[Warn] → 0, [Fail] → 1, [Mismatch] → 3. *)
 val exit_code : report -> int

@@ -28,4 +28,5 @@ let () =
       ("export", Test_export.suite);
       ("kernels", Test_kernels.suite);
       ("store", Test_store.suite);
+      ("manifest", Test_manifest.suite);
     ]

@@ -369,6 +369,7 @@ let check_verdict what expected report =
     | Bench_diff.Pass -> "pass"
     | Bench_diff.Warn -> "warn"
     | Bench_diff.Fail -> "fail"
+    | Bench_diff.Mismatch -> "mismatch"
   in
   Alcotest.(check string) what (show expected) (show report.Bench_diff.verdict)
 
@@ -428,9 +429,7 @@ let test_diff_section_regression_fails () =
 let test_diff_schema_check () =
   let versioned v = Json.Object [ ("schema_version", Json.Number v) ] in
   Alcotest.(check bool) "current schema accepted" true
-    (Result.is_ok (Bench_diff.check_schema (versioned 3.0)));
-  Alcotest.(check bool) "v2 (telemetry era) accepted" true
-    (Result.is_ok (Bench_diff.check_schema (versioned 2.0)));
+    (Result.is_ok (Bench_diff.check_schema (versioned 5.0)));
   let too_old what doc =
     match Bench_diff.check_schema doc with
     | Ok () -> Alcotest.fail (what ^ ": accepted a too-old schema")
@@ -445,7 +444,39 @@ let test_diff_schema_check () =
   in
   (* a v1 summary has no schema_version field at all *)
   too_old "v1 (field absent)" (summary ());
-  too_old "explicit 1.0" (versioned 1.0)
+  too_old "explicit 1.0" (versioned 1.0);
+  too_old "v2 (pre-manifest)" (versioned 2.0);
+  too_old "v3 (pre-manifest)" (versioned 3.0);
+  too_old "v4 (pre-manifest)" (versioned 4.0)
+
+let with_manifest ~id ~experiment s =
+  match s with
+  | Json.Object fields ->
+    Json.Object
+      (fields
+      @ [
+          ( "manifest",
+            Json.Object
+              [
+                ("id", Json.String id); ("experiment", Json.String experiment);
+              ] );
+        ])
+  | other -> other
+
+let test_diff_experiment_mismatch () =
+  (* different experiment ids: not comparable, distinct verdict *)
+  let a = with_manifest ~id:"aaaa" ~experiment:"e1-deadbeef0000" (summary ()) in
+  let b = with_manifest ~id:"bbbb" ~experiment:"e2-cafebabe0000" (summary ()) in
+  let report = diff a b in
+  check_verdict "different experiments mismatch" Bench_diff.Mismatch report;
+  Alcotest.(check int) "mismatch exits 3" 3 (Bench_diff.exit_code report)
+
+let test_diff_manifest_id_informational () =
+  (* same experiment, different execution config: comparable, Info only *)
+  let a = with_manifest ~id:"aaaa" ~experiment:"e1" (summary ()) in
+  let b = with_manifest ~id:"bbbb" ~experiment:"e1" (summary ()) in
+  let report = diff a b in
+  check_verdict "same experiment still passes" Bench_diff.Pass report
 
 let with_faults ?(lost = 0.) ?(quarantined = 0.) s =
   match s with
@@ -550,8 +581,8 @@ let test_strip_volatile () =
     (Json.member "store" stripped = None);
   Alcotest.(check bool) "executed stripped" true
     (Json.member "executed" stripped = None);
-  Alcotest.(check bool) "submitted kept" true
-    (Json.member "submitted" stripped <> None);
+  Alcotest.(check bool) "submitted stripped" true
+    (Json.member "submitted" stripped = None);
   (* stripping recurses into sections *)
   match Json.member "sections" stripped with
   | Some (Json.List (sec :: _)) ->
@@ -573,19 +604,12 @@ let test_diff_identical_mode () =
   in
   check_verdict "volatile-only differences are identical" Bench_diff.Pass
     report;
-  (* a non-volatile difference fails and names its path *)
-  let bumped_submitted =
-    match summary () with
-    | Json.Object fields ->
-      Json.Object
-        (List.map
-           (function
-             | "submitted", _ -> ("submitted", Json.Number 2001.)
-             | kv -> kv)
-           fields)
-    | other -> other
+  (* a non-volatile difference (a section's name) fails and names its
+     path *)
+  let renamed_section =
+    summary ~sections:[ ("corpus-renamed", 100., 0.2, 1.0) ] ()
   in
-  let report = identical (summary ()) bumped_submitted in
+  let report = identical (summary ()) renamed_section in
   check_verdict "non-volatile difference fails" Bench_diff.Fail report;
   Alcotest.(check bool) "finding names the differing path" true
     (List.exists
@@ -594,10 +618,10 @@ let test_diff_identical_mode () =
          && String.sub f.metric 0 10 = "identical:")
        report.Bench_diff.findings)
 
-let test_diff_schema_v4_accepted () =
+let test_diff_schema_v5_accepted () =
   let versioned v = Json.Object [ ("schema_version", Json.Number v) ] in
-  Alcotest.(check bool) "v4 (store era) accepted" true
-    (Result.is_ok (Bench_diff.check_schema (versioned 4.0)))
+  Alcotest.(check bool) "v5 (manifest era) accepted" true
+    (Result.is_ok (Bench_diff.check_schema (versioned 5.0)))
 
 let suite =
   [
@@ -647,6 +671,10 @@ let suite =
       test_diff_min_store_hit_rate_floor;
     Alcotest.test_case "diff: strip volatile" `Quick test_strip_volatile;
     Alcotest.test_case "diff: identical mode" `Quick test_diff_identical_mode;
-    Alcotest.test_case "diff: schema v4 accepted" `Quick
-      test_diff_schema_v4_accepted;
+    Alcotest.test_case "diff: schema v5 accepted" `Quick
+      test_diff_schema_v5_accepted;
+    Alcotest.test_case "diff: experiment mismatch" `Quick
+      test_diff_experiment_mismatch;
+    Alcotest.test_case "diff: manifest id informational" `Quick
+      test_diff_manifest_id_informational;
   ]

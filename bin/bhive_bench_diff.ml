@@ -34,7 +34,7 @@ let describe what j =
     (Option.value ~default:"?" (field "rev"))
 
 let run baseline_path current_path executed_rel executed_abs hit_rate_rel
-    wall_rel wall_abs wall_fails identical min_store_hit_rate =
+    wall_rel wall_abs wall_fails identical min_store_hit_rate min_speedup =
   match
     (read_summary "baseline" baseline_path, read_summary "current" current_path)
   with
@@ -73,7 +73,8 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     in
     let report =
       Telemetry.Bench_diff.compare_summaries ~thresholds
-        ~require_identical:identical ?min_store_hit_rate ~baseline ~current ()
+        ~require_identical:identical ?min_store_hit_rate ?min_speedup ~baseline
+        ~current ()
     in
     Telemetry.Bench_diff.pp_report Format.std_formatter report;
     exit (Telemetry.Bench_diff.exit_code report)
@@ -157,11 +158,22 @@ let cmd =
              ($(b,store.hit_rate)) is at least RATE — e.g. 0.95 for the \
              warm-cache job.")
   in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"RATE"
+          ~doc:
+            "Fail unless the current run's simulator throughput \
+             ($(b,perf.blocks_per_sec), simulated blocks per in-simulator \
+             core-second) is at least RATE times the baseline's — e.g. 0.8 \
+             for the CI perf job. Ratios between RATE and 1.0 warn.")
+  in
   let term =
     Term.(
       const run $ baseline $ current $ executed_rel $ executed_abs
       $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails $ identical
-      $ min_store_hit_rate)
+      $ min_store_hit_rate $ min_speedup)
   in
   Cmd.v
     (Cmd.info "bhive_bench_diff"

@@ -40,6 +40,7 @@ let fingerprint (j : job) =
   Stable_key.job_fingerprint ~env:j.env ~uarch_short:j.uarch.short j.block
 
 let generation = Stable_key.generation
+let flat_digest = Stable_key.flat_digest
 
 (* --- retry policy ----------------------------------------------------- *)
 

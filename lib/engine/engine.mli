@@ -60,6 +60,13 @@ val fingerprint : job -> string
     exactly its stored entries. *)
 val generation : Uarch.Descriptor.t -> string
 
+(** Digest of the preprocessed flat execution tables ({!Uarch.Flat}) a
+    descriptor simulates with. Not part of any store key — the tables
+    are derived from the descriptor, which [generation] already hashes.
+    Pinned by golden tests to prove table flattening does not change
+    simulation inputs or invalidation semantics. *)
+val flat_digest : Uarch.Descriptor.t -> string
+
 (** {1 Retry policy} *)
 
 type policy = {

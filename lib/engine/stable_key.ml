@@ -154,3 +154,12 @@ let generation (d : Uarch.Descriptor.t) =
   Codec.str buf Harness.Profiler.algorithm_version;
   add_descriptor buf d;
   Store.Sha256.hex (Buffer.contents buf)
+
+(** 64-char hex digest of the preprocessed flat execution tables
+    ({!Uarch.Flat}) a descriptor simulates with. The tables are a pure
+    function of the descriptor, so this digest is NOT part of any store
+    key — [generation] already covers invalidation. It exists to be
+    pinned by golden tests: a change here without a [generation] change
+    means table flattening itself altered simulation inputs. *)
+let flat_digest (d : Uarch.Descriptor.t) =
+  Store.Sha256.hex (Uarch.Flat.encode (Uarch.Descriptor.flat d))

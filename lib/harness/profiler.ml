@@ -138,9 +138,13 @@ let measure_point_untraced (env : Environment.t)
   match run_mapping env block ~unroll with
   | Error f -> Error f
   | Ok mapped ->
-    let machine = Pipeline.Machine.create descriptor in
+    (* One machine per (domain, uarch), reused across measure points:
+       [~fresh] flushes the caches, which restores exactly the state a
+       newly created machine would have. *)
+    let batch = Pipeline.Batch.for_descriptor descriptor in
+    let machine = Pipeline.Batch.machine batch in
     (* Discarded warm-up execution: fills L1D/L1I. *)
-    ignore (Pipeline.Machine.run machine mapped.steps);
+    ignore (Pipeline.Batch.run ~fresh:true batch mapped.steps);
     (* Steady-state timed executions. The simulated machine is
        deterministic once warm, so one simulation gives the noise-free
        cycle count; each of the [env.timings] measurements then sees its

@@ -548,8 +548,42 @@ let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
   match Engine.summary_json engine with
   | Json.Object fields ->
     let fields = List.filter (fun (k, _) -> k <> "sections") fields in
+    (* Simulator throughput, from the pipeline's always-on counters.
+       [blocks_per_sec] is simulated blocks over cumulative in-simulator
+       core-seconds — a machine-load-insensitive rate the CI perf job
+       gates on (bhive_bench_diff --min-speedup). The wall breakdown is
+       informational and volatile, like every other timing field. *)
+    let perf =
+      let value name =
+        Telemetry.Metrics.value (Telemetry.Metrics.counter name)
+      in
+      let blocks = value "pipeline.blocks" in
+      let sim_seconds = float_of_int (value "pipeline.sim_ns") /. 1e9 in
+      let engine_wall =
+        match List.assoc_opt "engine_wall_seconds" fields with
+        | Some (Json.Number w) -> w
+        | _ -> 0.0
+      in
+      Json.Object
+        [
+          ("blocks", Json.Number (float_of_int blocks));
+          ("sim_seconds", Json.Number sim_seconds);
+          ( "blocks_per_sec",
+            Json.Number
+              (if sim_seconds > 0.0 then float_of_int blocks /. sim_seconds
+               else 0.0) );
+          ( "wall",
+            Json.Object
+              [
+                ("engine_seconds", Json.Number engine_wall);
+                ("sim_seconds", Json.Number sim_seconds);
+                ( "other_seconds",
+                  Json.Number (Float.max 0.0 (engine_wall -. sim_seconds)) );
+              ] );
+        ]
+    in
     Json.Object
-      (("schema_version", Json.Number 5.0)
+      (("schema_version", Json.Number 6.0)
       :: ("scale", Json.Number (float_of_int spec.corpus.scale))
       :: ("rev", Json.String rev)
       :: ("name", Json.String spec.name)
@@ -562,6 +596,7 @@ let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
              ] )
       :: (fields
          @ [
+             ("perf", perf);
              ("sections", Json.List sections_json);
              ("telemetry", Telemetry.Metrics.snapshot ());
            ]))

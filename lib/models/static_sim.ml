@@ -47,6 +47,12 @@ let run (config : config) (table : table) (block : Inst.t list) ~iterations
   let issue_cycle = ref 0 in
   let issued_this_cycle = ref 0 in
   let finish = ref 0 in
+  (* Preprocess each static instruction once: the iteration loop replays
+     the same block 24..64 times, so the model table, dependence roots
+     and the per-uop candidate-port masks (clipped to the machine's
+     ports, defaulting to port 0 — the same fallback the pipeline's flat
+     tables use) are all hoisted out of it. *)
+  let port_mask = (1 lsl config.n_ports) - 1 in
   let entries =
     List.map
       (fun inst ->
@@ -59,14 +65,23 @@ let run (config : config) (table : table) (block : Inst.t list) ~iterations
               | _ -> [])
             inst.Inst.operands
         in
-        (inst, table inst, addr_roots,
+        let entry = table inst in
+        let masks =
+          Array.of_list
+            (List.map
+               (fun u ->
+                 let m = u.ports land port_mask in
+                 if m = 0 then 1 else m)
+               entry.uops)
+        in
+        (inst, entry, Array.of_list entry.uops, masks, addr_roots,
          List.map Reg.root_index (Inst.read_roots inst),
          List.map Reg.root_index (Inst.write_roots inst)))
       block
   in
   for iter = 0 to iterations - 1 do
     List.iteri
-      (fun inst_index (inst, entry, addr_roots, reads, writes) ->
+      (fun inst_index (inst, entry, uops, masks, addr_roots, reads, writes) ->
         (* front end issue bandwidth *)
         let slots = max 1 (List.length entry.uops) in
         for _ = 1 to slots do
@@ -102,51 +117,52 @@ let run (config : config) (table : table) (block : Inst.t list) ~iterations
           let last_load = ref 0 in
           let prev_exec = ref 0 in
           let result = ref renamed_at in
-          List.iter
-            (fun u ->
-              let ready =
-                if u.is_load then
-                  if entry.split_fused_loads then
-                    (* fused view: the whole unit waits for everything *)
-                    max earliest (max addr_ready data_ready)
-                  else max earliest addr_ready
-                else max earliest (max data_ready (max !last_load !prev_exec))
-              in
-              (* earliest available candidate port, with backfill *)
-              let candidates =
-                List.filter (fun p -> p < config.n_ports)
-                  (Uarch.Port.to_list u.ports)
-              in
-              let candidates = if candidates = [] then [ 0 ] else candidates in
-              let best = ref (List.hd candidates) in
-              let best_t = ref max_int in
-              List.iter
-                (fun p ->
-                  let t = Uarch.Port_schedule.peek ports ~port:p ~ready in
-                  if t < !best_t then begin
-                    best_t := t;
-                    best := p
-                  end)
-                candidates;
-              let dispatch =
-                Uarch.Port_schedule.claim ports ~port:!best ~ready:!best_t
-                  ~busy:(max 1 entry.divider_busy)
-              in
-              let complete = dispatch + u.latency in
-              if u.is_load then last_load := max !last_load complete
-              else prev_exec := complete;
-              if complete > !result then result := complete;
-              if iter < record_iterations then
-                schedule :=
-                  {
-                    Model_intf.inst_index;
-                    iteration = iter;
-                    port = !best;
-                    dispatch;
-                    complete;
-                  }
-                  :: !schedule)
-            entry.uops;
+          for k = 0 to Array.length uops - 1 do
+            let u = uops.(k) in
+            let ready =
+              if u.is_load then
+                if entry.split_fused_loads then
+                  (* fused view: the whole unit waits for everything *)
+                  max earliest (max addr_ready data_ready)
+                else max earliest addr_ready
+              else max earliest (max data_ready (max !last_load !prev_exec))
+            in
+            (* earliest available candidate port, with backfill; the
+               ascending mask scan keeps the lowest-port tie-break of
+               the candidate-list version *)
+            let best = ref 0 in
+            let best_t = ref max_int in
+            let m = ref masks.(k) and p = ref 0 in
+            while !m <> 0 do
+              if !m land 1 <> 0 then begin
+                let t = Uarch.Port_schedule.peek ports ~port:!p ~ready in
+                if t < !best_t then begin
+                  best_t := t;
+                  best := !p
+                end
+              end;
+              incr p;
+              m := !m lsr 1
+            done;
+            let dispatch =
+              Uarch.Port_schedule.claim ports ~port:!best ~ready:!best_t
+                ~busy:(max 1 entry.divider_busy)
+            in
+            let complete = dispatch + u.latency in
+            if u.is_load then last_load := max !last_load complete
+            else prev_exec := complete;
+            if complete > !result then result := complete;
+            if iter < record_iterations then
+              schedule :=
+                {
+                  Model_intf.inst_index;
+                  iteration = iter;
+                  port = !best;
+                  dispatch;
+                  complete;
+                }
+                :: !schedule
+          done;
           List.iter (fun r -> reg_ready.(r) <- !result) writes;
           if Opcode.writes_flags inst.Inst.opcode then
             reg_ready.(flags_root) <- !result;

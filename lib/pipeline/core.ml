@@ -9,7 +9,13 @@
 
     The model is timing-directed: architectural values (addresses, the
     division fast path, subnormal operands) come from the pre-recorded
-    trace, so the timing pass itself is deterministic and cheap. *)
+    trace, so the timing pass itself is deterministic and cheap.
+
+    The cycle loop is allocation-free: uops are consumed as int-packed
+    codes ({!Uarch.Flat}), machine state lives in mutable scratch arrays
+    reused across simulated blocks ({!Scratch}), and the store-forwarding
+    table is an epoch-stamped open-addressed int table rather than a
+    fresh [Hashtbl] per simulation. *)
 
 open Uarch
 
@@ -32,66 +38,185 @@ type result = {
 let flags_root = X86.Reg.num_roots
 let n_roots = X86.Reg.num_roots + 1
 
-let is_divider_op (inst : X86.Inst.t) =
-  match inst.opcode with
-  | X86.Opcode.Div | Idiv | Fdiv _ | Fsqrt _ -> true
-  | _ -> false
+(* Store-to-load forwarding table: 8-byte chunk index -> data-ready
+   time. Open-addressed with linear probing and an epoch stamp per slot,
+   so clearing between simulations is O(1). Chunk indices are physical
+   addresses shifted right by 3, so they always fit a native int. *)
+module Fwd = struct
+  type t = {
+    mutable keys : int array;
+    mutable vals : int array;
+    mutable stamps : int array;
+    mutable mask : int;  (** capacity - 1; capacity is a power of two *)
+    mutable live : int;
+    mutable epoch : int;
+  }
 
-(* Effective division latency given the observed execution path. *)
-let div_latency (d : Descriptor.t) (di : Trace.dyn_inst) =
-  let p = d.profile in
-  match di.inst.opcode with
-  | X86.Opcode.Div | Idiv ->
-    if di.div_slow then p.div64_latency
-    else if X86.Width.equal di.inst.width X86.Width.Q then
-      (* 64-bit divide with zeroed rdx: faster than the wide path but
-         slower than the 32-bit divide *)
-      p.div32_latency + ((p.div64_latency - p.div32_latency) / 4)
-    else p.div32_latency
-  | _ -> 0
+  let initial_capacity = 256
 
-let simulate ?(record_schedule = false) (d : Descriptor.t)
+  let create () =
+    {
+      keys = Array.make initial_capacity 0;
+      vals = Array.make initial_capacity 0;
+      stamps = Array.make initial_capacity (-1);
+      mask = initial_capacity - 1;
+      live = 0;
+      epoch = 0;
+    }
+
+  let reset t =
+    t.epoch <- t.epoch + 1;
+    t.live <- 0
+
+  let hash k = (k * 0x9E3779B1) lxor (k lsr 16)
+
+  (* Slot index of [k], or [-insert_position - 1] when absent. *)
+  let rec probe_from t k i =
+    if t.stamps.(i) <> t.epoch then -i - 1
+    else if t.keys.(i) = k then i
+    else probe_from t k ((i + 1) land t.mask)
+
+  let probe t k = probe_from t k (hash k land t.mask)
+
+  (* Ready times are always >= 1, so 0 doubles as "no pending store". *)
+  let find t k =
+    let i = probe t k in
+    if i < 0 then 0 else t.vals.(i)
+
+  let grow t =
+    let old_keys = t.keys and old_vals = t.vals and old_stamps = t.stamps in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap 0;
+    t.vals <- Array.make cap 0;
+    t.stamps <- Array.make cap (-1);
+    t.mask <- cap - 1;
+    for i = 0 to Array.length old_keys - 1 do
+      if old_stamps.(i) = t.epoch then begin
+        let j = -probe t old_keys.(i) - 1 in
+        t.keys.(j) <- old_keys.(i);
+        t.vals.(j) <- old_vals.(i);
+        t.stamps.(j) <- t.epoch
+      end
+    done
+
+  let set t k v =
+    let i = probe t k in
+    if i >= 0 then t.vals.(i) <- v
+    else begin
+      if 2 * (t.live + 1) > t.mask + 1 then grow t;
+      let i = -probe t k - 1 in
+      t.keys.(i) <- k;
+      t.vals.(i) <- v;
+      t.stamps.(i) <- t.epoch;
+      t.live <- t.live + 1
+    end
+end
+
+(** Reusable per-machine simulation state: every array the cycle loop
+    touches, allocated once per machine and reset in O(state) between
+    blocks instead of reallocated. *)
+module Scratch = struct
+  type t = {
+    n_ports : int;
+    rob_size : int;
+    retire_width : int;
+    reg_ready : int array;
+    ports : Port_schedule.t;
+    rob : int array;  (** ring of retire times, capacity [rob_size + 1] *)
+    mutable rob_head : int;
+    mutable rob_len : int;
+    retire_ring : int array;
+    fwd : Fwd.t;
+  }
+
+  let create (d : Descriptor.t) =
+    {
+      n_ports = d.n_ports;
+      rob_size = d.rob_size;
+      retire_width = d.retire_width;
+      reg_ready = Array.make n_roots 0;
+      ports = Port_schedule.create ~n_ports:d.n_ports;
+      rob = Array.make (d.rob_size + 1) 0;
+      rob_head = 0;
+      rob_len = 0;
+      retire_ring = Array.make d.retire_width 0;
+      fwd = Fwd.create ();
+    }
+
+  let reset t =
+    Array.fill t.reg_ready 0 n_roots 0;
+    Port_schedule.reset t.ports;
+    t.rob_head <- 0;
+    t.rob_len <- 0;
+    Array.fill t.retire_ring 0 t.retire_width 0;
+    Fwd.reset t.fwd
+
+  let fits t (d : Descriptor.t) =
+    t.n_ports = d.n_ports && t.rob_size = d.rob_size
+    && t.retire_width = d.retire_width
+end
+
+let simulate ?(record_schedule = false) ?scratch (d : Descriptor.t)
     ~(l1d : Memsim.Cache.t) ~(l1i : Memsim.Cache.t) ~(l2 : Memsim.Cache.t)
     (trace : Trace.dyn_inst list) : result =
+  let s =
+    match scratch with
+    | Some s when Scratch.fits s d ->
+      Scratch.reset s;
+      s
+    | _ -> Scratch.create d
+  in
   let c = Counters.create () in
   c.port_cycles <- Array.make d.n_ports 0;
-  let reg_ready = Array.make n_roots 0 in
-  let ports = Port_schedule.create ~n_ports:d.n_ports in
+  let reg_ready = s.reg_ready in
+  let ports = s.ports in
   let schedule = ref [] in
   (* Front end state: fused-domain slots. *)
   let frontend_cycle = ref 0 in
   let slots_this_cycle = ref 0 in
   (* ROB: retire times of allocated entries, bounded by rob_size. *)
-  let rob = Queue.create () in
+  let rob_cap = s.rob_size + 1 in
+  let rob_pop () =
+    let v = s.rob.(s.rob_head) in
+    s.rob_head <- (s.rob_head + 1) mod rob_cap;
+    s.rob_len <- s.rob_len - 1;
+    v
+  in
+  let rob_push v =
+    s.rob.((s.rob_head + s.rob_len) mod rob_cap) <- v;
+    s.rob_len <- s.rob_len + 1
+  in
   (* Retirement: ring of the last [retire_width] retire times. *)
-  let retire_ring = Array.make d.retire_width 0 in
+  let retire_ring = s.retire_ring in
   let retire_pos = ref 0 in
   let last_retire = ref 0 in
-  (* Store-to-load forwarding: 8-byte chunk -> data-ready time. *)
-  let store_chunks : (int64, int) Hashtbl.t = Hashtbl.create 256 in
-  let chunk_range addr size =
-    let first = Int64.shift_right_logical addr 3 in
-    let last = Int64.shift_right_logical (Int64.add addr (Int64.of_int (max 1 size - 1))) 3 in
-    (first, last)
-  in
+  (* Store-to-load forwarding over 8-byte chunks. *)
+  let fwd_tbl = s.fwd in
   let forwarding_ready addr size =
-    let first, last = chunk_range addr size in
+    let first = Int64.to_int (Int64.shift_right_logical addr 3) in
+    let last =
+      Int64.to_int
+        (Int64.shift_right_logical
+           (Int64.add addr (Int64.of_int (max 1 size - 1)))
+           3)
+    in
     let t = ref 0 in
-    let chunk = ref first in
-    while Int64.compare !chunk last <= 0 do
-      (match Hashtbl.find_opt store_chunks !chunk with
-      | Some ready -> if ready > !t then t := ready
-      | None -> ());
-      chunk := Int64.add !chunk 1L
+    for chunk = first to last do
+      let ready = Fwd.find fwd_tbl chunk in
+      if ready > !t then t := ready
     done;
     !t
   in
   let record_store addr size ready =
-    let first, last = chunk_range addr size in
-    let chunk = ref first in
-    while Int64.compare !chunk last <= 0 do
-      Hashtbl.replace store_chunks !chunk ready;
-      chunk := Int64.add !chunk 1L
+    let first = Int64.to_int (Int64.shift_right_logical addr 3) in
+    let last =
+      Int64.to_int
+        (Int64.shift_right_logical
+           (Int64.add addr (Int64.of_int (max 1 size - 1)))
+           3)
+    in
+    for chunk = first to last do
+      Fwd.set fwd_tbl chunk ready
     done
   in
   (* Allocate [n] fused-domain rename slots; returns cycle of last slot. *)
@@ -107,36 +232,21 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
     done;
     !r
   in
-  (* Dispatch one uop on the candidate port with the earliest free
-     issue slot (out-of-order backfill included). *)
-  let dispatch_on_port (u : Uop.t) ~ready ~busy =
-    let candidates = Port.to_list u.ports in
-    let candidates = List.filter (fun p -> p < d.n_ports) candidates in
-    let candidates = if candidates = [] then [ 0 ] else candidates in
-    let best_port = ref (List.hd candidates) in
-    let best_time = ref max_int in
-    List.iter
-      (fun p ->
-        let t = Port_schedule.peek ports ~port:p ~ready in
-        if t < !best_time then begin
-          best_time := t;
-          best_port := p
-        end)
-      candidates;
-    let start = Port_schedule.claim ports ~port:!best_port ~ready:!best_time ~busy in
-    c.port_cycles.(!best_port) <- c.port_cycles.(!best_port) + busy;
-    if start > ready then
-      c.port_contention_cycles <- c.port_contention_cycles + (start - ready);
-    (!best_port, start)
-  in
   let ready_of_roots roots =
-    List.fold_left (fun acc r -> max acc reg_ready.(r)) 0 roots
+    let t = ref 0 in
+    for i = 0 to Array.length roots - 1 do
+      let v = reg_ready.(roots.(i)) in
+      if v > !t then t := v
+    done;
+    !t
   in
   let finish_time = ref 0 in
   List.iteri
     (fun idx (di : Trace.dyn_inst) ->
+      let st = di.static in
       (* --- front end: instruction fetch through the L1I cache --- *)
-      let line0 = di.code_addr / 64 and line1 = (di.code_addr + di.code_len - 1) / 64 in
+      let line0 = di.code_addr / 64
+      and line1 = (di.code_addr + st.s_code_len - 1) / 64 in
       for line = line0 to line1 do
         if not (Memsim.Cache.access_line l1i (Int64.of_int line)) then begin
           c.l1i_misses <- c.l1i_misses + 1;
@@ -157,11 +267,11 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
         end
       done;
       (* --- rename --- *)
-      let renamed_at = rename_slots di.decomp.fused_slots in
+      let renamed_at = rename_slots st.s_fused_slots in
       (* ROB occupancy: wait for the oldest entry to retire. *)
-      for _ = 1 to di.decomp.fused_slots do
-        if Queue.length rob >= d.rob_size then begin
-          let oldest = Queue.pop rob in
+      for _ = 1 to st.s_fused_slots do
+        if s.rob_len >= d.rob_size then begin
+          let oldest = rob_pop () in
           if oldest > !frontend_cycle then begin
             c.rob_stall_cycles <- c.rob_stall_cycles + (oldest - !frontend_cycle);
             frontend_cycle := oldest;
@@ -170,31 +280,24 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
         end
       done;
       c.instructions <- c.instructions + 1;
-      c.uops <- c.uops + max 1 (List.length di.decomp.uops);
-      let data_ready = ready_of_roots di.reads in
+      c.uops <- c.uops + max 1 st.s_n_uops;
+      let data_ready = ready_of_roots st.s_reads in
       let data_ready =
-        if di.reads_flags then max data_ready reg_ready.(flags_root) else data_ready
+        if st.s_reads_flags then max data_ready reg_ready.(flags_root)
+        else data_ready
       in
-      let addr_roots =
-        List.concat_map
-          (fun (op : X86.Operand.t) ->
-            match op with
-            | X86.Operand.Mem m ->
-              List.map (fun r -> X86.Reg.root_index (X86.Reg.root r))
-                (X86.Operand.mem_regs m)
-            | _ -> [])
-          di.inst.operands
-      in
-      let addr_ready = ready_of_roots addr_roots in
-      if di.decomp.eliminated then begin
+      let addr_ready = ready_of_roots st.s_addr_roots in
+      if st.s_eliminated then begin
         (* Handled at rename: result ready immediately. For zero idioms
            the result does not depend on sources at all. *)
         let ready =
-          if X86.Inst.is_zero_idiom di.inst then renamed_at
-          else max renamed_at data_ready
+          if st.s_zero_idiom then renamed_at else max renamed_at data_ready
         in
-        List.iter (fun r -> reg_ready.(r) <- ready) di.writes;
-        if di.writes_flags then reg_ready.(flags_root) <- ready;
+        let writes = st.s_writes in
+        for i = 0 to Array.length writes - 1 do
+          reg_ready.(writes.(i)) <- ready
+        done;
+        if st.s_writes_flags then reg_ready.(flags_root) <- ready;
         if record_schedule then
           schedule :=
             {
@@ -206,8 +309,9 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
               complete = ready;
             }
             :: !schedule;
-        Queue.push (max ready renamed_at) rob;
-        if max ready renamed_at > !finish_time then finish_time := max ready renamed_at
+        rob_push (max ready renamed_at);
+        if max ready renamed_at > !finish_time then
+          finish_time := max ready renamed_at
       end
       else begin
         let earliest = renamed_at + 1 in
@@ -217,121 +321,136 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
         let prev_exec_complete = ref 0 in
         let inst_complete = ref renamed_at in
         let subnormal_applied = ref false in
-        List.iter
-          (fun (u : Uop.t) ->
-            let ready, latency_extra, busy =
-              match u.kind with
-              | Uop.Load ->
-                let paddr, size =
-                  if !load_idx < Array.length di.loads then di.loads.(!load_idx)
-                  else (0L, 8)
-                in
-                let vaddr =
-                  if !load_idx < Array.length di.load_vaddrs then
-                    di.load_vaddrs.(!load_idx)
-                  else 0L
-                in
-                incr load_idx;
-                let misses = Memsim.Cache.access l1d ~addr:paddr ~size in
-                if misses > 0 then
-                  c.l1d_read_misses <- c.l1d_read_misses + misses;
-                (* lines that miss L1 go to the unified L2 *)
-                let l2_misses =
-                  if misses > 0 then Memsim.Cache.access l2 ~addr:paddr ~size
-                  else 0
-                in
-                if l2_misses > 0 then c.l2_misses <- c.l2_misses + l2_misses;
-                let split =
-                  Memsim.Cache.crosses_line l1d ~addr:vaddr ~size
-                in
-                if split then
-                  c.misaligned_mem_refs <- c.misaligned_mem_refs + 1;
-                let fwd = forwarding_ready paddr size in
-                ( max (max addr_ready fwd) earliest,
-                  (misses * d.l1d_miss_penalty)
-                  + (l2_misses * d.l2_miss_penalty)
-                  + (if split then d.misaligned_extra_cycles else 0),
-                  1 )
-              | Uop.Store_addr -> (max addr_ready earliest, 0, 1)
-              | Uop.Store_data ->
-                let src =
-                  if !last_exec_complete > 0 then !last_exec_complete
-                  else max data_ready !last_load_complete
-                in
-                (max src earliest, 0, 1)
-              | Uop.Exec ->
-                let chain =
-                  max data_ready (max !last_load_complete !prev_exec_complete)
-                in
-                let busy =
-                  if is_divider_op di.inst then
-                    let lat =
-                      match di.inst.opcode with
-                      | X86.Opcode.Div | Idiv -> div_latency d di
-                      | _ -> u.latency
-                    in
-                    max 1 (lat - 1)
-                  else 1
-                in
-                (max chain earliest, 0, busy)
-            in
-            let port, dispatch = dispatch_on_port u ~ready ~busy in
-            let latency =
-              match u.kind with
-              | Uop.Exec when (match di.inst.opcode with
-                              | X86.Opcode.Div | Idiv -> true
-                              | _ -> false) -> div_latency d di
-              | _ -> u.latency
-            in
-            let complete = dispatch + latency + latency_extra in
-            let complete =
-              if di.subnormal && not !subnormal_applied && u.kind = Uop.Exec
-              then begin
-                subnormal_applied := true;
-                c.subnormal_assists <- c.subnormal_assists + 1;
-                complete + d.subnormal_assist_cycles
-              end
-              else complete
-            in
-            (match u.kind with
-            | Uop.Load -> last_load_complete := max !last_load_complete complete
-            | Uop.Exec ->
-              prev_exec_complete := complete;
-              last_exec_complete := max !last_exec_complete complete
-            | Uop.Store_data ->
+        let codes = st.s_codes in
+        for k = 0 to Array.length codes - 1 do
+          let code = codes.(k) in
+          let kind = Flat.code_kind code in
+          let ulat = Flat.code_latency code in
+          let ready, latency_extra, busy =
+            match kind with
+            | 1 (* Load *) ->
               let paddr, size =
-                if !store_idx < Array.length di.stores then di.stores.(!store_idx)
+                if !load_idx < Array.length di.loads then di.loads.(!load_idx)
                 else (0L, 8)
               in
               let vaddr =
-                if !store_idx < Array.length di.store_vaddrs then
-                  di.store_vaddrs.(!store_idx)
+                if !load_idx < Array.length di.load_vaddrs then
+                  di.load_vaddrs.(!load_idx)
                 else 0L
               in
-              incr store_idx;
+              incr load_idx;
               let misses = Memsim.Cache.access l1d ~addr:paddr ~size in
-              if misses > 0 then begin
-                c.l1d_write_misses <- c.l1d_write_misses + misses;
-                let l2m = Memsim.Cache.access l2 ~addr:paddr ~size in
-                if l2m > 0 then c.l2_misses <- c.l2_misses + l2m
-              end;
-              if Memsim.Cache.crosses_line l1d ~addr:vaddr ~size then
-                c.misaligned_mem_refs <- c.misaligned_mem_refs + 1;
-              record_store paddr size (complete + 1)
-            | Uop.Store_addr -> ());
-            if complete > !inst_complete then inst_complete := complete;
-            if record_schedule then
-              schedule :=
-                {
-                  inst_index = idx;
-                  static_index = di.static_index;
-                  uop = u;
-                  port;
-                  dispatch;
-                  complete;
-                }
-                :: !schedule)
-          di.decomp.uops;
+              if misses > 0 then
+                c.l1d_read_misses <- c.l1d_read_misses + misses;
+              (* lines that miss L1 go to the unified L2 *)
+              let l2_misses =
+                if misses > 0 then Memsim.Cache.access l2 ~addr:paddr ~size
+                else 0
+              in
+              if l2_misses > 0 then c.l2_misses <- c.l2_misses + l2_misses;
+              let split = Memsim.Cache.crosses_line l1d ~addr:vaddr ~size in
+              if split then c.misaligned_mem_refs <- c.misaligned_mem_refs + 1;
+              let fwd = forwarding_ready paddr size in
+              ( max (max addr_ready fwd) earliest,
+                (misses * d.l1d_miss_penalty)
+                + (l2_misses * d.l2_miss_penalty)
+                + (if split then d.misaligned_extra_cycles else 0),
+                1 )
+            | 2 (* Store_addr *) -> (max addr_ready earliest, 0, 1)
+            | 3 (* Store_data *) ->
+              let src =
+                if !last_exec_complete > 0 then !last_exec_complete
+                else max data_ready !last_load_complete
+              in
+              (max src earliest, 0, 1)
+            | _ (* Exec *) ->
+              let chain =
+                max data_ready (max !last_load_complete !prev_exec_complete)
+              in
+              let busy =
+                if st.s_is_divider then
+                  let lat = if st.s_is_int_div then di.div_lat else ulat in
+                  max 1 (lat - 1)
+                else 1
+              in
+              (max chain earliest, 0, busy)
+          in
+          (* Dispatch on the candidate port with the earliest free issue
+             slot (out-of-order backfill included); ties resolve to the
+             lowest-numbered port, as the mask is scanned ascending. *)
+          let best_port = ref 0 and best_time = ref max_int in
+          let m = ref (Flat.code_mask code) and pn = ref 0 in
+          while !m <> 0 do
+            if !m land 1 <> 0 then begin
+              let t = Port_schedule.peek ports ~port:!pn ~ready in
+              if t < !best_time then begin
+                best_time := t;
+                best_port := !pn
+              end
+            end;
+            incr pn;
+            m := !m lsr 1
+          done;
+          let port = !best_port in
+          let dispatch =
+            Port_schedule.claim ports ~port ~ready:!best_time ~busy
+          in
+          c.port_cycles.(port) <- c.port_cycles.(port) + busy;
+          if dispatch > ready then
+            c.port_contention_cycles <-
+              c.port_contention_cycles + (dispatch - ready);
+          let latency =
+            if kind = 0 && st.s_is_int_div then di.div_lat else ulat
+          in
+          let complete = dispatch + latency + latency_extra in
+          let complete =
+            if di.subnormal && (not !subnormal_applied) && kind = 0 then begin
+              subnormal_applied := true;
+              c.subnormal_assists <- c.subnormal_assists + 1;
+              complete + d.subnormal_assist_cycles
+            end
+            else complete
+          in
+          (match kind with
+          | 1 (* Load *) ->
+            last_load_complete := max !last_load_complete complete
+          | 0 (* Exec *) ->
+            prev_exec_complete := complete;
+            last_exec_complete := max !last_exec_complete complete
+          | 3 (* Store_data *) ->
+            let paddr, size =
+              if !store_idx < Array.length di.stores then di.stores.(!store_idx)
+              else (0L, 8)
+            in
+            let vaddr =
+              if !store_idx < Array.length di.store_vaddrs then
+                di.store_vaddrs.(!store_idx)
+              else 0L
+            in
+            incr store_idx;
+            let misses = Memsim.Cache.access l1d ~addr:paddr ~size in
+            if misses > 0 then begin
+              c.l1d_write_misses <- c.l1d_write_misses + misses;
+              let l2m = Memsim.Cache.access l2 ~addr:paddr ~size in
+              if l2m > 0 then c.l2_misses <- c.l2_misses + l2m
+            end;
+            if Memsim.Cache.crosses_line l1d ~addr:vaddr ~size then
+              c.misaligned_mem_refs <- c.misaligned_mem_refs + 1;
+            record_store paddr size (complete + 1)
+          | _ (* Store_addr *) -> ());
+          if complete > !inst_complete then inst_complete := complete;
+          if record_schedule then
+            schedule :=
+              {
+                inst_index = idx;
+                static_index = di.static_index;
+                uop = st.s_uops.(k);
+                port;
+                dispatch;
+                complete;
+              }
+              :: !schedule
+        done;
         (* A microcode assist flushes the front end. *)
         if di.subnormal then begin
           frontend_cycle := max !frontend_cycle !inst_complete;
@@ -345,8 +464,11 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
           else if !last_load_complete > 0 then !last_load_complete
           else renamed_at
         in
-        List.iter (fun r -> reg_ready.(r) <- result_time) di.writes;
-        if di.writes_flags then reg_ready.(flags_root) <- result_time;
+        let writes = st.s_writes in
+        for i = 0 to Array.length writes - 1 do
+          reg_ready.(writes.(i)) <- result_time
+        done;
+        if st.s_writes_flags then reg_ready.(flags_root) <- result_time;
         (* In-order retirement. *)
         let ready_to_retire = max !inst_complete !last_retire in
         let width_limited = retire_ring.(!retire_pos) + 1 in
@@ -354,7 +476,7 @@ let simulate ?(record_schedule = false) (d : Descriptor.t)
         retire_ring.(!retire_pos) <- retire_at;
         retire_pos := (!retire_pos + 1) mod d.retire_width;
         last_retire := retire_at;
-        Queue.push retire_at rob;
+        rob_push retire_at;
         if retire_at > !finish_time then finish_time := retire_at
       end)
     trace;

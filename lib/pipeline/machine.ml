@@ -1,13 +1,23 @@
 (** A simulated machine: one microarchitecture core plus its private L1
     caches. Cache contents persist across [run] calls until [reset],
-    mirroring warm-up behaviour on real hardware. *)
+    mirroring warm-up behaviour on real hardware. The machine also owns
+    the simulator's scratch state ({!Core.Scratch}), so repeated [run]
+    calls perform no per-simulation machine-state allocation. *)
 
 type t = {
   descriptor : Uarch.Descriptor.t;
   l1d : Memsim.Cache.t;
   l1i : Memsim.Cache.t;
   l2 : Memsim.Cache.t;  (** unified second level *)
+  scratch : Core.Scratch.t;
 }
+
+(* Always-on throughput accounting: simulated blocks and cumulative
+   in-simulator nanoseconds. Two plain atomic counters per run — cheap
+   enough to never gate, and the source of the bench summary's
+   blocks-per-second figure. *)
+let m_blocks = Telemetry.Metrics.counter "pipeline.blocks"
+let m_sim_ns = Telemetry.Metrics.counter "pipeline.sim_ns"
 
 let create (descriptor : Uarch.Descriptor.t) =
   {
@@ -15,6 +25,7 @@ let create (descriptor : Uarch.Descriptor.t) =
     l1d = Memsim.Cache.l1_default ();
     l1i = Memsim.Cache.l1_default ();
     l2 = Memsim.Cache.create ~size_bytes:(256 * 1024) ~ways:8 ~line_bytes:64;
+    scratch = Core.Scratch.create descriptor;
   }
 
 let reset t =
@@ -28,9 +39,16 @@ let reset t =
    the hot path when no sink is installed. *)
 let run ?record_schedule t (steps : Xsem.Executor.step list) : Core.result =
   let simulate () =
+    let t0 = Telemetry.Trace.now_ns () in
     let trace = Trace.of_steps t.descriptor steps in
-    Core.simulate ?record_schedule t.descriptor ~l1d:t.l1d ~l1i:t.l1i ~l2:t.l2
-      trace
+    let r =
+      Core.simulate ?record_schedule ~scratch:t.scratch t.descriptor
+        ~l1d:t.l1d ~l1i:t.l1i ~l2:t.l2 trace
+    in
+    Telemetry.Metrics.add m_sim_ns
+      (Int64.to_int (Int64.sub (Telemetry.Trace.now_ns ()) t0));
+    Telemetry.Metrics.incr m_blocks;
+    r
   in
   if not (Telemetry.Trace.enabled ()) then simulate ()
   else begin

@@ -1,12 +1,15 @@
 (** A simulated machine: one microarchitecture core plus its private L1
     caches. Cache contents persist across [run] calls until [reset],
-    mirroring warm-up behaviour on real hardware. *)
+    mirroring warm-up behaviour on real hardware. The machine also owns
+    the simulator's reusable scratch state, so repeated [run] calls
+    perform no per-simulation machine-state allocation. *)
 
 type t = {
   descriptor : Uarch.Descriptor.t;
   l1d : Memsim.Cache.t;
   l1i : Memsim.Cache.t;
   l2 : Memsim.Cache.t;  (** unified second level *)
+  scratch : Core.Scratch.t;
 }
 
 val create : Uarch.Descriptor.t -> t

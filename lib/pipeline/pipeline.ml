@@ -1,0 +1,12 @@
+(** Cycle-level pipeline simulation: trace construction, the
+    out-of-order core model, machine state, and batched entry points. *)
+
+module Core = Core
+module Counters = Counters
+module Machine = Machine
+module Trace = Trace
+module Batch = Batch
+
+(** Simulate many independent blocks under one reused machine; results
+    are byte-identical to per-block [Machine.create] + [Machine.run]. *)
+let simulate_batch = Batch.simulate_batch

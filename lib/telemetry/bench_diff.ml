@@ -98,6 +98,7 @@ let volatile_keys =
   [
     "wall_seconds";
     "engine_wall_seconds";
+    "perf";
     "busy_seconds";
     "utilization";
     "telemetry";
@@ -181,7 +182,8 @@ let manifest_field doc name =
   Option.bind (Json.path [ "manifest"; name ] doc) Json.string_value
 
 let compare_summaries ?(thresholds = default_thresholds)
-    ?(require_identical = false) ?min_store_hit_rate ~baseline ~current () =
+    ?(require_identical = false) ?min_store_hit_rate ?min_speedup ~baseline
+    ~current () =
   let t = thresholds in
   (* Same experiment? Two summaries with different experiment ids were
      produced by manifests that measure different things — comparing
@@ -297,6 +299,68 @@ let compare_summaries ?(thresholds = default_thresholds)
         ~detail:
           "store hit rate below required floor (warm run re-profiled too much)"
         !acc);
+  (* simulator throughput (schema v6): [perf.blocks_per_sec] is simulated
+     blocks over cumulative in-simulator core-seconds, so it is far less
+     runner-noise-sensitive than wall time. The gate fails below
+     [min_speedup] x baseline and warns below parity. Read before
+     stripping — the perf object is volatile for the identity check
+     (its wall breakdown genuinely varies) but is exactly what this
+     gate exists to compare. *)
+  (match min_speedup with
+  | None -> ()
+  | Some floor ->
+    let bps doc =
+      Option.bind (Json.path [ "perf"; "blocks_per_sec" ] doc) Json.number
+    in
+    (match (bps baseline, bps current) with
+    | Some b, Some c when b > 0.0 ->
+      let ratio = c /. b in
+      if ratio < floor then
+        acc :=
+          {
+            severity = Regression;
+            metric = "perf.blocks_per_sec";
+            baseline = b;
+            current = c;
+            limit = b *. floor;
+            detail =
+              Printf.sprintf
+                "simulator throughput regressed to %.2fx baseline (floor %.2fx)"
+                ratio floor;
+          }
+          :: !acc
+      else if ratio < 1.0 then
+        acc :=
+          {
+            severity = Warning;
+            metric = "perf.blocks_per_sec";
+            baseline = b;
+            current = c;
+            limit = b;
+            detail =
+              Printf.sprintf
+                "simulator throughput at %.2fx baseline (above the %.2fx \
+                 floor, below parity)"
+                ratio floor;
+          }
+          :: !acc
+      else
+        acc :=
+          check ~severity:Regression ~metric:"perf.blocks_per_sec" ~baseline:b
+            ~current:c ~limit:(b *. floor) ~violated:false ~detail:"ok" !acc
+    | _ ->
+      acc :=
+        {
+          severity = Regression;
+          metric = "perf.blocks_per_sec";
+          baseline = 0.0;
+          current = 0.0;
+          limit = floor;
+          detail =
+            "perf.blocks_per_sec missing (summary predates schema v6?) — \
+             cannot gate simulator throughput";
+        }
+        :: !acc));
   (* identical mode: after stripping volatile fields, the two summaries
      must be structurally equal — the warm-run byte-identity gate *)
   if require_identical then begin

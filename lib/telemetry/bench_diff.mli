@@ -84,11 +84,19 @@ val strip_volatile : Json.t -> Json.t
     checks on counters are skipped — those fields are volatile by the
     mode's own contract (a warm or resumed run shifts memo hits into
     store hits) — while the absolute invariants ([faults.lost],
-    quarantine regressions, the store-hit-rate floor) still gate. *)
+    quarantine regressions, the store-hit-rate floor) still gate.
+
+    [?min_speedup] gates simulator throughput (schema v6):
+    [perf.blocks_per_sec] — simulated blocks over cumulative
+    in-simulator core-seconds, far less runner-noise-sensitive than
+    wall time — must be at least [min_speedup] x the baseline's, or
+    the gate fails; a ratio between [min_speedup] and parity is a
+    warning. A summary without the field fails the gate outright. *)
 val compare_summaries :
   ?thresholds:thresholds ->
   ?require_identical:bool ->
   ?min_store_hit_rate:float ->
+  ?min_speedup:float ->
   baseline:Json.t -> current:Json.t -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit

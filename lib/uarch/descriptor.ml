@@ -22,7 +22,11 @@ type t = {
   supports_avx2 : bool;
 }
 
-let decompose t inst = Profile.decompose t.profile inst
+(** The preprocessed flat execution tables for this descriptor
+    (memoised per profile; see {!Flat}). *)
+let flat t = Flat.of_profile t.profile ~n_ports:t.n_ports
+
+let decompose t inst = Flat.decompose (flat t) inst
 
 let port_combinations t inst = Profile.port_combinations t.profile inst
 

@@ -1,0 +1,243 @@
+(** Preprocessed ("flattened") execution tables for one
+    microarchitecture profile.
+
+    [Profile.exec_uops] is a big pattern match and [Profile.decompose]
+    builds fresh uop lists per call; doing that per dynamic instruction
+    dominates the simulator's decode cost. A [Flat.t] precomputes, once
+    per (profile, port count):
+
+    - a dense array over opcode classes (every payload-instantiated
+      constructor in [X86.Opcode.all]) holding the register-form exec-uop
+      skeleton and its int-packed encoding — latency, uop kind and the
+      candidate-port bit mask in a single immediate int;
+    - the packed load / store-address / store-data uop codes and the
+      split thresholds;
+    - the effective divider latencies, including the 64-bit
+      zeroed-rdx fast path.
+
+    Opcode classes whose decomposition depends on the concrete operands
+    (memory forms of moves, shifts by a register count, width-dependent
+    multiplies/divides, YMM division, ...) are flagged [variant] and fall
+    back to [Profile.exec_uops]; everything else shares one immutable
+    skeleton list and one packed array per class. [decompose] is
+    observationally identical to [Profile.decompose] — it routes through
+    [Profile.decompose_with], so eliminations, load/store splitting and
+    micro-fusion run the exact same code.
+
+    Packed uop code layout (also used by the pipeline's cycle loop):
+    bits 0..15 candidate-port mask (already clipped to the machine's
+    ports, defaulting to port 0 when the profile names none), bits
+    16..17 the uop kind, bits 18.. the latency. *)
+
+open X86
+
+(* --- opcode class index ----------------------------------------------- *)
+
+let classes : Opcode.t array = Array.of_list Opcode.all
+let n_classes = Array.length classes
+
+let class_ids : (Opcode.t, int) Hashtbl.t =
+  let tbl = Hashtbl.create (2 * n_classes) in
+  Array.iteri (fun i op -> Hashtbl.replace tbl op i) classes;
+  tbl
+
+(** Dense class index of an opcode, or -1 when unmodelled. *)
+let class_of (op : Opcode.t) =
+  match Hashtbl.find_opt class_ids op with Some i -> i | None -> -1
+
+(* Classes whose exec-uop skeleton inspects the operands, the operation
+   width or the register file (YMM) — these cannot be preprocessed from
+   the opcode alone and fall back to [Profile.exec_uops]. Keep in sync
+   with the pattern match there; the test suite checks equivalence over
+   every opcode class and generated corpus blocks. *)
+let variant_opcode : Opcode.t -> bool = function
+  | Opcode.Mov | Movzx _ | Movsx _ | Movsxd | Lea (* memory forms *)
+  | Shl | Shr | Sar | Rol | Ror (* immediate vs register count *)
+  | Mul_1 | Imul_1 | Div | Idiv | Bswap (* width-dependent *)
+  | Movap _ | Movup _ | Movs_x _ | Movdqa | Movdqu | Lddqu | Movnt _
+  | Movd | Movq_x | Vbroadcast _ (* memory forms *)
+  | Fdiv _ | Fsqrt _ (* YMM latency factor *)
+  | Psll _ | Psrl _ | Psra _ (* register shift count *) -> true
+  | _ -> false
+
+let is_divider_opcode : Opcode.t -> bool = function
+  | Opcode.Div | Idiv | Fdiv _ | Fsqrt _ -> true
+  | _ -> false
+
+let is_int_div_opcode : Opcode.t -> bool = function
+  | Opcode.Div | Idiv -> true
+  | _ -> false
+
+(* --- packed uop codes -------------------------------------------------- *)
+
+let kind_bits = function
+  | Uop.Exec -> 0
+  | Uop.Load -> 1
+  | Uop.Store_addr -> 2
+  | Uop.Store_data -> 3
+
+let code_mask c = c land 0xFFFF
+let code_kind c = (c lsr 16) land 3
+let code_latency c = c lsr 18
+
+type t = {
+  profile : Profile.t;
+  n_ports : int;
+  port_mask : int;
+  variant : bool array;  (** per class: must fall back to [exec_uops] *)
+  skel : Uop.t list array;  (** per invariant class: shared exec skeleton *)
+  skel_codes : int array array;  (** packed form of [skel] *)
+  skel_n_uops : int array;  (** uop count; -1 for variant classes *)
+  divider : bool array;  (** unpipelined-divider classes *)
+  int_div : bool array;  (** div/idiv: latency picked from the trace *)
+  load_code : int;
+  store_addr_code : int;
+  store_data_code : int;
+  load_bytes : int;
+  store_bytes : int;
+  div32_latency : int;
+  div64_latency : int;
+  divq_latency : int;  (** 64-bit divide with zeroed rdx *)
+}
+
+let pack_uop ~port_mask (u : Uop.t) =
+  let m = u.ports land port_mask in
+  let m = if m = 0 then 1 else m in
+  (u.latency lsl 18) lor (kind_bits u.kind lsl 16) lor m
+
+let pack_uops t uops = Array.of_list (List.map (pack_uop ~port_mask:t.port_mask) uops)
+
+let build (p : Profile.t) ~n_ports : t =
+  let port_mask = (1 lsl n_ports) - 1 in
+  let variant = Array.map variant_opcode classes in
+  let skel = Array.make n_classes [] in
+  let skel_codes = Array.make n_classes [||] in
+  let skel_n_uops = Array.make n_classes (-1) in
+  Array.iteri
+    (fun k op ->
+      if not variant.(k) then begin
+        (* the skeleton of an invariant class never looks at operands,
+           so a bare representative instruction stands for the class *)
+        let uops = Profile.exec_uops p (Inst.make op []) in
+        skel.(k) <- uops;
+        skel_codes.(k) <- Array.of_list (List.map (pack_uop ~port_mask) uops);
+        skel_n_uops.(k) <- List.length uops
+      end)
+    classes;
+  {
+    profile = p;
+    n_ports;
+    port_mask;
+    variant;
+    skel;
+    skel_codes;
+    skel_n_uops;
+    divider = Array.map is_divider_opcode classes;
+    int_div = Array.map is_int_div_opcode classes;
+    load_code = pack_uop ~port_mask (Uop.load ~latency:p.load_latency p.load);
+    store_addr_code = pack_uop ~port_mask (Uop.store_addr p.store_addr);
+    store_data_code = pack_uop ~port_mask (Uop.store_data p.store_data);
+    load_bytes = p.load_bytes;
+    store_bytes = p.store_bytes;
+    div32_latency = p.div32_latency;
+    div64_latency = p.div64_latency;
+    divq_latency =
+      p.div32_latency + ((p.div64_latency - p.div32_latency) / 4);
+  }
+
+(* --- per-profile memoisation ------------------------------------------- *)
+
+(* Keyed first by physical profile identity (the three shipped
+   descriptors), then structurally (perturbed copies, e.g. the store's
+   invalidation tests); a stale-table hazard cannot arise because the
+   tables live outside the descriptor record. The unlocked read is safe:
+   a racing writer only prepends, and a missed entry merely rebuilds an
+   identical table under the lock. *)
+let memo : (Profile.t * int * t) list ref = ref []
+let memo_lock = Mutex.create ()
+
+let of_profile (p : Profile.t) ~n_ports =
+  let rec phys = function
+    | [] -> None
+    | (p', n, f) :: tl -> if p' == p && n = n_ports then Some f else phys tl
+  in
+  match phys !memo with
+  | Some f -> f
+  | None ->
+    Mutex.lock memo_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock memo_lock) (fun () ->
+        let rec structural = function
+          | [] -> None
+          | (p', n, f) :: tl ->
+            if n = n_ports && p' = p then Some f else structural tl
+        in
+        match structural !memo with
+        | Some f -> f
+        | None ->
+          let f = build p ~n_ports in
+          memo := (p, n_ports, f) :: !memo;
+          f)
+
+(* --- decomposition ----------------------------------------------------- *)
+
+(** Exactly [Profile.decompose], with the exec skeleton served from the
+    flat tables for invariant classes. *)
+let decompose t (inst : Inst.t) : Uop.decomp =
+  Profile.decompose_with t.profile inst ~execs:(fun () ->
+      let k = class_of inst.opcode in
+      if k >= 0 && not t.variant.(k) then t.skel.(k)
+      else Profile.exec_uops t.profile inst)
+
+(** [decompose] plus the packed uop codes, sharing the preprocessed
+    per-class array whenever the decomposition is the bare skeleton. *)
+let decompose_packed t (inst : Inst.t) : Uop.decomp * int array =
+  let d = decompose t inst in
+  let k = class_of inst.opcode in
+  let codes =
+    if (not d.eliminated) && k >= 0 && (not t.variant.(k))
+       && d.uops == t.skel.(k)
+    then t.skel_codes.(k)
+    else pack_uops t d.uops
+  in
+  (d, codes)
+
+let is_divider t (op : Opcode.t) =
+  let k = class_of op in
+  if k >= 0 then t.divider.(k) else is_divider_opcode op
+
+let is_int_div t (op : Opcode.t) =
+  let k = class_of op in
+  if k >= 0 then t.int_div.(k) else is_int_div_opcode op
+
+(* --- canonical encoding (for fingerprinting) --------------------------- *)
+
+(** Deterministic byte encoding of every preprocessed table, consumed by
+    the engine's fingerprinting layer. The flat tables are a pure
+    function of (profile, n_ports), so this digest changing without the
+    descriptor changing would mean flattening altered simulation
+    semantics — the golden tests pin exactly that. *)
+let encode t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "bhive-flat-v1\n";
+  Buffer.add_string b (Printf.sprintf "n_ports=%d mask=%x\n" t.n_ports t.port_mask);
+  Buffer.add_string b
+    (Printf.sprintf "load=%x staddr=%x stdata=%x lb=%d sb=%d\n" t.load_code
+       t.store_addr_code t.store_data_code t.load_bytes t.store_bytes);
+  Buffer.add_string b
+    (Printf.sprintf "div32=%d div64=%d divq=%d\n" t.div32_latency
+       t.div64_latency t.divq_latency);
+  Array.iteri
+    (fun k op ->
+      Buffer.add_string b (Printf.sprintf "%d:%s:" k (Opcode.mnemonic op));
+      if t.variant.(k) then Buffer.add_string b "variant"
+      else begin
+        Buffer.add_string b (Printf.sprintf "n=%d" t.skel_n_uops.(k));
+        Array.iter
+          (fun c -> Buffer.add_string b (Printf.sprintf ",%x" c))
+          t.skel_codes.(k)
+      end;
+      if t.divider.(k) then
+        Buffer.add_char b (if t.int_div.(k) then '!' else '/');
+      Buffer.add_char b '\n')
+    classes;
+  Buffer.contents b

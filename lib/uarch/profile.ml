@@ -219,8 +219,15 @@ let store_uops p ~size =
     (List.init n (fun _ ->
          [ Uop.store_addr p.store_addr; Uop.store_data p.store_data ]))
 
-(** Decompose an instruction into its micro-ops under profile [p]. *)
-let decompose (p : t) (t : Inst.t) : Uop.decomp =
+(** Decompose an instruction into its micro-ops under profile [p],
+    taking the exec-uop skeleton from [execs] (a thunk, because the
+    rename-stage eliminations never consult it). [Flat] passes a
+    preprocessed per-opcode-class skeleton here; [decompose] below
+    passes [exec_uops], so both paths share every other rule —
+    eliminations, load/store splitting and micro-fusion — and cannot
+    diverge. *)
+let decompose_with (p : t) (t : Inst.t) ~(execs : unit -> Uop.t list) :
+    Uop.decomp =
   (* Rename-stage eliminations first. *)
   if p.zero_idiom_elim && Inst.is_zero_idiom t then
     Uop.decomp ~eliminated:true ~fused_slots:1 []
@@ -234,7 +241,7 @@ let decompose (p : t) (t : Inst.t) : Uop.decomp =
     if p.move_elim && reg_to_reg_move then
       Uop.decomp ~eliminated:true ~fused_slots:1 []
     else begin
-      let execs = exec_uops p t in
+      let execs = execs () in
       let mems = Inst.mem_accesses t in
       let loads =
         List.concat_map
@@ -252,7 +259,14 @@ let decompose (p : t) (t : Inst.t) : Uop.decomp =
             | `Load -> [])
           mems
       in
-      let uops = loads @ execs @ stores in
+      let uops =
+        (* avoid re-building the exec list when there is no memory
+           traffic: pure register instructions — the vast majority —
+           then share one skeleton list per opcode class *)
+        match (loads, stores) with
+        | [], [] -> execs
+        | _ -> loads @ execs @ stores
+      in
       let fused_slots =
         if not p.micro_fusion then max 1 (List.length uops)
         else begin
@@ -267,6 +281,10 @@ let decompose (p : t) (t : Inst.t) : Uop.decomp =
       in
       Uop.decomp ~fused_slots uops
     end
+
+(** Decompose an instruction into its micro-ops under profile [p]. *)
+let decompose (p : t) (t : Inst.t) : Uop.decomp =
+  decompose_with p t ~execs:(fun () -> exec_uops p t)
 
 (* Port combinations used by any uop of this instruction; this is the
    feature the LDA classifier tokenises. *)

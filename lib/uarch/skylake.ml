@@ -73,3 +73,7 @@ let descriptor : Descriptor.t =
     misaligned_extra_cycles = 8;
     supports_avx2 = true;
   }
+
+(* Preprocess the execution tables into flat, opcode-indexed arrays at
+   descriptor construction time (see Flat). *)
+let () = ignore (Flat.of_profile profile ~n_ports:descriptor.n_ports)

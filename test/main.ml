@@ -13,6 +13,7 @@ let () =
       ("properties", Test_properties.suite);
       ("uarch", Test_uarch.suite);
       ("pipeline", Test_pipeline.suite);
+      ("batch", Test_batch.suite);
       ("l2", Test_l2.suite);
       ("harness", Test_harness.suite);
       ("engine", Test_engine.suite);

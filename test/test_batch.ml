@@ -1,0 +1,185 @@
+(* The batched fast path's identity contract: a reused machine
+   (simulate_batch — flushed caches, epoch-reset scratch, hoisted
+   forwarding table) must produce results indistinguishable from a
+   brand-new machine per block, and the flat execution tables it runs
+   on must decompose every instruction exactly like the reference
+   profile path. The flat-table digests are pinned so an encoding or
+   preprocessing change cannot slip through unnoticed. *)
+
+open X86
+
+let uarches =
+  [ Uarch.All.ivy_bridge; Uarch.All.haswell; Uarch.All.skylake ]
+
+(* full structural equality over the counter record, port arrays
+   included — exactly what "byte-identical results" means per block *)
+let counters_equal (a : Pipeline.Counters.t) (b : Pipeline.Counters.t) =
+  a.core_cycles = b.core_cycles
+  && a.instructions = b.instructions
+  && a.uops = b.uops
+  && a.l1d_read_misses = b.l1d_read_misses
+  && a.l1d_write_misses = b.l1d_write_misses
+  && a.l1i_misses = b.l1i_misses
+  && a.l2_misses = b.l2_misses
+  && a.misaligned_mem_refs = b.misaligned_mem_refs
+  && a.context_switches = b.context_switches
+  && a.subnormal_assists = b.subnormal_assists
+  && a.port_cycles = b.port_cycles
+  && a.frontend_stall_cycles = b.frontend_stall_cycles
+  && a.rob_stall_cycles = b.rob_stall_cycles
+  && a.port_contention_cycles = b.port_contention_cycles
+
+let block_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 100000 in
+    let rng = Bstats.Rng.create (Int64.of_int seed) in
+    return
+      (Corpus.Gen.block ~rng ~mix:Corpus.Apps.llvm.mix ~min_len:1 ~max_len:6))
+
+let print_block b = String.concat "; " (List.map Inst.to_string b)
+
+(* simulate_batch over a reused machine == a fresh Machine per block,
+   for every uarch — cycles, counters, and schedule all equal. The
+   block is simulated twice in one batch so any state leaking from a
+   previous block through the reused scratch/caches would surface in
+   the second result. *)
+let batch_matches_fresh =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"simulate_batch == fresh machine" ~count:40
+       (QCheck.make ~print:print_block block_gen)
+       (fun block ->
+         match Harness.Mapping.run Harness.Environment.default block ~unroll:4 with
+         | Error _ -> true (* unmappable blocks are out of scope here *)
+         | Ok mapped ->
+           List.for_all
+             (fun d ->
+               let fresh =
+                 Pipeline.Machine.run ~record_schedule:true
+                   (Pipeline.Machine.create d) mapped.steps
+               in
+               match
+                 Pipeline.simulate_batch ~record_schedule:true d
+                   [ mapped.steps; mapped.steps ]
+               with
+               | [ first; second ] ->
+                 List.for_all
+                   (fun (r : Pipeline.Core.result) ->
+                     r.cycles = fresh.cycles
+                     && counters_equal r.counters fresh.counters
+                     && r.schedule = fresh.schedule)
+                   [ first; second ]
+               | _ -> false)
+             uarches))
+
+(* the flat preprocessed tables must reproduce the reference
+   decomposition for every opcode's register form, on every uarch:
+   same uops (kind, ports, latency, in order), same fused-slot count,
+   same elimination verdict *)
+let test_flat_decompose_matches_profile () =
+  List.iter
+    (fun (d : Uarch.Descriptor.t) ->
+      List.iter
+        (fun op ->
+          let inst =
+            match op with
+            | Opcode.Nop | Cdq | Cqo | Ret | Vzeroupper -> Inst.make op []
+            | _ when Opcode.is_vector op ->
+              Inst.make op [ Operand.Reg (Reg.Xmm 0); Operand.Reg (Reg.Xmm 1) ]
+            | _ -> Inst.make op [ Operand.Reg Reg.rax; Operand.Reg Reg.rbx ]
+          in
+          match Inst.validate inst with
+          | Error _ -> ()
+          | Ok () ->
+            let reference = Uarch.Profile.decompose d.profile inst in
+            let flat = Uarch.Descriptor.decompose d inst in
+            let label fmt =
+              Printf.sprintf "%s/%s: %s" d.short (Opcode.mnemonic op) fmt
+            in
+            Alcotest.(check bool)
+              (label "eliminated") reference.eliminated flat.eliminated;
+            Alcotest.(check int)
+              (label "fused_slots") reference.fused_slots flat.fused_slots;
+            Alcotest.(check int)
+              (label "uop count")
+              (List.length reference.uops)
+              (List.length flat.uops);
+            List.iter2
+              (fun (r : Uarch.Uop.t) (f : Uarch.Uop.t) ->
+                Alcotest.(check bool) (label "uop kind") true (r.kind = f.kind);
+                Alcotest.(check bool)
+                  (label "uop ports") true
+                  (Uarch.Port.to_list r.ports = Uarch.Port.to_list f.ports);
+                Alcotest.(check int) (label "uop latency") r.latency f.latency)
+              reference.uops flat.uops)
+        Opcode.all)
+    uarches
+
+(* golden digests of the flat tables' canonical encoding. These pin
+   the preprocessing end-to-end (class indexing, packed port masks,
+   latencies, variant flags): any change to what the fast path
+   executes from must show up here and be justified in the commit.
+   Regenerate with [Engine.flat_digest] if the uarch tables
+   legitimately change — and expect [Engine.generation] (pinned in
+   test_store.ml) to move with them. *)
+let test_flat_digest_golden () =
+  Alcotest.(check string) "golden flat tables (ivb)"
+    "be63a20310f649e6adaf7dcb4fdf34fe13bca3b2f565fc210df44c6f855b65ae"
+    (Engine.flat_digest Uarch.All.ivy_bridge);
+  Alcotest.(check string) "golden flat tables (hsw)"
+    "2006fd4b940b84b13ca80e508938caa59aaaba49fd64f0b9b657c1fd75dd1623"
+    (Engine.flat_digest Uarch.All.haswell);
+  Alcotest.(check string) "golden flat tables (skl)"
+    "51f8e07ecbc35935caef674e12f013f2d6810ca01451e58ad496beacd81d457d"
+    (Engine.flat_digest Uarch.All.skylake);
+  (* the digest must keep the uarches apart — a degenerate encoding
+     that hashed only the layout would not *)
+  Alcotest.(check bool) "digests distinct" false
+    (Engine.flat_digest Uarch.All.haswell = Engine.flat_digest Uarch.All.skylake);
+  (* flat preprocessing must not perturb the store invalidation key:
+     the generation fingerprint is pinned independently in
+     test_store.ml and re-checked here against the same goldens *)
+  Alcotest.(check string) "generation unchanged by flat tables (hsw)"
+    "0e4f0a9588c1b077ef04db6085e3a8f2363fca89e95c071392edbc6920035e0d"
+    (Engine.generation Uarch.All.haswell);
+  Alcotest.(check string) "generation unchanged by flat tables (skl)"
+    "cef5f774d7008fc937c5dfb85825e9f5cc4754ce8c715881da2c59071c3f2c46"
+    (Engine.generation Uarch.All.skylake)
+
+(* deterministic spot check on a block exercising every uop kind
+   (load, store, exec, divider) plus a second batch entry, comparing
+   against fresh machines — the qcheck property's fixed companion *)
+let test_batch_mixed_block () =
+  let block =
+    Parser.block_exn
+      "mov $7, %rcx\n\
+       xor %rdx, %rdx\n\
+       mov (%rbx), %rax\n\
+       add $3, %rax\n\
+       divq %rcx\n\
+       mov %rax, 8(%rbx)"
+  in
+  match Harness.Mapping.run Harness.Environment.default block ~unroll:4 with
+  | Error f -> Alcotest.failf "%s" (Harness.Mapping.failure_to_string f)
+  | Ok mapped ->
+    List.iter
+      (fun (d : Uarch.Descriptor.t) ->
+        let fresh =
+          Pipeline.Machine.run (Pipeline.Machine.create d) mapped.steps
+        in
+        List.iter
+          (fun (r : Pipeline.Core.result) ->
+            Alcotest.(check int) (d.short ^ " cycles") fresh.cycles r.cycles;
+            Alcotest.(check bool) (d.short ^ " counters") true
+              (counters_equal fresh.counters r.counters))
+          (Pipeline.simulate_batch d [ mapped.steps; mapped.steps ]))
+      uarches
+
+let suite =
+  [
+    batch_matches_fresh;
+    Alcotest.test_case "flat decompose == profile decompose" `Quick
+      test_flat_decompose_matches_profile;
+    Alcotest.test_case "flat table digests golden" `Quick
+      test_flat_digest_golden;
+    Alcotest.test_case "batch mixed block" `Quick test_batch_mixed_block;
+  ]

@@ -569,16 +569,69 @@ let test_diff_min_store_hit_rate_floor () =
   let report = gate (summary ()) (summary ()) in
   check_verdict "no store object fails the floor" Bench_diff.Fail report
 
+(* --- schema v6: simulator throughput and the perf gate --- *)
+
+let with_perf ?(blocks_per_sec = 1000.) s =
+  match s with
+  | Json.Object fields ->
+    Json.Object
+      (fields
+      @ [
+          ( "perf",
+            Json.Object
+              [
+                ("blocks", Json.Number 4000.);
+                ("sim_seconds", Json.Number (4000. /. blocks_per_sec));
+                ("blocks_per_sec", Json.Number blocks_per_sec);
+              ] );
+        ])
+  | other -> other
+
+let test_diff_min_speedup () =
+  let gate baseline current =
+    Bench_diff.compare_summaries ~min_speedup:0.8 ~baseline ~current ()
+  in
+  let report =
+    gate (with_perf (summary ())) (with_perf ~blocks_per_sec:700. (summary ()))
+  in
+  check_verdict "below the floor fails" Bench_diff.Fail report;
+  let report =
+    gate (with_perf (summary ())) (with_perf ~blocks_per_sec:900. (summary ()))
+  in
+  check_verdict "between floor and parity warns" Bench_diff.Warn report;
+  let report =
+    gate (with_perf (summary ())) (with_perf ~blocks_per_sec:1200. (summary ()))
+  in
+  check_verdict "above parity passes" Bench_diff.Pass report;
+  let report =
+    gate (with_perf (summary ())) (with_perf ~blocks_per_sec:1000. (summary ()))
+  in
+  check_verdict "exactly at parity passes" Bench_diff.Pass report;
+  (* a summary predating schema v6 has no perf object: the gate cannot
+     be satisfied, on either side *)
+  let report = gate (with_perf (summary ())) (summary ()) in
+  check_verdict "current without perf fails" Bench_diff.Fail report;
+  let report = gate (summary ()) (with_perf (summary ())) in
+  check_verdict "baseline without perf fails" Bench_diff.Fail report;
+  (* without --min-speedup the perf object imposes nothing *)
+  let report =
+    diff (with_perf (summary ())) (with_perf ~blocks_per_sec:1. (summary ()))
+  in
+  check_verdict "no floor requested: perf not gated" Bench_diff.Pass report
+
 let test_strip_volatile () =
   let s =
-    with_store ~hit_rate:0.95
-      (with_faults (summary ~executed:1000. ~wall:10. ()))
+    with_perf
+      (with_store ~hit_rate:0.95
+         (with_faults (summary ~executed:1000. ~wall:10. ())))
   in
   let stripped = Bench_diff.strip_volatile s in
   Alcotest.(check bool) "wall stripped" true
     (Json.member "engine_wall_seconds" stripped = None);
   Alcotest.(check bool) "store stripped" true
     (Json.member "store" stripped = None);
+  Alcotest.(check bool) "perf stripped (timings are volatile)" true
+    (Json.member "perf" stripped = None);
   Alcotest.(check bool) "executed stripped" true
     (Json.member "executed" stripped = None);
   Alcotest.(check bool) "submitted stripped" true
@@ -669,6 +722,7 @@ let suite =
     Alcotest.test_case "diff: store hit rate" `Quick test_diff_store_hit_rate;
     Alcotest.test_case "diff: min store hit-rate floor" `Quick
       test_diff_min_store_hit_rate_floor;
+    Alcotest.test_case "diff: min speedup floor" `Quick test_diff_min_speedup;
     Alcotest.test_case "diff: strip volatile" `Quick test_strip_volatile;
     Alcotest.test_case "diff: identical mode" `Quick test_diff_identical_mode;
     Alcotest.test_case "diff: schema v5 accepted" `Quick

@@ -34,7 +34,8 @@ let describe what j =
     (Option.value ~default:"?" (field "rev"))
 
 let run baseline_path current_path executed_rel executed_abs hit_rate_rel
-    wall_rel wall_abs wall_fails identical min_store_hit_rate min_speedup =
+    wall_rel wall_abs wall_fails identical min_store_hit_rate min_speedup
+    min_coalesce max_p99_ms =
   match
     (read_summary "baseline" baseline_path, read_summary "current" current_path)
   with
@@ -73,8 +74,8 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     in
     let report =
       Telemetry.Bench_diff.compare_summaries ~thresholds
-        ~require_identical:identical ?min_store_hit_rate ?min_speedup ~baseline
-        ~current ()
+        ~require_identical:identical ?min_store_hit_rate ?min_speedup
+        ?min_coalesce ?max_p99_ms ~baseline ~current ()
     in
     Telemetry.Bench_diff.pp_report Format.std_formatter report;
     exit (Telemetry.Bench_diff.exit_code report)
@@ -169,11 +170,31 @@ let cmd =
              core-second) is at least RATE times the baseline's — e.g. 0.8 \
              for the CI perf job. Ratios between RATE and 1.0 warn.")
   in
+  let min_coalesce =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-coalesce" ] ~docv:"RATIO"
+          ~doc:
+            "Fail unless the current run's request coalesce ratio \
+             ($(b,serving.coalesce_ratio), requests answered per engine \
+             submission) is at least RATIO — e.g. 1.05 for the CI serve \
+             job, which replays duplicate blocks concurrently.")
+  in
+  let max_p99_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-p99-ms" ] ~docv:"MS"
+          ~doc:
+            "Fail if the current run's p99 request latency \
+             ($(b,serving.p99_ms)) exceeds MS milliseconds.")
+  in
   let term =
     Term.(
       const run $ baseline $ current $ executed_rel $ executed_abs
       $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails $ identical
-      $ min_store_hit_rate $ min_speedup)
+      $ min_store_hit_rate $ min_speedup $ min_coalesce $ max_p99_ms)
   in
   Cmd.v
     (Cmd.info "bhive_bench_diff"

@@ -1,0 +1,439 @@
+(* bhive_load: corpus-replaying load generator for bhive_serve.
+
+   N client threads each open one connection and replay the same
+   benchmark corpus in the same order from index 0 — deliberately
+   maximising duplicate concurrent requests, so a correct server shows
+   a coalesce ratio above 1.0. Per-request latency is recorded
+   client-side; after the load phase the server's counters are
+   snapshotted over a [stats] request, and (with --verify) every
+   distinct block's response is byte-compared against a local engine's
+   rendering of the same job.
+
+   The summary (--summary) is a schema-v7 bench_summary.json carrying
+   a [serving] object, gated in CI by bhive_bench_diff:
+   [serving.lost] and [serving.shed_after_accept] must be zero, and
+   --min-coalesce / --max-p99-ms bound the service-level numbers. The
+   manifest identity is [Manifest.Spec.bench] at the replayed scale,
+   so a load summary and a serving baseline from the same scale agree
+   on their experiment id.
+
+   Exit codes: 0 success; 1 lost requests or verification mismatches;
+   2 invalid arguments / environment / connection failure. *)
+
+open Cmdliner
+module Json = Telemetry.Json
+
+(* Per-thread tallies, merged after join — no locking on the hot path. *)
+type tally = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable lost : int;  (** sent but no well-formed response *)
+  mutable r_overloaded : int;
+  mutable r_deadline : int;
+  mutable r_shutting : int;
+  mutable r_bad : int;
+  mutable lat_ms : float list;  (** latencies of [ok] responses *)
+}
+
+let fresh_tally () =
+  {
+    sent = 0;
+    ok = 0;
+    lost = 0;
+    r_overloaded = 0;
+    r_deadline = 0;
+    r_shutting = 0;
+    r_bad = 0;
+    lat_ms = [];
+  }
+
+let predict_request ~uarch ~deadline_ms (b : Corpus.Block.t) =
+  Serve.Wire.Predict
+    {
+      Serve.Wire.asm = Corpus.Block.text b;
+      uarch;
+      deadline_ms;
+      block_hex = None;
+      filters = Manifest.Spec.default_filters;
+    }
+
+(* One thread's replay: [repeat] passes over the whole corpus, all
+   threads in the same order. A transport error loses that request and
+   reconnects; refusals are counted by kind and are not losses. Only
+   the initial connect retries with backoff — a mid-run reconnect
+   fails immediately, so a killed server drains the remaining workload
+   as fast losses instead of minutes of per-request retry sleeps. *)
+let replay ~socket ~uarch ~deadline_ms ~repeat blocks (t : tally) =
+  let conn = ref None in
+  let connect ?(retries = 0) () =
+    match Serve.Client.connect ~retries ~retry_interval:0.1 socket with
+    | Ok c ->
+      conn := Some c;
+      true
+    | Error _ ->
+      conn := None;
+      false
+  in
+  ignore (connect ~retries:20 ());
+  for _ = 1 to repeat do
+    List.iter
+      (fun b ->
+        match !conn with
+        | None ->
+          if connect () then ()
+          else (
+            t.sent <- t.sent + 1;
+            t.lost <- t.lost + 1)
+        | Some c -> (
+          t.sent <- t.sent + 1;
+          let t0 = Telemetry.Trace.now_ns () in
+          match
+            Serve.Client.request c (predict_request ~uarch ~deadline_ms b)
+          with
+          | Ok (Serve.Wire.Result _) ->
+            let dt =
+              Int64.to_float (Int64.sub (Telemetry.Trace.now_ns ()) t0) /. 1e6
+            in
+            t.ok <- t.ok + 1;
+            t.lat_ms <- dt :: t.lat_ms
+          | Ok (Serve.Wire.Refused (kind, _)) -> (
+            match kind with
+            | Serve.Wire.Overloaded -> t.r_overloaded <- t.r_overloaded + 1
+            | Serve.Wire.Deadline_exceeded -> t.r_deadline <- t.r_deadline + 1
+            | Serve.Wire.Shutting_down -> t.r_shutting <- t.r_shutting + 1
+            | Serve.Wire.Bad_request -> t.r_bad <- t.r_bad + 1)
+          | Ok (Serve.Wire.Stats_reply _) | Ok Serve.Wire.Pong | Error _ ->
+            t.lost <- t.lost + 1;
+            Serve.Client.close c;
+            conn := None))
+      blocks
+  done;
+  Option.iter Serve.Client.close !conn
+
+(* Exact percentile over the sorted latency sample: the value at rank
+   ceil(q * n) (1-based), i.e. the smallest latency >= q of the sample. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* Byte-identity verification: replay each distinct block once over a
+   fresh connection and compare the server's rendered outcome with a
+   local engine's rendering of the same job — same parser, same
+   environment resolution, same canonical rendering, so any
+   disagreement is a real divergence between daemon and CLI answers. *)
+let verify_blocks ~socket ~uarch blocks =
+  match Serve.Client.connect ~retries:10 socket with
+  | Error msg ->
+    prerr_endline ("bhive_load: verify: " ^ msg);
+    (0, List.length blocks)
+  | Ok c ->
+    let engine = Engine.create () in
+    let udesc = Option.get (Uarch.All.by_short uarch) in
+    let verified = ref 0 and mismatches = ref 0 in
+    List.iter
+      (fun b ->
+        let remote =
+          match
+            Serve.Client.request c
+              (predict_request ~uarch ~deadline_ms:None b)
+          with
+          | Ok (Serve.Wire.Result r) -> Some (Json.to_string ~compact:true r)
+          | _ -> None
+        in
+        let local =
+          let job =
+            {
+              Engine.env =
+                Manifest.Spec.environment_of_filters
+                  Manifest.Spec.default_filters;
+              uarch = udesc;
+              block = b.Corpus.Block.insts;
+            }
+          in
+          let batch = Engine.run_batch engine [ job ] in
+          Json.to_string ~compact:true
+            (Serve.Wire.outcome_json batch.Engine.outcomes.(0))
+        in
+        match remote with
+        | Some r when r = local -> incr verified
+        | Some r ->
+          incr mismatches;
+          if !mismatches <= 3 then
+            Printf.eprintf
+              "bhive_load: verify mismatch on %s:\n  server %s\n  local  %s\n"
+              b.Corpus.Block.id r local
+        | None -> incr mismatches)
+      blocks;
+    Serve.Client.close c;
+    (!verified, !mismatches)
+
+let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
+  (match Engine.validate_env () with
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline ("bhive_load: " ^ msg);
+    exit 2);
+  Telemetry.Trace.init_from_env ();
+  if concurrency < 1 || repeat < 1 then begin
+    prerr_endline "bhive_load: --concurrency and --repeat must be >= 1";
+    exit 2
+  end;
+  if Uarch.All.by_short uarch = None then begin
+    Printf.eprintf "bhive_load: unknown uarch %S\n" uarch;
+    exit 2
+  end;
+  let config =
+    let c = Corpus.Suite.config_from_env () in
+    match scale with
+    | Some s when s >= 1 -> { c with Corpus.Suite.scale = s }
+    | Some _ ->
+      prerr_endline "bhive_load: --scale must be >= 1";
+      exit 2
+    | None -> c
+  in
+  let blocks = Corpus.Suite.generate ~config () in
+  let spec = Manifest.Spec.bench ~scale:config.Corpus.Suite.scale () in
+  Printf.eprintf
+    "bhive_load: %d blocks x %d repeats x %d threads against %s\n%!"
+    (List.length blocks) repeat concurrency socket;
+  (* liveness probe before spawning the fleet: a missing daemon is a
+     clean exit 2, not [concurrency] threads of connect noise *)
+  (match Serve.Client.connect ~retries:50 ~retry_interval:0.1 socket with
+  | Error msg ->
+    prerr_endline ("bhive_load: " ^ msg);
+    exit 2
+  | Ok c -> (
+    match Serve.Client.request c Serve.Wire.Ping with
+    | Ok Serve.Wire.Pong -> Serve.Client.close c
+    | Ok _ | Error _ ->
+      prerr_endline "bhive_load: server did not answer ping";
+      exit 2));
+  let tallies = Array.init concurrency (fun _ -> fresh_tally ()) in
+  let t0 = Telemetry.Trace.now_ns () in
+  let threads =
+    Array.mapi
+      (fun i t ->
+        Thread.create
+          (fun () -> replay ~socket ~uarch ~deadline_ms ~repeat blocks t)
+          (ignore i))
+      tallies
+  in
+  Array.iter Thread.join threads;
+  let wall_seconds =
+    Int64.to_float (Int64.sub (Telemetry.Trace.now_ns ()) t0) /. 1e9
+  in
+  (* server counters, snapshotted before verification so the verify
+     pass's extra (uncoalesced, warm) requests do not dilute the load
+     phase's coalesce ratio *)
+  let server_stats =
+    match Serve.Client.connect ~retries:10 socket with
+    | Error msg ->
+      prerr_endline ("bhive_load: stats: " ^ msg);
+      None
+    | Ok c ->
+      let r =
+        match Serve.Client.request c Serve.Wire.Stats with
+        | Ok (Serve.Wire.Stats_reply s) -> Some s
+        | _ -> None
+      in
+      Serve.Client.close c;
+      r
+  in
+  let serving_counter name =
+    Option.bind server_stats (fun s -> Json.path [ "serving"; name ] s)
+    |> Fun.flip Option.bind Json.number
+    |> Option.value ~default:0.0
+  in
+  let coalesce_ratio =
+    let accepted = serving_counter "accepted" in
+    let coalesced = serving_counter "coalesced" in
+    if accepted > 0.0 then (accepted +. coalesced) /. accepted else 0.0
+  in
+  let shed_after_accept =
+    serving_counter "shed_deadline" +. serving_counter "shed_drain"
+  in
+  let total = fresh_tally () in
+  Array.iter
+    (fun t ->
+      total.sent <- total.sent + t.sent;
+      total.ok <- total.ok + t.ok;
+      total.lost <- total.lost + t.lost;
+      total.r_overloaded <- total.r_overloaded + t.r_overloaded;
+      total.r_deadline <- total.r_deadline + t.r_deadline;
+      total.r_shutting <- total.r_shutting + t.r_shutting;
+      total.r_bad <- total.r_bad + t.r_bad;
+      total.lat_ms <- List.rev_append t.lat_ms total.lat_ms)
+    tallies;
+  let sorted = Array.of_list total.lat_ms in
+  Array.sort compare sorted;
+  let mean =
+    if Array.length sorted = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 sorted /. float_of_int (Array.length sorted)
+  in
+  let verified, mismatches =
+    if verify then verify_blocks ~socket ~uarch blocks else (0, 0)
+  in
+  let p50 = percentile sorted 0.50
+  and p99 = percentile sorted 0.99
+  and p999 = percentile sorted 0.999
+  and pmax = percentile sorted 1.0 in
+  Printf.eprintf
+    "bhive_load: %d sent, %d ok, %d lost, %d refused \
+     (overloaded %d, deadline %d, shutting_down %d, bad %d)\n\
+     bhive_load: p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms, max %.2f ms, \
+     %.1f req/s, coalesce %.3f\n\
+     %!"
+    total.sent total.ok total.lost
+    (total.r_overloaded + total.r_deadline + total.r_shutting + total.r_bad)
+    total.r_overloaded total.r_deadline total.r_shutting total.r_bad p50 p99
+    p999 pmax
+    (if wall_seconds > 0.0 then float_of_int total.ok /. wall_seconds else 0.0)
+    coalesce_ratio;
+  if verify then
+    Printf.eprintf "bhive_load: verified %d blocks, %d mismatches\n%!" verified
+      mismatches;
+  (match summary_path with
+  | None -> ()
+  | Some path ->
+    let rev =
+      match Sys.getenv_opt "BHIVE_REV" with
+      | Some r when String.trim r <> "" -> String.trim r
+      | _ -> "unknown"
+    in
+    let n name v = (name, Json.Number (float_of_int v)) in
+    let f name v = (name, Json.Number v) in
+    let serving =
+      Json.Object
+        ([
+           n "concurrency" concurrency;
+           n "repeat" repeat;
+           n "requests" total.sent;
+           n "ok" total.ok;
+           n "lost" total.lost;
+           ( "refused",
+             Json.Object
+               [
+                 n "overloaded" total.r_overloaded;
+                 n "deadline_exceeded" total.r_deadline;
+                 n "shutting_down" total.r_shutting;
+                 n "bad_request" total.r_bad;
+               ] );
+           f "shed_after_accept" shed_after_accept;
+           f "coalesce_ratio" coalesce_ratio;
+           f "p50_ms" p50;
+           f "p99_ms" p99;
+           f "p999_ms" p999;
+           f "max_ms" pmax;
+           f "mean_ms" mean;
+           f "throughput_rps"
+             (if wall_seconds > 0.0 then
+                float_of_int total.ok /. wall_seconds
+              else 0.0);
+           f "wall_seconds" wall_seconds;
+           n "verified" verified;
+           n "mismatches" mismatches;
+         ]
+        @
+        match server_stats with
+        | Some s -> [ ("server", s) ]
+        | None -> [])
+    in
+    let doc =
+      Json.Object
+        [
+          ("schema_version", Json.Number 7.0);
+          ("scale", Json.Number (float_of_int config.Corpus.Suite.scale));
+          ("rev", Json.String rev);
+          ("name", Json.String "serve-load");
+          ( "manifest",
+            Json.Object
+              [
+                ("id", Json.String (Manifest.Spec.id spec));
+                ("experiment", Json.String (Manifest.Spec.experiment_id spec));
+              ] );
+          ("serving", serving);
+        ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Json.to_string doc);
+        Out_channel.output_char oc '\n'));
+  if total.lost > 0 || mismatches > 0 then exit 1;
+  exit 0
+
+let cmd =
+  let socket =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Unix socket of a running bhive_serve.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 32
+      & info [ "c"; "concurrency" ] ~docv:"N"
+          ~doc:"Client threads, each with its own connection.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 2
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Passes over the corpus per thread.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale" ] ~docv:"N"
+          ~doc:
+            "Corpus scale (1/N of the paper's block counts). Defaults to \
+             \\$BHIVE_SCALE.")
+  in
+  let uarch =
+    Arg.(
+      value & opt string "hsw"
+      & info [ "uarch" ] ~docv:"UARCH" ~doc:"Microarchitecture short name.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Attach a per-request deadline; requests dispatched after it \
+             expires are refused with $(b,deadline_exceeded).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After the load phase, replay each distinct block once and \
+             byte-compare the server's response rendering against a local \
+             engine's. Mismatches exit 1.")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"PATH"
+          ~doc:
+            "Write a schema-v7 bench_summary.json with a $(b,serving) \
+             object (gate it with bhive_bench_diff).")
+  in
+  let term =
+    Term.(
+      const run $ socket $ concurrency $ repeat $ scale $ uarch $ deadline_ms
+      $ verify $ summary)
+  in
+  Cmd.v
+    (Cmd.info "bhive_load"
+       ~doc:
+         "Replay the benchmark corpus against a bhive_serve daemon at \
+          configurable concurrency; report latency percentiles, coalescing \
+          and shed counts.")
+    term
+
+let () = exit (Cmd.eval cmd)

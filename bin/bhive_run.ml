@@ -18,6 +18,22 @@ let load path =
     prerr_endline ("bhive: " ^ msg);
     exit 2
 
+(* First SIGINT/SIGTERM: request a graceful stop — the runner finishes
+   the in-progress section, appends its journal entry (the tail stays
+   well-formed for resume) and exits 3 through the interrupted path. A
+   second signal exits 3 immediately for a run that is stuck. *)
+let install_interrupt_handlers () =
+  let signalled = ref false in
+  let handler =
+    Sys.Signal_handle
+      (fun _ ->
+        if !signalled then exit 3;
+        signalled := true;
+        Manifest.Runner.request_interrupt ())
+  in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
 let run setup path print_id fresh max_sections kill_after_jobs =
   let spec = load path in
   if print_id then begin
@@ -25,6 +41,7 @@ let run setup path print_id fresh max_sections kill_after_jobs =
     Printf.printf "experiment %s\n" (Manifest.Spec.experiment_id spec);
     exit 0
   end;
+  install_interrupt_handlers ();
   Cli_common.run_spec ?max_sections ?kill_after_jobs ~fresh setup spec
 
 let cmd =

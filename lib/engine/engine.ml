@@ -374,6 +374,35 @@ let generation_of t (u : Uarch.Descriptor.t) =
     t.gen_cache <- (u, g) :: t.gen_cache;
     g
 
+(* Cache probe without execution: memo tier, then the disk store. A
+   store hit fills the memo so later probes and batches resolve in
+   memory. Same threading contract as [run_batch] — submitting thread
+   only (the memo Hashtbl is unsynchronised); the serve dispatcher is
+   that thread. *)
+let peek t (j : job) : outcome option =
+  let fp = fingerprint j in
+  match Hashtbl.find_opt t.cache fp with
+  | Some r ->
+    t.cache_hits <- t.cache_hits + 1;
+    Some r
+  | None -> (
+    match t.store with
+    | None -> None
+    | Some st -> (
+      let gen = generation_of t j.uarch in
+      match Store.get st ~key:fp ~gen with
+      | Store.Hit payload -> (
+        match
+          try Some (Marshal.from_string payload 0 : outcome) with _ -> None
+        with
+        | Some r ->
+          t.store_hit_count <- t.store_hit_count + 1;
+          Telemetry.Metrics.incr m_store_hits;
+          Hashtbl.replace t.cache fp r;
+          Some r
+        | None -> None)
+      | Store.Stale | Store.Miss -> None))
+
 let stats t =
   {
     submitted = t.submitted;

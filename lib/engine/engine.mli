@@ -248,6 +248,15 @@ val hit_rate : stats -> float
     its cached quarantine. Never raises on injected faults. *)
 val run_batch : t -> job list -> batch
 
+(** [peek t job] probes the cache hierarchy — memory memo, then the
+    disk store — without executing anything. [Some outcome] is exactly
+    what {!run_batch} would return for the job without a profiler
+    call; [None] means resolving it requires execution. A store hit
+    fills the memo. Same threading contract as {!run_batch}: the
+    submitting thread only. This is the serve dispatcher's warm fast
+    path — a warm request is answered without occupying a batch slot. *)
+val peek : t -> job -> outcome option
+
 (** [profile t env uarch block] submits a single job — a memoising,
     supervised drop-in for {!Harness.Profiler.profile}. *)
 val profile :

@@ -25,6 +25,16 @@ module Json = Telemetry.Json
    job) while leaving journal and store exactly as a real kill would. *)
 exception Killed
 
+(* Cooperative interrupt (the bhive_run SIGINT/SIGTERM handlers set
+   this): honoured at the next section boundary, exactly like
+   --max-sections — the in-progress section finishes, its journal
+   entry is appended (the journal tail stays well-formed), remaining
+   sections are skipped, and the outcome reports [interrupted = true]
+   so the CLI exits 3. Re-running the same manifest resumes from the
+   journal. Reset at the start of every [run]. *)
+let interrupt_flag = Atomic.make false
+let request_interrupt () = Atomic.set interrupt_flag true
+
 type overrides = {
   o_jobs : int option;
   o_store : string option;
@@ -583,7 +593,7 @@ let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
         ]
     in
     Json.Object
-      (("schema_version", Json.Number 6.0)
+      (("schema_version", Json.Number 7.0)
       :: ("scale", Json.Number (float_of_int spec.corpus.scale))
       :: ("rev", Json.String rev)
       :: ("name", Json.String spec.name)
@@ -628,6 +638,7 @@ let resolve_execution (spec : Spec.t) overrides =
 let run ?(overrides = no_overrides) ?(fresh = false) ?max_sections
     ?kill_after_jobs ?(out = Format.std_formatter)
     ?(info = Format.err_formatter) (spec : Spec.t) =
+  Atomic.set interrupt_flag false;
   let* () = Spec.validate spec in
   let* () = Spec.validate_outputs spec in
   let manifest_id = Spec.id spec in
@@ -661,8 +672,10 @@ let run ?(overrides = no_overrides) ?(fresh = false) ?max_sections
       let interrupted = ref false in
       List.iteri
         (fun i s ->
-          if (match max_sections with Some k -> i >= k | None -> false) then
-            interrupted := true
+          if
+            Atomic.get interrupt_flag
+            || (match max_sections with Some k -> i >= k | None -> false)
+          then interrupted := true
           else if not !interrupted then begin
             let name = Spec.section_name s in
             match Journal.find journal ~index:i ~section:name with

@@ -206,9 +206,11 @@ let resolved_uarches t =
 
 let dump_variants = [ "suite"; "extended"; "google" ]
 
-(* The measurement environment this manifest's filters describe. *)
-let environment t =
-  let f = t.filters in
+(* The measurement environment a filters record describes. Exposed on
+   its own (not just via [environment]) because a serve request is a
+   tiny manifest: its filters object resolves through exactly this
+   function, so daemon answers and CLI answers agree by construction. *)
+let environment_of_filters (f : filters) =
   let e = Harness.Environment.default in
   let e =
     match f.naive_unroll with
@@ -226,6 +228,8 @@ let environment t =
   match f.context_switch_rate with
   | Some r -> { e with context_switch_rate = r }
   | None -> e
+
+let environment t = environment_of_filters t.filters
 
 (* ------------------------------------------------------------------ *)
 (* Canonical encoding and ids                                          *)
@@ -376,21 +380,22 @@ let section_to_json s =
      :: opt "label" (fun l -> Json.String l) s.label)
     @ fields)
 
+(* Shared with the serve wire protocol: a request's filters object is
+   rendered and parsed with the same code as a manifest's. *)
+let filters_to_json (f : filters) =
+  Json.Object
+    (opt "naive_unroll" num f.naive_unroll
+    @ opt "min_clean" num f.min_clean
+    @ (if f.keep_underflow then [ ("keep_underflow", Json.Bool true) ] else [])
+    @ (if f.keep_misaligned then [ ("keep_misaligned", Json.Bool true) ]
+       else [])
+    @ opt "context_switch_rate"
+        (fun r -> Json.Number r)
+        f.context_switch_rate)
+
 let to_json t =
   let strings l = Json.List (List.map (fun s -> Json.String s) l) in
-  let filters =
-    Json.Object
-      (opt "naive_unroll" num t.filters.naive_unroll
-      @ opt "min_clean" num t.filters.min_clean
-      @ (if t.filters.keep_underflow then
-           [ ("keep_underflow", Json.Bool true) ]
-         else [])
-      @ (if t.filters.keep_misaligned then
-           [ ("keep_misaligned", Json.Bool true) ]
-         else [])
-      @ opt "context_switch_rate" (fun r -> Json.Number r)
-          t.filters.context_switch_rate)
-  in
+  let filters = filters_to_json t.filters in
   let policy =
     Json.Object
       (opt "max_retries" num t.policy.max_retries
@@ -486,6 +491,19 @@ let section_of_json j =
   in
   { label; kind }
 
+(* Raises [Failure] on malformed fields, like the rest of the parser;
+   callers outside [of_json] (the serve request decoder) catch it. *)
+let filters_of_json f =
+  {
+    naive_unroll = int_field "naive_unroll" f;
+    min_clean = int_field "min_clean" f;
+    keep_underflow =
+      Option.value ~default:false (bool_field "keep_underflow" f);
+    keep_misaligned =
+      Option.value ~default:false (bool_field "keep_misaligned" f);
+    context_switch_rate = num_field "context_switch_rate" f;
+  }
+
 let of_json j =
   try
     (match int_field "manifest_version" j with
@@ -515,16 +533,7 @@ let of_json j =
     let filters =
       match Json.member "filters" j with
       | None -> default_filters
-      | Some f ->
-        {
-          naive_unroll = int_field "naive_unroll" f;
-          min_clean = int_field "min_clean" f;
-          keep_underflow =
-            Option.value ~default:false (bool_field "keep_underflow" f);
-          keep_misaligned =
-            Option.value ~default:false (bool_field "keep_misaligned" f);
-          context_switch_rate = num_field "context_switch_rate" f;
-        }
+      | Some f -> filters_of_json f
     in
     let policy =
       match Json.member "policy" j with

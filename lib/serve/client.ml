@@ -1,0 +1,37 @@
+(* Blocking client for the bhive_serve wire protocol — used by
+   bhive_load, the tests, and anything else that wants a prediction
+   from a running daemon. One request in flight per connection; the
+   server answers in order. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect ?(retries = 0) ?(retry_interval = 0.1) path =
+  let rec go n =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if n > 0 then begin
+        Unix.sleepf retry_interval;
+        go (n - 1)
+      end
+      else
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path
+             (Unix.error_message e))
+  in
+  go retries
+
+let request t req : (Wire.response, string) result =
+  match
+    Wire.write_frame t.fd (Wire.request_to_string req);
+    Wire.read_frame t.fd
+  with
+  | Ok payload -> Wire.response_of_string payload
+  | Error Wire.Eof -> Error "connection closed by server"
+  | Error (Wire.Malformed msg) -> Error ("malformed response frame: " ^ msg)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("connection error: " ^ Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

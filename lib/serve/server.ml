@@ -1,0 +1,454 @@
+(* The bhive_serve daemon core: a Unix-socket server in front of one
+   engine + store, built so overload degrades into typed refusals
+   instead of hangs.
+
+   Thread layout — exactly one thread ever touches the engine:
+
+   - the caller of [run] becomes the acceptor: accepts connections
+     (with a short poll timeout so a drain flag is noticed promptly)
+     and spawns one handler thread per connection;
+   - handler threads parse requests, admit them into the bounded
+     queue (or refuse: Overloaded / Shutting_down / Bad_request),
+     block on their waiter until the dispatcher fulfils it, and write
+     the response under a send timeout so a slow client cannot wedge
+     a dispatcher result;
+   - the dispatcher thread owns the engine (Engine.run_batch's memo
+     cache is submitting-thread-only): it pops up to [batch_max]
+     queued entries, sheds the expired ones, answers warm ones via
+     Engine.peek, batches the rest through the engine, and fulfils
+     every waiter.
+
+   Coalescing: [inflight] maps job fingerprint -> entry for every
+   queued or executing entry. A request whose fingerprint is already
+   in flight attaches as a waiter (coalesced++) instead of occupying a
+   queue slot. The entry is removed from the map atomically with
+   taking its waiter list, so a late request can never attach to an
+   already-fulfilled entry.
+
+   Drain: SIGTERM/SIGINT set a flag. The acceptor stops accepting and
+   returns; queued work is finished if it fits inside the drain grace
+   period and shed with Shutting_down otherwise; telemetry is flushed
+   by the caller after [run] returns. *)
+
+module Json = Telemetry.Json
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  batch_max : int;
+  idle_timeout : float;  (** seconds a connection may sit between requests *)
+  write_timeout : float;  (** slow-client response-write budget, seconds *)
+  drain_grace : float;  (** seconds to finish queued work after SIGTERM *)
+}
+
+let default_config socket_path =
+  {
+    socket_path;
+    queue_capacity = 256;
+    batch_max = 64;
+    idle_timeout = 30.0;
+    write_timeout = 10.0;
+    drain_grace = 5.0;
+  }
+
+type counters = {
+  mutable connections : int;
+  mutable requests : int;  (** predict requests that reached admission *)
+  mutable accepted : int;  (** entries admitted into the queue *)
+  mutable coalesced : int;  (** requests attached to an in-flight entry *)
+  mutable completed : int;  (** requests answered with a result *)
+  mutable warm_hits : int;  (** entries answered from memo/store via peek *)
+  mutable executed : int;  (** entries resolved through Engine.run_batch *)
+  mutable shed_overload : int;  (** refused at admission: queue full *)
+  mutable shed_deadline : int;  (** shed after accept: deadline expired *)
+  mutable shed_drain : int;  (** shed after accept: drain grace exceeded *)
+  mutable bad_requests : int;
+  mutable write_timeouts : int;
+}
+
+type waiter = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_reply : Wire.response option;
+}
+
+type entry = {
+  fp : string;
+  job : Engine.job;
+  deadline_ns : int64 option;  (** absolute, Trace.now_ns clock *)
+  mutable waiters : waiter list;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  listen_fd : Unix.file_descr;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  queue : entry Queue.t;
+  inflight : (string, entry) Hashtbl.t;
+  c : counters;
+  draining : bool Atomic.t;
+  mutable drain_until_ns : int64;
+  mutable busy : int;  (** admitted requests not yet written back *)
+  gate : (unit -> unit) option;
+      (** test hook, called at the top of every dispatch cycle *)
+}
+
+let now_ns () = Telemetry.Trace.now_ns ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create ?(config : config option) ?gate ~engine socket_path =
+  let cfg =
+    match config with Some c -> c | None -> default_config socket_path
+  in
+  (* a stale socket file from a killed server would make bind fail;
+     remove it — the advisory store locks, not the socket file, are
+     what serialises multi-process access *)
+  (match Unix.lstat cfg.socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink cfg.socket_path
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" cfg.socket_path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 128;
+  (* short accept timeout: the accept loop is also the drain poll *)
+  Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.25;
+  {
+    cfg;
+    engine;
+    listen_fd;
+    qmutex = Mutex.create ();
+    qcond = Condition.create ();
+    queue = Queue.create ();
+    inflight = Hashtbl.create 256;
+    c =
+      {
+        connections = 0;
+        requests = 0;
+        accepted = 0;
+        coalesced = 0;
+        completed = 0;
+        warm_hits = 0;
+        executed = 0;
+        shed_overload = 0;
+        shed_deadline = 0;
+        shed_drain = 0;
+        bad_requests = 0;
+        write_timeouts = 0;
+      };
+    draining = Atomic.make false;
+    drain_until_ns = Int64.max_int;
+    busy = 0;
+    gate;
+  }
+
+let stats_json t =
+  let c, queued, inflight =
+    with_lock t.qmutex (fun () ->
+        ( { t.c with connections = t.c.connections },
+          Queue.length t.queue,
+          Hashtbl.length t.inflight ))
+  in
+  let e = Engine.stats t.engine in
+  let n name v = (name, Json.Number (float_of_int v)) in
+  Json.Object
+    [
+      ( "serving",
+        Json.Object
+          [
+            n "connections" c.connections;
+            n "requests" c.requests;
+            n "accepted" c.accepted;
+            n "coalesced" c.coalesced;
+            n "completed" c.completed;
+            n "warm_hits" c.warm_hits;
+            n "executed" c.executed;
+            n "shed_overload" c.shed_overload;
+            n "shed_deadline" c.shed_deadline;
+            n "shed_drain" c.shed_drain;
+            n "bad_requests" c.bad_requests;
+            n "write_timeouts" c.write_timeouts;
+            n "queued" queued;
+            n "inflight" inflight;
+          ] );
+      ( "engine",
+        Json.Object
+          [
+            n "profiler_calls" e.Engine.profiler_calls;
+            n "store_hits" e.Engine.store_hits;
+            n "store_misses" e.Engine.store_misses;
+            n "store_writes" e.Engine.store_writes;
+            n "cache_hits" e.Engine.cache_hits;
+            n "executed" e.Engine.executed;
+          ] );
+    ]
+
+(* Fulfil every waiter of [entry] with [reply], detaching the entry
+   from the coalescing map first (atomically with taking the waiter
+   list). *)
+let fulfil t entry reply =
+  let ws =
+    with_lock t.qmutex (fun () ->
+        Hashtbl.remove t.inflight entry.fp;
+        let ws = entry.waiters in
+        entry.waiters <- [];
+        (match reply with
+        | Wire.Result _ -> t.c.completed <- t.c.completed + List.length ws
+        | _ -> ());
+        ws)
+  in
+  List.iter
+    (fun w ->
+      with_lock w.w_mutex (fun () ->
+          w.w_reply <- Some reply;
+          Condition.signal w.w_cond))
+    ws
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dispatcher_cycle t =
+  (match t.gate with Some g -> g () | None -> ());
+  let batch =
+    with_lock t.qmutex (fun () ->
+        while Queue.is_empty t.queue && not (Atomic.get t.draining) do
+          Condition.wait t.qcond t.qmutex
+        done;
+        if Queue.is_empty t.queue then None
+        else begin
+          let n = min t.cfg.batch_max (Queue.length t.queue) in
+          Some (List.init n (fun _ -> Queue.pop t.queue))
+        end)
+  in
+  match batch with
+  | None -> false
+  | Some entries ->
+    let now = now_ns () in
+    let drain_cut =
+      if Atomic.get t.draining && now > t.drain_until_ns then `Shed else `Run
+    in
+    let runnable =
+      List.filter
+        (fun e ->
+          match drain_cut with
+          | `Shed ->
+            with_lock t.qmutex (fun () ->
+                t.c.shed_drain <- t.c.shed_drain + 1);
+            fulfil t e
+              (Wire.Refused (Wire.Shutting_down, "drain deadline exceeded"));
+            false
+          | `Run -> (
+            match e.deadline_ns with
+            | Some d when now > d ->
+              with_lock t.qmutex (fun () ->
+                  t.c.shed_deadline <- t.c.shed_deadline + 1);
+              fulfil t e
+                (Wire.Refused
+                   (Wire.Deadline_exceeded, "deadline expired before dispatch"));
+              false
+            | _ -> true))
+        entries
+    in
+    (* warm fast path: memo/store probe answers without a batch slot *)
+    let cold =
+      List.filter
+        (fun e ->
+          match Engine.peek t.engine e.job with
+          | Some outcome ->
+            with_lock t.qmutex (fun () ->
+                t.c.warm_hits <- t.c.warm_hits + 1);
+            fulfil t e (Wire.Result (Wire.outcome_json outcome));
+            false
+          | None -> true)
+        runnable
+    in
+    (match cold with
+    | [] -> ()
+    | _ ->
+      let batch = Engine.run_batch t.engine (List.map (fun e -> e.job) cold) in
+      with_lock t.qmutex (fun () ->
+          t.c.executed <- t.c.executed + List.length cold);
+      List.iteri
+        (fun i e ->
+          fulfil t e (Wire.Result (Wire.outcome_json batch.Engine.outcomes.(i))))
+        cold);
+    true
+
+let rec dispatcher_loop t = if dispatcher_cycle t then dispatcher_loop t
+
+(* ------------------------------------------------------------------ *)
+(* Admission and handlers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let submit_and_wait t (job : Engine.job) deadline_ms =
+  let fp = Engine.fingerprint job in
+  let w =
+    { w_mutex = Mutex.create (); w_cond = Condition.create (); w_reply = None }
+  in
+  let admitted =
+    with_lock t.qmutex (fun () ->
+        t.c.requests <- t.c.requests + 1;
+        if Atomic.get t.draining then
+          `Refuse (Wire.Refused (Wire.Shutting_down, "server is draining"))
+        else
+          match Hashtbl.find_opt t.inflight fp with
+          | Some entry ->
+            entry.waiters <- w :: entry.waiters;
+            t.c.coalesced <- t.c.coalesced + 1;
+            t.busy <- t.busy + 1;
+            `Wait
+          | None ->
+            if Queue.length t.queue >= t.cfg.queue_capacity then begin
+              t.c.shed_overload <- t.c.shed_overload + 1;
+              `Refuse
+                (Wire.Refused
+                   ( Wire.Overloaded,
+                     Printf.sprintf "queue full (%d entries)"
+                       t.cfg.queue_capacity ))
+            end
+            else begin
+              let deadline_ns =
+                Option.map
+                  (fun ms ->
+                    Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)))
+                  deadline_ms
+              in
+              let entry = { fp; job; deadline_ns; waiters = [ w ] } in
+              Hashtbl.replace t.inflight fp entry;
+              Queue.push entry t.queue;
+              t.c.accepted <- t.c.accepted + 1;
+              t.busy <- t.busy + 1;
+              Condition.signal t.qcond;
+              `Wait
+            end)
+  in
+  match admitted with
+  | `Refuse r -> (r, false)
+  | `Wait ->
+    ( with_lock w.w_mutex (fun () ->
+          while w.w_reply = None do
+            Condition.wait w.w_cond w.w_mutex
+          done;
+          Option.get w.w_reply),
+      true )
+
+let send_response t fd response =
+  match Wire.write_frame fd (Wire.response_to_string response) with
+  | () -> true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    with_lock t.qmutex (fun () ->
+        t.c.write_timeouts <- t.c.write_timeouts + 1);
+    false
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let handle_connection t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
+  let finished = ref false in
+  (try
+     while not !finished do
+       match Wire.read_frame fd with
+       | Error Wire.Eof -> finished := true
+       | Error (Wire.Malformed msg) ->
+         (* framing is broken; answer if possible, then hang up *)
+         ignore (send_response t fd (Wire.Refused (Wire.Bad_request, msg)));
+         finished := true
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         (* idle timeout between requests *)
+         finished := true
+       | Ok payload -> (
+         match Wire.request_of_string payload with
+         | Error msg ->
+           with_lock t.qmutex (fun () ->
+               t.c.bad_requests <- t.c.bad_requests + 1);
+           if not (send_response t fd (Wire.Refused (Wire.Bad_request, msg)))
+           then finished := true
+         | Ok Wire.Ping ->
+           if not (send_response t fd Wire.Pong) then finished := true
+         | Ok Wire.Stats ->
+           if not (send_response t fd (Wire.Stats_reply (stats_json t))) then
+             finished := true
+         | Ok (Wire.Predict p) -> (
+           match Wire.job_of_predict p with
+           | Error msg ->
+             with_lock t.qmutex (fun () ->
+                 t.c.bad_requests <- t.c.bad_requests + 1);
+             if not (send_response t fd (Wire.Refused (Wire.Bad_request, msg)))
+             then finished := true
+           | Ok job ->
+             let reply, waited = submit_and_wait t job p.deadline_ms in
+             let ok = send_response t fd reply in
+             if waited then
+               with_lock t.qmutex (fun () -> t.busy <- t.busy - 1);
+             if not ok then finished := true))
+     done
+   with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let request_drain t = Atomic.set t.draining true
+
+let install_signal_handlers t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let drain = Sys.Signal_handle (fun _ -> request_drain t) in
+  Sys.set_signal Sys.sigterm drain;
+  Sys.set_signal Sys.sigint drain
+
+(* Accept loop; returns when draining. The SO_RCVTIMEO poll bounds how
+   long a drain request waits on an idle listener. *)
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    if Atomic.get t.draining then continue := false
+    else
+      match Store.Eintr.intr (fun () -> Unix.accept ~cloexec:true t.listen_fd) with
+      | fd, _ ->
+        with_lock t.qmutex (fun () ->
+            t.c.connections <- t.c.connections + 1);
+        ignore (Thread.create (fun () -> handle_connection t fd) ())
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> continue := false
+  done
+
+(* Wait (bounded) for handler threads to finish writing fulfilled
+   responses, so a drain does not exit with results still unsent. *)
+let await_quiescent t deadline_ns =
+  let rec go () =
+    let busy = with_lock t.qmutex (fun () -> t.busy) in
+    if busy > 0 && now_ns () < deadline_ns then begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* Run until drained: blocks the calling thread in the accept loop and
+   returns once the queue is drained (or shed) and responses are
+   written. The caller flushes telemetry and exits. *)
+let run ?(signals = true) t =
+  if signals then install_signal_handlers t;
+  let dispatcher = Thread.create (fun () -> dispatcher_loop t) () in
+  accept_loop t;
+  (* drain: the grace period starts when the drain begins *)
+  t.drain_until_ns <-
+    Int64.add (now_ns ())
+      (Int64.of_float (t.cfg.drain_grace *. 1e9));
+  with_lock t.qmutex (fun () -> Condition.broadcast t.qcond);
+  Thread.join dispatcher;
+  await_quiescent t t.drain_until_ns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+
+let counters t = t.c
+let engine t = t.engine

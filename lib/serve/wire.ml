@@ -1,0 +1,325 @@
+(* The bhive_serve wire protocol.
+
+   Frames are length-prefixed binary:
+
+   {v
+     "BHSV" | u32 payload_len (LE) | payload bytes
+   v}
+
+   and the payload is one compact JSON document. JSON rather than a
+   bespoke binary encoding because a request is literally a small
+   manifest — the [filters] object is parsed by the same
+   [Manifest.Spec] code as a manifest file's, so a daemon answer and a
+   CLI answer resolve the measurement environment identically by
+   construction. The frame prefix exists so that a reader never has to
+   scan for a delimiter and an oversized or garbage payload is
+   rejected before any of it is parsed.
+
+   Requests ([op]):
+   - ["predict"] — asm (required, AT&T or Intel syntax), uarch short
+     name, optional [deadline_ms], optional [block_hex] (hex of the
+     encoded block bytes, cross-checked against the parsed asm),
+     optional [filters] (manifest filters object).
+   - ["stats"] — server and engine counters snapshot.
+   - ["ping"] — liveness probe.
+
+   Responses: [{"v":1,"status":"ok","result":...}] carrying the
+   canonical outcome object (shared by the server and the load
+   generator's verification path — byte-identity between daemon and
+   CLI answers is checked against this exact rendering), or
+   [{"v":1,"status":"error","error":<kind>,"message":...}] with kind
+   one of overloaded | deadline_exceeded | bad_request |
+   shutting_down. *)
+
+module Json = Telemetry.Json
+
+let version = 1
+let magic = "BHSV"
+
+(* Generous for one basic block + headroom; a frame this size is a
+   confused or malicious client, not a real request. *)
+let max_frame_len = 1 lsl 22
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_frame fd payload =
+  let buf = Buffer.create (8 + String.length payload) in
+  Buffer.add_string buf magic;
+  Store.Codec.u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Store.Eintr.really_write_substring fd (Buffer.contents buf)
+
+type read_error = Eof | Malformed of string
+
+let read_frame fd =
+  let hdr = Bytes.create 8 in
+  match Store.Eintr.read fd hdr 0 8 with
+  | 0 -> Error Eof
+  | n ->
+    if n < 8 && not (Store.Eintr.really_read fd hdr n (8 - n)) then
+      Error (Malformed "truncated frame header")
+    else if Bytes.sub_string hdr 0 4 <> magic then
+      Error (Malformed "bad frame magic")
+    else
+      let len = Store.Codec.get_u32 hdr 4 in
+      if len > max_frame_len then
+        Error (Malformed (Printf.sprintf "oversized frame (%d bytes)" len))
+      else
+        let b = Bytes.create len in
+        if Store.Eintr.really_read fd b 0 len then
+          Ok (Bytes.unsafe_to_string b)
+        else Error (Malformed "truncated frame payload")
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type predict = {
+  asm : string;
+  uarch : string;
+  deadline_ms : int option;
+  block_hex : string option;
+  filters : Manifest.Spec.filters;
+}
+
+type request = Predict of predict | Stats | Ping
+
+let request_to_json = function
+  | Ping ->
+    Json.Object [ ("v", Json.Number (float_of_int version)); ("op", Json.String "ping") ]
+  | Stats ->
+    Json.Object [ ("v", Json.Number (float_of_int version)); ("op", Json.String "stats") ]
+  | Predict p ->
+    Json.Object
+      ([
+         ("v", Json.Number (float_of_int version));
+         ("op", Json.String "predict");
+         ("asm", Json.String p.asm);
+         ("uarch", Json.String p.uarch);
+       ]
+      @ (match p.deadline_ms with
+        | Some d -> [ ("deadline_ms", Json.Number (float_of_int d)) ]
+        | None -> [])
+      @ (match p.block_hex with
+        | Some h -> [ ("block_hex", Json.String h) ]
+        | None -> [])
+      @
+      if p.filters = Manifest.Spec.default_filters then []
+      else [ ("filters", Manifest.Spec.filters_to_json p.filters) ])
+
+let request_to_string r = Json.to_string ~compact:true (request_to_json r)
+
+let str_field name j =
+  Option.bind (Json.member name j) Json.string_value
+
+let int_field name j =
+  Option.bind (Json.member name j) Json.number |> Option.map int_of_float
+
+let request_of_string s =
+  match Json.parse s with
+  | Error msg -> Error ("request is not JSON: " ^ msg)
+  | Ok j -> (
+    (match int_field "v" j with
+    | Some v when v = version -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported protocol version %d" v)
+    | None -> Error "missing protocol version")
+    |> function
+    | Error _ as e -> e
+    | Ok () -> (
+      match Option.value ~default:"predict" (str_field "op" j) with
+      | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
+      | "predict" -> (
+        match str_field "asm" j with
+        | None -> Error "predict request missing asm"
+        | Some asm -> (
+          let filters =
+            match Json.member "filters" j with
+            | None -> Ok Manifest.Spec.default_filters
+            | Some f -> (
+              try Ok (Manifest.Spec.filters_of_json f)
+              with Failure msg -> Error msg)
+          in
+          match filters with
+          | Error msg -> Error msg
+          | Ok filters ->
+            Ok
+              (Predict
+                 {
+                   asm;
+                   uarch = Option.value ~default:"hsw" (str_field "uarch" j);
+                   deadline_ms = int_field "deadline_ms" j;
+                   block_hex = str_field "block_hex" j;
+                   filters;
+                 })))
+      | op -> Error (Printf.sprintf "unknown op %S" op)))
+
+(* Resolve a predict request into an engine job — the same parser,
+   encoder and filter resolution as the CLI path. *)
+let job_of_predict (p : predict) : (Engine.job, string) result =
+  match Uarch.All.by_short p.uarch with
+  | None -> Error (Printf.sprintf "unknown uarch %S" p.uarch)
+  | Some uarch -> (
+    match X86.Parser.block p.asm with
+    | Error msg -> Error ("cannot parse block: " ^ msg)
+    | Ok [] -> Error "empty block"
+    | Ok block -> (
+      let env = Manifest.Spec.environment_of_filters p.filters in
+      let job = { Engine.env; uarch; block } in
+      match p.block_hex with
+      | None -> Ok job
+      | Some hex ->
+        let encoded =
+          Store.Sha256.to_hex
+            (Bytes.to_string (X86.Encoder.encode_block block))
+        in
+        if String.lowercase_ascii hex = encoded then Ok job
+        else
+          Error
+            (Printf.sprintf
+               "block_hex mismatch: asm encodes to %s, request carried %s"
+               encoded hex)))
+
+(* ------------------------------------------------------------------ *)
+(* Canonical outcome rendering                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One rendering, used by the server for every predict response and by
+   the load generator to verify byte-identity against a local engine:
+   if the two ever disagree, the bytes differ. *)
+
+let point_json (p : Harness.Profiler.point) =
+  Json.Object
+    [
+      ("unroll", Json.Number (float_of_int p.unroll));
+      ( "accepted_cycles",
+        match p.accepted_cycles with
+        | Some c -> Json.Number (float_of_int c)
+        | None -> Json.Null );
+      ("best_cycles", Json.Number (float_of_int p.best_cycles));
+      ("faults", Json.Number (float_of_int p.faults));
+      ("distinct_frames", Json.Number (float_of_int p.distinct_frames));
+    ]
+
+let outcome_json (o : Engine.outcome) =
+  match o with
+  | Ok (p : Harness.Profiler.profile) ->
+    Json.Object
+      ([
+         ("status", Json.String "measured");
+         ("accepted", Json.Bool p.accepted);
+         ("throughput", Json.Number p.throughput);
+       ]
+      @ (match p.reject with
+        | Some r ->
+          [
+            ( "reject",
+              Json.String
+                (Harness.Profiler.failure_to_string
+                   (Harness.Profiler.Rejected r)) );
+          ]
+        | None -> [])
+      @ [
+          ("large", point_json p.large);
+          ( "small",
+            match p.small with Some s -> point_json s | None -> Json.Null );
+          ( "factors",
+            Json.Object
+              [
+                ("large", Json.Number (float_of_int p.factors.Harness.Unroll.large));
+                ("small", Json.Number (float_of_int p.factors.Harness.Unroll.small));
+              ] );
+        ])
+  | Error (Engine.Profiler_failure f) ->
+    Json.Object
+      [
+        ("status", Json.String "failed");
+        ("failure", Json.String (Harness.Profiler.failure_to_string f));
+      ]
+  | Error (Engine.Quarantined q) ->
+    Json.Object
+      [
+        ("status", Json.String "quarantined");
+        ("fingerprint", Json.String q.Engine.q_fingerprint);
+        ("attempts", Json.Number (float_of_int (List.length q.Engine.q_attempts)));
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type refusal = Overloaded | Deadline_exceeded | Bad_request | Shutting_down
+
+let refusal_code = function
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Bad_request -> "bad_request"
+  | Shutting_down -> "shutting_down"
+
+let refusal_of_code = function
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "bad_request" -> Some Bad_request
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+type response =
+  | Result of Json.t  (** canonical outcome object *)
+  | Refused of refusal * string
+  | Stats_reply of Json.t
+  | Pong
+
+let response_to_json = function
+  | Result r ->
+    Json.Object
+      [
+        ("v", Json.Number (float_of_int version));
+        ("status", Json.String "ok");
+        ("result", r);
+      ]
+  | Refused (kind, msg) ->
+    Json.Object
+      [
+        ("v", Json.Number (float_of_int version));
+        ("status", Json.String "error");
+        ("error", Json.String (refusal_code kind));
+        ("message", Json.String msg);
+      ]
+  | Stats_reply s ->
+    Json.Object
+      [
+        ("v", Json.Number (float_of_int version));
+        ("status", Json.String "ok");
+        ("stats", s);
+      ]
+  | Pong ->
+    Json.Object
+      [
+        ("v", Json.Number (float_of_int version));
+        ("status", Json.String "ok");
+        ("pong", Json.Bool true);
+      ]
+
+let response_to_string r = Json.to_string ~compact:true (response_to_json r)
+
+let response_of_string s =
+  match Json.parse s with
+  | Error msg -> Error ("response is not JSON: " ^ msg)
+  | Ok j -> (
+    match str_field "status" j with
+    | Some "ok" -> (
+      match (Json.member "result" j, Json.member "stats" j) with
+      | Some r, _ -> Ok (Result r)
+      | None, Some s -> Ok (Stats_reply s)
+      | None, None -> (
+        match Json.member "pong" j with
+        | Some _ -> Ok Pong
+        | None -> Error "ok response carries neither result, stats nor pong"))
+    | Some "error" -> (
+      let msg = Option.value ~default:"" (str_field "message" j) in
+      match Option.bind (str_field "error" j) refusal_of_code with
+      | Some kind -> Ok (Refused (kind, msg))
+      | None -> Error "error response with unknown error kind")
+    | _ -> Error "response missing status")

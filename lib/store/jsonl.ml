@@ -17,7 +17,7 @@ let read_all fd len =
   let buf = Bytes.create len in
   let rec go off =
     if off < len then begin
-      match Unix.read fd buf off (len - off) with
+      match Eintr.read fd buf off (len - off) with
       | 0 -> off
       | n -> go (off + n)
     end
@@ -66,14 +66,9 @@ let open_ ?(fresh = false) ?(valid = fun _ -> true) path =
       ignore (Unix.lseek fd 0 Unix.SEEK_END);
       Ok ({ fd; path }, lines))
 
-let append t line =
-  let s = line ^ "\n" in
-  let len = String.length s in
-  let rec write off =
-    if off < len then
-      write (off + Unix.write_substring t.fd s off (len - off))
-  in
-  write 0
+(* Eintr-wrapped: a SIGTERM arriving mid-append must not tear the
+   journal tail beyond what the open-time truncation already covers. *)
+let append t line = Eintr.really_write_substring t.fd (line ^ "\n")
 
 let path t = t.path
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -3,6 +3,7 @@
 module Sha256 = Sha256
 module Codec = Codec
 module Jsonl = Jsonl
+module Eintr = Eintr
 
 let shard_count = 16
 let segment_magic = "BHIVESTORE1\n"
@@ -22,13 +23,20 @@ type entry = { e_gen : string; e_off : int; e_len : int }
 type shard = {
   path : string;
   index : (string, entry) Hashtbl.t;
-  lock : Mutex.t;
+  lock : Mutex.t; (* intra-process exclusion (domains/threads) *)
+  lockf_fd : Unix.file_descr;
+      (* cross-process exclusion: fcntl-style advisory lock on a
+         sibling .lock file. fcntl locks are per-process (a second
+         lock by another thread of the same process would succeed and
+         its unlock would release ours), so the Mutex above is always
+         taken first and the file lock only ever held by one thread of
+         this process at a time. *)
   mutable size : int; (* valid byte length of the segment *)
   mutable oc : out_channel option;
   mutable ic : in_channel option;
   mutable records : int; (* records on disk, including superseded *)
   mutable superseded : int;
-  mutable torn : int; (* torn-tail truncation events at open *)
+  mutable torn : int; (* torn-tail truncation events at open/resync *)
   mutable stale : bool;
 }
 
@@ -39,6 +47,12 @@ let dir t = t.t_dir
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Whole-file advisory lock on the shard's .lock sibling. Caller must
+   already hold the shard Mutex (see the lockf_fd field comment). *)
+let with_file_lock sh f =
+  Eintr.lockf sh.lockf_fd Unix.F_LOCK 0;
+  Fun.protect ~finally:(fun () -> Unix.lockf sh.lockf_fd Unix.F_ULOCK 0) f
 
 let rec mkdir_p path =
   if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
@@ -75,6 +89,32 @@ let encode_record ~key ~gen payload =
    is append-only, so everything past the first bad byte is a torn
    tail from an interrupted writer. [emit] sees records in log order,
    later generations superseding earlier ones at the caller. *)
+let scan_records b ~start ~len ~emit =
+  let pos = ref start in
+  let torn = ref false in
+  (try
+     while !pos < len do
+       let off = !pos in
+       if off + 12 > len then raise Exit;
+       if Codec.get_u32 b off <> record_magic then raise Exit;
+       let klen = Codec.get_u16 b (off + 4) in
+       let glen = Codec.get_u16 b (off + 6) in
+       let plen = Codec.get_u32 b (off + 8) in
+       if klen = 0 || klen > max_key_len || glen > max_key_len
+          || plen > max_payload_len
+       then raise Exit;
+       let body_len = 12 + klen + glen + plen in
+       if off + body_len + 8 > len then raise Exit;
+       let sum = Codec.fnv1a64_bytes ~off ~len:body_len b in
+       if sum <> Codec.get_i64 b (off + body_len) then raise Exit;
+       let key = Bytes.sub_string b (off + 12) klen in
+       let gen = Bytes.sub_string b (off + 12 + klen) glen in
+       emit ~key ~gen ~payload_off:(off + 12 + klen + glen) ~payload_len:plen;
+       pos := off + body_len + 8
+     done
+   with Exit -> torn := true);
+  (!pos, !torn)
+
 let scan_image b ~len ~emit =
   let header_ok, data_start, stale =
     let hm = String.length segment_magic in
@@ -89,30 +129,8 @@ let scan_image b ~len ~emit =
   in
   if not header_ok then (`Stale stale, 0)
   else begin
-    let pos = ref data_start in
-    let torn = ref false in
-    (try
-       while !pos < len do
-         let off = !pos in
-         if off + 12 > len then raise Exit;
-         if Codec.get_u32 b off <> record_magic then raise Exit;
-         let klen = Codec.get_u16 b (off + 4) in
-         let glen = Codec.get_u16 b (off + 6) in
-         let plen = Codec.get_u32 b (off + 8) in
-         if klen = 0 || klen > max_key_len || glen > max_key_len
-            || plen > max_payload_len
-         then raise Exit;
-         let body_len = 12 + klen + glen + plen in
-         if off + body_len + 8 > len then raise Exit;
-         let sum = Codec.fnv1a64_bytes ~off ~len:body_len b in
-         if sum <> Codec.get_i64 b (off + body_len) then raise Exit;
-         let key = Bytes.sub_string b (off + 12) klen in
-         let gen = Bytes.sub_string b (off + 12 + klen) glen in
-         emit ~key ~gen ~payload_off:(off + 12 + klen + glen) ~payload_len:plen;
-         pos := off + body_len + 8
-       done
-     with Exit -> torn := true);
-    (`Good !pos, if !torn then 1 else 0)
+    let good, torn = scan_records b ~start:data_start ~len ~emit in
+    (`Good good, if torn then 1 else 0)
   end
 
 let read_file path =
@@ -125,12 +143,52 @@ let read_file path =
       really_input ic b 0 len;
       b)
 
+(* Rebuild the shard's index from the segment bytes on disk,
+   truncating any torn tail. Must hold both the shard Mutex and the
+   shard file lock (the truncate races with another process's in-flight
+   append otherwise). *)
+let rescan_locked sh =
+  Hashtbl.reset sh.index;
+  sh.records <- 0;
+  sh.superseded <- 0;
+  sh.stale <- false;
+  sh.size <- 0;
+  if Sys.file_exists sh.path then begin
+    let b = read_file sh.path in
+    let len = Bytes.length b in
+    let result, torn =
+      scan_image b ~len ~emit:(fun ~key ~gen ~payload_off ~payload_len ->
+          sh.records <- sh.records + 1;
+          if Hashtbl.mem sh.index key then sh.superseded <- sh.superseded + 1;
+          Hashtbl.replace sh.index key
+            { e_gen = gen; e_off = payload_off; e_len = payload_len })
+    in
+    sh.torn <- sh.torn + torn;
+    match result with
+    | `Stale nonempty ->
+      (* foreign or pre-format segment: serve nothing from it and
+         rewrite it wholesale on first append *)
+      sh.stale <- nonempty;
+      sh.size <- 0
+    | `Good good ->
+      if good < len then Unix.truncate sh.path good;
+      sh.size <- good
+  end
+
+let lock_path path = path ^ ".lock"
+
 let open_shard path =
+  let lockf_fd =
+    Unix.openfile (lock_path path)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  in
   let sh =
     {
       path;
       index = Hashtbl.create 64;
       lock = Mutex.create ();
+      lockf_fd;
       size = 0;
       oc = None;
       ic = None;
@@ -140,27 +198,7 @@ let open_shard path =
       stale = false;
     }
   in
-  if Sys.file_exists path then begin
-    let b = read_file path in
-    let len = Bytes.length b in
-    let result, torn =
-      scan_image b ~len ~emit:(fun ~key ~gen ~payload_off ~payload_len ->
-          sh.records <- sh.records + 1;
-          if Hashtbl.mem sh.index key then sh.superseded <- sh.superseded + 1;
-          Hashtbl.replace sh.index key
-            { e_gen = gen; e_off = payload_off; e_len = payload_len })
-    in
-    sh.torn <- torn;
-    match result with
-    | `Stale nonempty ->
-      (* foreign or pre-format segment: serve nothing from it and
-         rewrite it wholesale on first append *)
-      sh.stale <- nonempty;
-      sh.size <- 0
-    | `Good good ->
-      if good < len then Unix.truncate path good;
-      sh.size <- good
-  end;
+  with_file_lock sh (fun () -> rescan_locked sh);
   sh
 
 let shard_path root i = Filename.concat root (Printf.sprintf "seg-%02d.bhs" i)
@@ -194,22 +232,87 @@ let close_channels sh =
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    Array.iter (fun sh -> with_lock sh.lock (fun () -> close_channels sh))
+    Array.iter
+      (fun sh ->
+        with_lock sh.lock (fun () ->
+            close_channels sh;
+            try Unix.close sh.lockf_fd with Unix.Unix_error _ -> ()))
       t.shards
   end
 
-(* Must hold the shard lock. Opens the append channel, writing (or
-   rewriting, for stale/foreign segments) the header first. *)
+let ensure_ic sh =
+  match sh.ic with
+  | Some ic -> ic
+  | None ->
+    let ic = open_in_bin sh.path in
+    sh.ic <- Some ic;
+    ic
+
+(* Fold in whatever other processes appended to the segment since we
+   last looked, and truncate away the torn tail a killed foreign writer
+   may have left, so our own append lands on a record boundary. Must
+   hold both the shard Mutex and the shard file lock. Writers append
+   whole records while holding the file lock, so the un-indexed suffix
+   always starts on a record boundary; only a crash mid-append leaves
+   a torn (checksum-failing) tail. *)
+let resync sh =
+  let real =
+    match Unix.stat sh.path with
+    | st -> st.Unix.st_size
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
+  in
+  if real <> sh.size then
+    if sh.size = 0 || sh.stale || real < sh.size then begin
+      (* segment appeared, was rewritten, or shrank under us: the
+         incremental path has nothing to anchor to — rescan it all *)
+      close_channels sh;
+      rescan_locked sh
+    end
+    else begin
+      let delta_len = real - sh.size in
+      let b = Bytes.create delta_len in
+      let ic = ensure_ic sh in
+      seek_in ic sh.size;
+      really_input ic b 0 delta_len;
+      let base = sh.size in
+      let good, torn =
+        scan_records b ~start:0 ~len:delta_len
+          ~emit:(fun ~key ~gen ~payload_off ~payload_len ->
+            sh.records <- sh.records + 1;
+            if Hashtbl.mem sh.index key then
+              sh.superseded <- sh.superseded + 1;
+            Hashtbl.replace sh.index key
+              { e_gen = gen; e_off = base + payload_off; e_len = payload_len })
+      in
+      if torn then begin
+        sh.torn <- sh.torn + 1;
+        Unix.truncate sh.path (base + good)
+      end;
+      sh.size <- base + good
+    end
+
+(* Must hold the shard Mutex and the shard file lock, after [resync].
+   Opens the append channel, writing (or rewriting, for stale/foreign
+   segments) the header first. The fresh decision is made against the
+   resynced size, so a segment another process already initialised is
+   appended to, never truncated. *)
 let ensure_oc sh =
   match sh.oc with
   | Some oc -> oc
   | None ->
-    let fresh = sh.stale || not (Sys.file_exists sh.path) || sh.size = 0 in
+    let fresh = sh.stale || sh.size = 0 in
     let oc =
       if fresh then begin
+        (* Open_append even on the fresh path: this channel is cached
+           across puts, and between two of our appends another process
+           may grow the file. A non-append channel would keep writing
+           at its own stale offset and silently overwrite the foreign
+           records; O_APPEND makes every flush land at the real EOF
+           (we hold the file lock, so EOF equals the resynced size). *)
         let oc =
-          open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
-            sh.path
+          open_out_gen
+            [ Open_wronly; Open_creat; Open_trunc; Open_append; Open_binary ]
+            0o644 sh.path
         in
         let h = header () in
         output_string oc h;
@@ -226,14 +329,6 @@ let ensure_oc sh =
     in
     sh.oc <- Some oc;
     oc
-
-let ensure_ic sh =
-  match sh.ic with
-  | Some ic -> ic
-  | None ->
-    let ic = open_in_bin sh.path in
-    sh.ic <- Some ic;
-    ic
 
 type lookup = Hit of string | Stale | Miss
 
@@ -255,20 +350,31 @@ let put t ~key ~gen payload =
   with_lock sh.lock (fun () ->
       match Hashtbl.find_opt sh.index key with
       | Some e when e.e_gen = gen -> false
-      | prev ->
-        let oc = ensure_oc sh in
-        let rec_ = encode_record ~key ~gen payload in
-        output_string oc rec_;
-        flush oc;
-        let payload_off =
-          sh.size + 12 + String.length key + String.length gen
-        in
-        Hashtbl.replace sh.index key
-          { e_gen = gen; e_off = payload_off; e_len = String.length payload };
-        sh.size <- sh.size + String.length rec_;
-        sh.records <- sh.records + 1;
-        if prev <> None then sh.superseded <- sh.superseded + 1;
-        true)
+      | _ ->
+        with_file_lock sh (fun () ->
+            resync sh;
+            (* re-check: another process may have appended exactly this
+               record while we waited for the lock *)
+            match Hashtbl.find_opt sh.index key with
+            | Some e when e.e_gen = gen -> false
+            | prev ->
+              let oc = ensure_oc sh in
+              let rec_ = encode_record ~key ~gen payload in
+              output_string oc rec_;
+              flush oc;
+              let payload_off =
+                sh.size + 12 + String.length key + String.length gen
+              in
+              Hashtbl.replace sh.index key
+                {
+                  e_gen = gen;
+                  e_off = payload_off;
+                  e_len = String.length payload;
+                };
+              sh.size <- sh.size + String.length rec_;
+              sh.records <- sh.records + 1;
+              if prev <> None then sh.superseded <- sh.superseded + 1;
+              true))
 
 let live_entries_sorted sh =
   Hashtbl.fold (fun key e acc -> (key, e) :: acc) sh.index []
@@ -347,22 +453,27 @@ let verify t =
   Array.iter
     (fun sh ->
       with_lock sh.lock (fun () ->
-          live := !live + Hashtbl.length sh.index;
-          torn := !torn + sh.torn;
-          if sh.stale then incr stale
-          else if Sys.file_exists sh.path then begin
-            (match sh.oc with Some oc -> flush oc | None -> ());
-            let b = read_file sh.path in
-            let len = Bytes.length b in
-            let result, bad =
-              scan_image b ~len ~emit:(fun ~key:_ ~gen:_ ~payload_off:_
-                                           ~payload_len:_ -> incr records)
-            in
-            corrupt := !corrupt + bad;
-            match result with
-            | `Stale nonempty -> if nonempty then incr stale
-            | `Good _ -> ()
-          end))
+          with_file_lock sh (fun () ->
+              (* the file lock keeps another process's in-flight append
+                 from reading as a torn tail; resync folds its finished
+                 appends in so v_live reflects the shared segment *)
+              resync sh;
+              live := !live + Hashtbl.length sh.index;
+              torn := !torn + sh.torn;
+              if sh.stale then incr stale
+              else if Sys.file_exists sh.path then begin
+                (match sh.oc with Some oc -> flush oc | None -> ());
+                let b = read_file sh.path in
+                let len = Bytes.length b in
+                let result, bad =
+                  scan_image b ~len ~emit:(fun ~key:_ ~gen:_ ~payload_off:_
+                                               ~payload_len:_ -> incr records)
+                in
+                corrupt := !corrupt + bad;
+                match result with
+                | `Stale nonempty -> if nonempty then incr stale
+                | `Good _ -> ()
+              end)))
     t.shards;
   {
     v_live = !live;
@@ -385,6 +496,8 @@ let gc t =
   Array.iter
     (fun sh ->
       with_lock sh.lock (fun () ->
+          with_file_lock sh (fun () ->
+          resync sh;
           before := !before + sh.size;
           dropped := !dropped + (sh.records - Hashtbl.length sh.index);
           let entries =
@@ -430,7 +543,7 @@ let gc t =
           sh.torn <- 0;
           sh.stale <- false;
           live := !live + Hashtbl.length sh.index;
-          after := !after + sh.size))
+          after := !after + sh.size)))
     t.shards;
   {
     g_live = !live;

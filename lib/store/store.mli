@@ -26,8 +26,21 @@
     {!gc} rewrites live records and drops superseded ones.
 
     All operations are safe to call from multiple domains of one
-    process. The store is single-writer per directory across
-    processes. *)
+    process. Across processes the store is shared through per-shard
+    advisory file locks (a [.lock] sibling per segment): every append
+    takes the shard's file lock, resynchronises the in-memory index
+    with whatever other processes appended since the shard was last
+    looked at, truncates the torn tail a killed foreign writer may
+    have left, and only then writes — so several server processes can
+    share one directory with a single writer per shard at any instant
+    and no duplicated records for the same (key, generation). Reads
+    ({!get}, {!fold}) are lock-free and serve the process's last
+    synchronised snapshot plus its own writes; records appended by
+    another process become visible at the next {!put} on that shard,
+    {!verify}, or reopen. {!gc} is the exception: it rewrites segment
+    files in place (rename-over-tmp), which invalidates the open file
+    handles of every other process sharing the directory — run it
+    offline, never while servers are attached. *)
 
 type t
 
@@ -92,7 +105,9 @@ type gc_report = {
 }
 
 (** Compact: rewrite each segment with only live records, key-sorted,
-    dropping superseded generations and reclaiming torn/stale bytes. *)
+    dropping superseded generations and reclaiming torn/stale bytes.
+    Offline maintenance only — the rename-over-tmp rewrite invalidates
+    other processes' open handles on the shared directory. *)
 val gc : t -> gc_report
 
 (** Number of key shards (segment files) per store. *)
@@ -105,6 +120,32 @@ module Sha256 : sig
 end
 
 module Codec : module type of Codec
+
+(** EINTR-retry wrappers for the blocking Unix syscalls issued by the
+    store, the journal, and the serve loop. A signal landing mid-call
+    (SIGTERM during a drain, SIGCHLD in a forked test) must retry the
+    syscall, not surface as a spurious [Unix_error (EINTR, _, _)].
+    Lives here — not lib/core — because store is the lowest library in
+    the dependency graph that touches Unix. *)
+module Eintr : sig
+  (** Run [f], retrying as long as it raises [Unix_error (EINTR, _, _)]. *)
+  val intr : (unit -> 'a) -> 'a
+
+  val read : Unix.file_descr -> Bytes.t -> int -> int -> int
+  val write : Unix.file_descr -> Bytes.t -> int -> int -> int
+  val write_substring : Unix.file_descr -> string -> int -> int -> int
+
+  val accept :
+    ?cloexec:bool -> Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+
+  val lockf : Unix.file_descr -> Unix.lock_command -> int -> unit
+
+  (** Write the whole string, looping over partial writes. *)
+  val really_write_substring : Unix.file_descr -> string -> unit
+
+  (** Read exactly [len] bytes; [false] on premature EOF. *)
+  val really_read : Unix.file_descr -> Bytes.t -> int -> int -> bool
+end
 
 (** Crash-safe append-only JSONL files — the discipline the run journal
     (lib/manifest) shares with the store's segments: a record counts

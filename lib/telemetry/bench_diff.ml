@@ -116,6 +116,10 @@ let volatile_keys =
     "faults";
     "rev";
     "generated_unix_time";
+    (* schema v7: the serving object is all latency/throughput/traffic
+       measurement — volatile by nature; its absolute invariants (lost,
+       shed_after_accept) are gated explicitly instead *)
+    "serving";
   ]
 
 let rec strip_volatile (j : Json.t) : Json.t =
@@ -182,8 +186,8 @@ let manifest_field doc name =
   Option.bind (Json.path [ "manifest"; name ] doc) Json.string_value
 
 let compare_summaries ?(thresholds = default_thresholds)
-    ?(require_identical = false) ?min_store_hit_rate ?min_speedup ~baseline
-    ~current () =
+    ?(require_identical = false) ?min_store_hit_rate ?min_speedup
+    ?min_coalesce ?max_p99_ms ~baseline ~current () =
   let t = thresholds in
   (* Same experiment? Two summaries with different experiment ids were
      produced by manifests that measure different things — comparing
@@ -313,6 +317,23 @@ let compare_summaries ?(thresholds = default_thresholds)
       Option.bind (Json.path [ "perf"; "blocks_per_sec" ] doc) Json.number
     in
     (match (bps baseline, bps current) with
+    | Some b, Some _ when b = 0.0 ->
+      (* present but zero: a zero-block baseline run (empty corpus or
+         fully warm store) cannot anchor a ratio — distinct from a
+         pre-v6 summary that lacks the field entirely *)
+      acc :=
+        {
+          severity = Regression;
+          metric = "perf.blocks_per_sec";
+          baseline = 0.0;
+          current = 0.0;
+          limit = floor;
+          detail =
+            "baseline perf.blocks_per_sec is zero (zero-block run?) — \
+             cannot compute a throughput ratio; regenerate the baseline \
+             from a run that simulates blocks";
+        }
+        :: !acc
     | Some b, Some c when b > 0.0 ->
       let ratio = c /. b in
       if ratio < floor then
@@ -359,6 +380,81 @@ let compare_summaries ?(thresholds = default_thresholds)
           detail =
             "perf.blocks_per_sec missing (summary predates schema v6?) — \
              cannot gate simulator throughput";
+        }
+        :: !acc));
+  (* serving object (schema v7, written by bhive_load): the absolute
+     invariants hold for any load run — an accepted request is always
+     answered (lost = 0) and, absent client deadlines and drains,
+     never shed after acceptance. The optional floors gate the
+     service-level numbers the CI serve job cares about. *)
+  let serving_num doc name =
+    Option.bind (Json.path [ "serving"; name ] doc) Json.number
+  in
+  (match serving_num current "lost" with
+  | Some l ->
+    acc :=
+      check ~severity:Regression ~metric:"serving.lost" ~baseline:0.0
+        ~current:l ~limit:0.0 ~violated:(l <> 0.0)
+        ~detail:
+          "requests lost (sent but never answered) — accept-then-hang or \
+           connection drop under load"
+        !acc
+  | None -> ());
+  (match serving_num current "shed_after_accept" with
+  | Some s ->
+    acc :=
+      check ~severity:Regression ~metric:"serving.shed_after_accept"
+        ~baseline:0.0 ~current:s ~limit:0.0 ~violated:(s <> 0.0)
+        ~detail:
+          "requests shed after admission (deadline expiry or drain cut) — \
+           admission control let in more than the server could finish"
+        !acc
+  | None -> ());
+  (match min_coalesce with
+  | None -> ()
+  | Some floor -> (
+    match serving_num current "coalesce_ratio" with
+    | Some c ->
+      acc :=
+        check ~severity:Regression ~metric:"serving.coalesce_ratio"
+          ~baseline:floor ~current:c ~limit:floor ~violated:(c < floor)
+          ~detail:
+            "coalesce ratio below floor (concurrent duplicate requests are \
+             not sharing in-flight runs)"
+          !acc
+    | None ->
+      acc :=
+        {
+          severity = Regression;
+          metric = "serving.coalesce_ratio";
+          baseline = floor;
+          current = 0.0;
+          limit = floor;
+          detail =
+            "serving.coalesce_ratio missing (not a bhive_load summary?) — \
+             cannot gate coalescing";
+        }
+        :: !acc));
+  (match max_p99_ms with
+  | None -> ()
+  | Some ceiling -> (
+    match serving_num current "p99_ms" with
+    | Some c ->
+      acc :=
+        check ~severity:Regression ~metric:"serving.p99_ms" ~baseline:ceiling
+          ~current:c ~limit:ceiling ~violated:(c > ceiling)
+          ~detail:"p99 latency above ceiling" !acc
+    | None ->
+      acc :=
+        {
+          severity = Regression;
+          metric = "serving.p99_ms";
+          baseline = ceiling;
+          current = 0.0;
+          limit = ceiling;
+          detail =
+            "serving.p99_ms missing (not a bhive_load summary?) — cannot \
+             gate tail latency";
         }
         :: !acc));
   (* identical mode: after stripping volatile fields, the two summaries

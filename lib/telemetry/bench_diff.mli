@@ -91,12 +91,26 @@ val strip_volatile : Json.t -> Json.t
     in-simulator core-seconds, far less runner-noise-sensitive than
     wall time — must be at least [min_speedup] x the baseline's, or
     the gate fails; a ratio between [min_speedup] and parity is a
-    warning. A summary without the field fails the gate outright. *)
+    warning. A summary without the field fails the gate outright. A
+    baseline whose [perf.blocks_per_sec] is zero (a zero-block run)
+    also fails: no throughput ratio is computable from it.
+
+    Summaries written by [bhive_load] (schema v7) carry a [serving]
+    object. Whenever the current summary has one, two absolute
+    invariants gate unconditionally: [serving.lost] and
+    [serving.shed_after_accept] must both be zero — a request the
+    server accepted must be answered, not dropped. [?min_coalesce]
+    additionally imposes a floor on [serving.coalesce_ratio] (the CI
+    serve job's duplicate-sharing gate) and [?max_p99_ms] a ceiling on
+    [serving.p99_ms]; either flag fails outright when the current
+    summary lacks the field. *)
 val compare_summaries :
   ?thresholds:thresholds ->
   ?require_identical:bool ->
   ?min_store_hit_rate:float ->
   ?min_speedup:float ->
+  ?min_coalesce:float ->
+  ?max_p99_ms:float ->
   baseline:Json.t -> current:Json.t -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,4 +1,8 @@
 let () =
+  (* multi-process store tests re-execute this binary as their child
+     processes (Unix.fork is unavailable once domains exist) *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = Test_store.child_tag then
+    Test_store.child_main Sys.argv;
   Alcotest.run "bhive"
     [
       ("width", Test_width.suite);
@@ -30,4 +34,5 @@ let () =
       ("kernels", Test_kernels.suite);
       ("store", Test_store.suite);
       ("manifest", Test_manifest.suite);
+      ("serve", Test_serve.suite);
     ]

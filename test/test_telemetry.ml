@@ -619,6 +619,139 @@ let test_diff_min_speedup () =
   in
   check_verdict "no floor requested: perf not gated" Bench_diff.Pass report
 
+let test_diff_min_speedup_zero_baseline () =
+  (* a baseline whose perf object exists but records zero blocks per
+     second (a zero-block run: empty corpus or fully warm store) can
+     anchor no ratio — distinct from the missing-field case, and a
+     failure either way rather than a divide-by-zero pass *)
+  let gate baseline current =
+    Bench_diff.compare_summaries ~min_speedup:0.8 ~baseline ~current ()
+  in
+  let report =
+    gate
+      (with_perf ~blocks_per_sec:0. (summary ()))
+      (with_perf ~blocks_per_sec:900. (summary ()))
+  in
+  check_verdict "zero-block baseline fails the speedup gate" Bench_diff.Fail
+    report;
+  Alcotest.(check bool) "finding names the zero baseline" true
+    (List.exists
+       (fun (f : Bench_diff.finding) ->
+         f.metric = "perf.blocks_per_sec" && f.severity = Bench_diff.Regression)
+       report.Bench_diff.findings);
+  (* zero on both sides is still a failure, not 0/0 = pass *)
+  let report =
+    gate
+      (with_perf ~blocks_per_sec:0. (summary ()))
+      (with_perf ~blocks_per_sec:0. (summary ()))
+  in
+  check_verdict "zero vs zero fails" Bench_diff.Fail report
+
+(* --- schema v7: the serving object and its gates --- *)
+
+let with_serving ?(lost = 0.) ?(shed_after_accept = 0.)
+    ?(coalesce_ratio = 2.5) ?(p99_ms = 40.) s =
+  match s with
+  | Json.Object fields ->
+    Json.Object
+      (fields
+      @ [
+          ( "serving",
+            Json.Object
+              [
+                ("requests", Json.Number 1000.);
+                ("ok", Json.Number (1000. -. lost));
+                ("lost", Json.Number lost);
+                ("shed_after_accept", Json.Number shed_after_accept);
+                ("coalesce_ratio", Json.Number coalesce_ratio);
+                ("p99_ms", Json.Number p99_ms);
+              ] );
+        ])
+  | other -> other
+
+let test_diff_serving_invariants () =
+  (* lost and shed_after_accept are absolute invariants: they gate
+     whenever the current summary carries a serving object, no flag
+     needed *)
+  let report = diff (with_serving (summary ())) (with_serving (summary ())) in
+  check_verdict "clean serving run passes" Bench_diff.Pass report;
+  let report =
+    diff (with_serving (summary ())) (with_serving ~lost:1. (summary ()))
+  in
+  check_verdict "a lost request fails" Bench_diff.Fail report;
+  let report =
+    diff
+      (with_serving (summary ()))
+      (with_serving ~shed_after_accept:3. (summary ()))
+  in
+  check_verdict "shed-after-accept fails" Bench_diff.Fail report;
+  (* a summary without a serving object (a bench run) is untouched *)
+  let report = diff (summary ()) (summary ()) in
+  check_verdict "no serving object: nothing gated" Bench_diff.Pass report
+
+let test_diff_min_coalesce () =
+  let gate baseline current =
+    Bench_diff.compare_summaries ~min_coalesce:1.05 ~baseline ~current ()
+  in
+  let report =
+    gate
+      (with_serving (summary ()))
+      (with_serving ~coalesce_ratio:1.0 (summary ()))
+  in
+  check_verdict "ratio below the floor fails" Bench_diff.Fail report;
+  let report =
+    gate
+      (with_serving (summary ()))
+      (with_serving ~coalesce_ratio:3.9 (summary ()))
+  in
+  check_verdict "ratio above the floor passes" Bench_diff.Pass report;
+  (* floor requested against a summary with no serving object at all:
+     the gate cannot be evaluated, which is a failure, not a pass *)
+  let report = gate (with_serving (summary ())) (summary ()) in
+  check_verdict "current without serving fails the coalesce gate"
+    Bench_diff.Fail report;
+  (* without the flag a weak ratio imposes nothing *)
+  let report =
+    diff
+      (with_serving (summary ()))
+      (with_serving ~coalesce_ratio:1.0 (summary ()))
+  in
+  check_verdict "no floor requested: ratio not gated" Bench_diff.Pass report
+
+let test_diff_max_p99 () =
+  let gate baseline current =
+    Bench_diff.compare_summaries ~max_p99_ms:100. ~baseline ~current ()
+  in
+  let report =
+    gate (with_serving (summary ())) (with_serving ~p99_ms:250. (summary ()))
+  in
+  check_verdict "p99 above the ceiling fails" Bench_diff.Fail report;
+  let report =
+    gate (with_serving (summary ())) (with_serving ~p99_ms:99. (summary ()))
+  in
+  check_verdict "p99 below the ceiling passes" Bench_diff.Pass report;
+  let report =
+    gate (with_serving (summary ())) (with_serving ~p99_ms:100. (summary ()))
+  in
+  check_verdict "p99 exactly at the ceiling passes" Bench_diff.Pass report;
+  let report = gate (with_serving (summary ())) (summary ()) in
+  check_verdict "current without serving fails the p99 gate" Bench_diff.Fail
+    report
+
+let test_diff_serving_volatile_for_identity () =
+  (* the serving object is volatile for --identical comparisons: two
+     load runs never share latencies, and a load summary compared to
+     itself with different serving numbers must still be identical *)
+  let a = with_serving ~p99_ms:10. (summary ()) in
+  let b = with_serving ~p99_ms:99. (summary ()) in
+  Alcotest.(check bool) "serving stripped" true
+    (Json.member "serving" (Bench_diff.strip_volatile a) = None);
+  let report =
+    Bench_diff.compare_summaries ~require_identical:true ~baseline:a
+      ~current:b ()
+  in
+  check_verdict "identity ignores serving deltas" Bench_diff.Pass report
+
 let test_strip_volatile () =
   let s =
     with_perf
@@ -723,6 +856,14 @@ let suite =
     Alcotest.test_case "diff: min store hit-rate floor" `Quick
       test_diff_min_store_hit_rate_floor;
     Alcotest.test_case "diff: min speedup floor" `Quick test_diff_min_speedup;
+    Alcotest.test_case "diff: zero-block baseline speedup" `Quick
+      test_diff_min_speedup_zero_baseline;
+    Alcotest.test_case "diff: serving invariants" `Quick
+      test_diff_serving_invariants;
+    Alcotest.test_case "diff: min coalesce floor" `Quick test_diff_min_coalesce;
+    Alcotest.test_case "diff: max p99 ceiling" `Quick test_diff_max_p99;
+    Alcotest.test_case "diff: serving volatile for identity" `Quick
+      test_diff_serving_volatile_for_identity;
     Alcotest.test_case "diff: strip volatile" `Quick test_strip_volatile;
     Alcotest.test_case "diff: identical mode" `Quick test_diff_identical_mode;
     Alcotest.test_case "diff: schema v5 accepted" `Quick

@@ -35,7 +35,7 @@ let describe what j =
 
 let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     wall_rel wall_abs wall_fails identical min_store_hit_rate min_speedup
-    min_coalesce max_p99_ms =
+    min_coalesce max_p99_ms min_rps =
   match
     (read_summary "baseline" baseline_path, read_summary "current" current_path)
   with
@@ -75,7 +75,7 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     let report =
       Telemetry.Bench_diff.compare_summaries ~thresholds
         ~require_identical:identical ?min_store_hit_rate ?min_speedup
-        ?min_coalesce ?max_p99_ms ~baseline ~current ()
+        ?min_coalesce ?max_p99_ms ?min_rps ~baseline ~current ()
     in
     Telemetry.Bench_diff.pp_report Format.std_formatter report;
     exit (Telemetry.Bench_diff.exit_code report)
@@ -190,11 +190,24 @@ let cmd =
             "Fail if the current run's p99 request latency \
              ($(b,serving.p99_ms)) exceeds MS milliseconds.")
   in
+  let min_rps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-rps" ] ~docv:"RATE"
+          ~doc:
+            "Fail unless the current run's serving throughput \
+             ($(b,serving.requests_per_sec), answered requests per replay \
+             second) is at least RATE times the baseline's — e.g. 0.8 for \
+             the CI serve-perf job. A baseline without the field fails \
+             cleanly.")
+  in
   let term =
     Term.(
       const run $ baseline $ current $ executed_rel $ executed_abs
       $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails $ identical
-      $ min_store_hit_rate $ min_speedup $ min_coalesce $ max_p99_ms)
+      $ min_store_hit_rate $ min_speedup $ min_coalesce $ max_p99_ms
+      $ min_rps)
   in
   Cmd.v
     (Cmd.info "bhive_bench_diff"

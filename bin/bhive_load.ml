@@ -3,19 +3,25 @@
    N client threads each open one connection and replay the same
    benchmark corpus in the same order from index 0 — deliberately
    maximising duplicate concurrent requests, so a correct server shows
-   a coalesce ratio above 1.0. Per-request latency is recorded
-   client-side; after the load phase the server's counters are
-   snapshotted over a [stats] request, and (with --verify) every
-   distinct block's response is byte-compared against a local engine's
-   rendering of the same job.
+   a coalesce ratio above 1.0. With --batch N the replay rides the v2
+   [predict_batch] op, N blocks per frame (per-slot accounting, frame
+   latency attributed to each slot); --batch 1 (the default) is the
+   plain v1 per-request path, so one load run can exercise either
+   protocol version. Per-request latency is recorded client-side;
+   after the load phase the server's counters are snapshotted over a
+   [stats] request, and (with --verify) every distinct block's
+   response is byte-compared against a local engine's rendering of the
+   same job (always over v1 single predicts — so a batched load run
+   plus --verify crosses the two wire versions against one server).
 
-   The summary (--summary) is a schema-v7 bench_summary.json carrying
+   The summary (--summary) is a schema-v8 bench_summary.json carrying
    a [serving] object, gated in CI by bhive_bench_diff:
-   [serving.lost] and [serving.shed_after_accept] must be zero, and
-   --min-coalesce / --max-p99-ms bound the service-level numbers. The
-   manifest identity is [Manifest.Spec.bench] at the replayed scale,
-   so a load summary and a serving baseline from the same scale agree
-   on their experiment id.
+   [serving.lost] and [serving.shed_after_accept] must be zero,
+   --min-coalesce / --max-p99-ms bound the service-level numbers, and
+   --min-rps floors [serving.requests_per_sec] against a baseline. The
+   manifest identity is [Manifest.Spec.bench] at the replayed scale
+   (or the spec loaded from --manifest), so a load summary and a
+   serving baseline from the same scale agree on their experiment id.
 
    Exit codes: 0 success; 1 lost requests or verification mismatches;
    2 invalid arguments / environment / connection failure. *)
@@ -33,6 +39,8 @@ type tally = {
   mutable r_shutting : int;
   mutable r_bad : int;
   mutable lat_ms : float list;  (** latencies of [ok] responses *)
+  mutable frames : int;  (** wire frames carrying predict work *)
+  batch_hist : (int, int) Hashtbl.t;  (** batch size -> frame count *)
 }
 
 let fresh_tally () =
@@ -45,6 +53,8 @@ let fresh_tally () =
     r_shutting = 0;
     r_bad = 0;
     lat_ms = [];
+    frames = 0;
+    batch_hist = Hashtbl.create 8;
   }
 
 let predict_request ~uarch ~deadline_ms (b : Corpus.Block.t) =
@@ -57,13 +67,55 @@ let predict_request ~uarch ~deadline_ms (b : Corpus.Block.t) =
       filters = Manifest.Spec.default_filters;
     }
 
+let batch_request ~uarch ~deadline_ms blocks =
+  Serve.Wire.Predict_batch
+    {
+      Serve.Wire.pb_uarch = uarch;
+      pb_deadline_ms = deadline_ms;
+      pb_filters = Manifest.Spec.default_filters;
+      pb_blocks =
+        List.map
+          (fun b ->
+            {
+              Serve.Wire.bb_asm = Corpus.Block.text b;
+              bb_block_hex = None;
+            })
+          blocks;
+    }
+
+(* Split into consecutive chunks of at most [n]. *)
+let chunks n lst =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 lst
+
+let count_refusal (t : tally) = function
+  | Serve.Wire.Overloaded -> t.r_overloaded <- t.r_overloaded + 1
+  | Serve.Wire.Deadline_exceeded -> t.r_deadline <- t.r_deadline + 1
+  | Serve.Wire.Shutting_down -> t.r_shutting <- t.r_shutting + 1
+  | Serve.Wire.Bad_request -> t.r_bad <- t.r_bad + 1
+
 (* One thread's replay: [repeat] passes over the whole corpus, all
    threads in the same order. A transport error loses that request and
    reconnects; refusals are counted by kind and are not losses. Only
    the initial connect retries with backoff — a mid-run reconnect
    fails immediately, so a killed server drains the remaining workload
-   as fast losses instead of minutes of per-request retry sleeps. *)
-let replay ~socket ~uarch ~deadline_ms ~repeat blocks (t : tally) =
+   as fast losses instead of minutes of per-request retry sleeps.
+   [batch] >= 2 rides v2 predict_batch frames; each slot of a frame is
+   accounted exactly like a single request would be, with the frame's
+   round-trip latency attributed to every slot (that IS the latency a
+   batched caller observes per answer).
+
+   [singles] / [groups] are request payloads pre-encoded once by the
+   caller and shared read-only by every thread: the generator pays the
+   JSON encoding per distinct frame, not per send, so on a box where
+   client and server share cores the measured throughput is the
+   server's, not the generator's. *)
+let replay ~socket ~repeat ~batch ~singles ~groups (t : tally) =
   let conn = ref None in
   let connect ?(retries = 0) () =
     match Serve.Client.connect ~retries ~retry_interval:0.1 socket with
@@ -75,38 +127,71 @@ let replay ~socket ~uarch ~deadline_ms ~repeat blocks (t : tally) =
       false
   in
   ignore (connect ~retries:20 ());
+  let record_frame k =
+    t.frames <- t.frames + 1;
+    Hashtbl.replace t.batch_hist k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.batch_hist k))
+  in
+  let single payload =
+    match !conn with
+    | None ->
+      if connect () then ()
+      else (
+        t.sent <- t.sent + 1;
+        t.lost <- t.lost + 1)
+    | Some c -> (
+      t.sent <- t.sent + 1;
+      record_frame 1;
+      let t0 = Telemetry.Trace.now_ns () in
+      match Serve.Client.request_raw c payload with
+      | Ok (Serve.Wire.Result _) ->
+        let dt =
+          Int64.to_float (Int64.sub (Telemetry.Trace.now_ns ()) t0) /. 1e6
+        in
+        t.ok <- t.ok + 1;
+        t.lat_ms <- dt :: t.lat_ms
+      | Ok (Serve.Wire.Refused (kind, _)) -> count_refusal t kind
+      | Ok _ | Error _ ->
+        t.lost <- t.lost + 1;
+        Serve.Client.close c;
+        conn := None)
+  in
+  let batched (k, payload) =
+    match !conn with
+    | None ->
+      if connect () then ()
+      else (
+        t.sent <- t.sent + k;
+        t.lost <- t.lost + k)
+    | Some c -> (
+      t.sent <- t.sent + k;
+      record_frame k;
+      let t0 = Telemetry.Trace.now_ns () in
+      match Serve.Client.request_raw c payload with
+      | Ok (Serve.Wire.Results slots) when List.length slots = k ->
+        let dt =
+          Int64.to_float (Int64.sub (Telemetry.Trace.now_ns ()) t0) /. 1e6
+        in
+        List.iter
+          (function
+            | Serve.Wire.Result _ ->
+              t.ok <- t.ok + 1;
+              t.lat_ms <- dt :: t.lat_ms
+            | Serve.Wire.Refused (kind, _) -> count_refusal t kind
+            | _ -> t.lost <- t.lost + 1)
+          slots
+      | Ok (Serve.Wire.Refused (kind, _)) ->
+        (* whole-frame refusal (e.g. draining before parse) *)
+        for _ = 1 to k do
+          count_refusal t kind
+        done
+      | Ok _ | Error _ ->
+        t.lost <- t.lost + k;
+        Serve.Client.close c;
+        conn := None)
+  in
   for _ = 1 to repeat do
-    List.iter
-      (fun b ->
-        match !conn with
-        | None ->
-          if connect () then ()
-          else (
-            t.sent <- t.sent + 1;
-            t.lost <- t.lost + 1)
-        | Some c -> (
-          t.sent <- t.sent + 1;
-          let t0 = Telemetry.Trace.now_ns () in
-          match
-            Serve.Client.request c (predict_request ~uarch ~deadline_ms b)
-          with
-          | Ok (Serve.Wire.Result _) ->
-            let dt =
-              Int64.to_float (Int64.sub (Telemetry.Trace.now_ns ()) t0) /. 1e6
-            in
-            t.ok <- t.ok + 1;
-            t.lat_ms <- dt :: t.lat_ms
-          | Ok (Serve.Wire.Refused (kind, _)) -> (
-            match kind with
-            | Serve.Wire.Overloaded -> t.r_overloaded <- t.r_overloaded + 1
-            | Serve.Wire.Deadline_exceeded -> t.r_deadline <- t.r_deadline + 1
-            | Serve.Wire.Shutting_down -> t.r_shutting <- t.r_shutting + 1
-            | Serve.Wire.Bad_request -> t.r_bad <- t.r_bad + 1)
-          | Ok (Serve.Wire.Stats_reply _) | Ok Serve.Wire.Pong | Error _ ->
-            t.lost <- t.lost + 1;
-            Serve.Client.close c;
-            conn := None))
-      blocks
+    if batch > 1 then List.iter batched groups else List.iter single singles
   done;
   Option.iter Serve.Client.close !conn
 
@@ -170,7 +255,8 @@ let verify_blocks ~socket ~uarch blocks =
     Serve.Client.close c;
     (!verified, !mismatches)
 
-let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
+let run socket concurrency repeat scale uarch deadline_ms batch manifest verify
+    summary_path =
   (match Engine.validate_env () with
   | Ok () -> ()
   | Error msg ->
@@ -179,6 +265,10 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
   Telemetry.Trace.init_from_env ();
   if concurrency < 1 || repeat < 1 then begin
     prerr_endline "bhive_load: --concurrency and --repeat must be >= 1";
+    exit 2
+  end;
+  if batch < 1 then begin
+    prerr_endline "bhive_load: --batch must be >= 1";
     exit 2
   end;
   if Uarch.All.by_short uarch = None then begin
@@ -194,11 +284,25 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
       exit 2
     | None -> c
   in
+  (* --manifest pins the workload to a checked-in spec: its corpus
+     scale wins over --scale/$BHIVE_SCALE, and the summary carries its
+     ids, so a CI gate and a local run name the same experiment *)
+  let spec, config =
+    match manifest with
+    | None -> (Manifest.Spec.bench ~scale:config.Corpus.Suite.scale (), config)
+    | Some path -> (
+      match Manifest.Spec.load path with
+      | Error msg ->
+        prerr_endline ("bhive_load: " ^ msg);
+        exit 2
+      | Ok spec ->
+        let mscale = spec.Manifest.Spec.corpus.Manifest.Spec.scale in
+        (spec, { config with Corpus.Suite.scale = mscale }))
+  in
   let blocks = Corpus.Suite.generate ~config () in
-  let spec = Manifest.Spec.bench ~scale:config.Corpus.Suite.scale () in
   Printf.eprintf
-    "bhive_load: %d blocks x %d repeats x %d threads against %s\n%!"
-    (List.length blocks) repeat concurrency socket;
+    "bhive_load: %d blocks x %d repeats x %d threads (batch %d) against %s\n%!"
+    (List.length blocks) repeat concurrency batch socket;
   (* liveness probe before spawning the fleet: a missing daemon is a
      clean exit 2, not [concurrency] threads of connect noise *)
   (match Serve.Client.connect ~retries:50 ~retry_interval:0.1 socket with
@@ -211,13 +315,33 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
     | Ok _ | Error _ ->
       prerr_endline "bhive_load: server did not answer ping";
       exit 2));
+  (* encode every frame once, up front; the threads replay shared
+     read-only payload strings *)
+  let singles =
+    if batch > 1 then []
+    else
+      List.map
+        (fun b ->
+          Serve.Wire.request_to_string (predict_request ~uarch ~deadline_ms b))
+        blocks
+  in
+  let groups =
+    if batch > 1 then
+      List.map
+        (fun chunk ->
+          ( List.length chunk,
+            Serve.Wire.request_to_string
+              (batch_request ~uarch ~deadline_ms chunk) ))
+        (chunks batch blocks)
+    else []
+  in
   let tallies = Array.init concurrency (fun _ -> fresh_tally ()) in
   let t0 = Telemetry.Trace.now_ns () in
   let threads =
     Array.mapi
       (fun i t ->
         Thread.create
-          (fun () -> replay ~socket ~uarch ~deadline_ms ~repeat blocks t)
+          (fun () -> replay ~socket ~repeat ~batch ~singles ~groups t)
           (ignore i))
       tallies
   in
@@ -265,7 +389,13 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
       total.r_deadline <- total.r_deadline + t.r_deadline;
       total.r_shutting <- total.r_shutting + t.r_shutting;
       total.r_bad <- total.r_bad + t.r_bad;
-      total.lat_ms <- List.rev_append t.lat_ms total.lat_ms)
+      total.lat_ms <- List.rev_append t.lat_ms total.lat_ms;
+      total.frames <- total.frames + t.frames;
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace total.batch_hist k
+            (v + Option.value ~default:0 (Hashtbl.find_opt total.batch_hist k)))
+        t.batch_hist)
     tallies;
   let sorted = Array.of_list total.lat_ms in
   Array.sort compare sorted;
@@ -305,6 +435,20 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
     in
     let n name v = (name, Json.Number (float_of_int v)) in
     let f name v = (name, Json.Number v) in
+    let rps =
+      if wall_seconds > 0.0 then float_of_int total.ok /. wall_seconds else 0.0
+    in
+    let store_counter name =
+      Option.bind server_stats (fun s -> Json.path [ "store"; name ] s)
+      |> Fun.flip Option.bind Json.number
+      |> Option.value ~default:0.0
+    in
+    let histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) total.batch_hist []
+      |> List.sort compare
+      |> List.map (fun (k, v) ->
+             (string_of_int k, Json.Number (float_of_int v)))
+    in
     let serving =
       Json.Object
         ([
@@ -328,11 +472,22 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
            f "p999_ms" p999;
            f "max_ms" pmax;
            f "mean_ms" mean;
-           f "throughput_rps"
-             (if wall_seconds > 0.0 then
-                float_of_int total.ok /. wall_seconds
-              else 0.0);
+           f "throughput_rps" rps;
+           f "requests_per_sec" rps;
            f "wall_seconds" wall_seconds;
+           ( "batch",
+             Json.Object
+               [
+                 n "size" batch;
+                 n "frames" total.frames;
+                 ("histogram", Json.Object histogram);
+               ] );
+           ( "index_opens",
+             Json.Object
+               [
+                 f "persisted" (store_counter "index_persisted");
+                 f "scanned" (store_counter "index_scanned");
+               ] );
            n "verified" verified;
            n "mismatches" mismatches;
          ]
@@ -344,7 +499,7 @@ let run socket concurrency repeat scale uarch deadline_ms verify summary_path =
     let doc =
       Json.Object
         [
-          ("schema_version", Json.Number 7.0);
+          ("schema_version", Json.Number 8.0);
           ("scale", Json.Number (float_of_int config.Corpus.Suite.scale));
           ("rev", Json.String rev);
           ("name", Json.String "serve-load");
@@ -405,6 +560,24 @@ let cmd =
             "Attach a per-request deadline; requests dispatched after it \
              expires are refused with $(b,deadline_exceeded).")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Blocks per wire frame. 1 (default) replays over v1 single \
+             $(b,predict) requests; N >= 2 rides the v2 \
+             $(b,predict_batch) op, N blocks per frame.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"PATH"
+          ~doc:
+            "Load the workload spec from a manifest file; its corpus scale \
+             wins over $(b,--scale), and the summary carries its ids.")
+  in
   let verify =
     Arg.(
       value & flag
@@ -420,13 +593,13 @@ let cmd =
       & opt (some string) None
       & info [ "summary" ] ~docv:"PATH"
           ~doc:
-            "Write a schema-v7 bench_summary.json with a $(b,serving) \
+            "Write a schema-v8 bench_summary.json with a $(b,serving) \
              object (gate it with bhive_bench_diff).")
   in
   let term =
     Term.(
       const run $ socket $ concurrency $ repeat $ scale $ uarch $ deadline_ms
-      $ verify $ summary)
+      $ batch $ manifest $ verify $ summary)
   in
   Cmd.v
     (Cmd.info "bhive_load"

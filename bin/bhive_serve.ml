@@ -1,24 +1,31 @@
 (* bhive_serve: the prediction daemon. Listens on a Unix socket,
-   answers length-prefixed predict requests through one shared engine
-   (memo cache -> persistent store -> profiler), and degrades under
-   overload into typed refusals instead of hangs:
+   answers length-prefixed predict requests through a sharded pool of
+   engines (memo cache -> shared persistent store -> profiler), and
+   degrades under overload into typed refusals instead of hangs:
 
-   - admission control: a bounded queue; a request that does not fit
-     is refused with [overloaded] immediately;
+   - sharded dispatch: --shards dispatcher domains (default: one per
+     spare core; --jobs is an alias), each owning one engine, with
+     requests routed by job fingerprint so coalescing stays exact and
+     answers never depend on the pool size;
+   - admission control: bounded per-shard queues; a request that does
+     not fit is refused with [overloaded] immediately;
    - coalescing: concurrent requests for the same job fingerprint
      share one in-flight measurement;
    - multi-process store sharing: several daemons may point --store at
      the same directory — per-shard advisory file locks serialise
-     writers, so a kill -9'd sibling never corrupts a record;
+     writers, so a kill -9'd sibling never corrupts a record. Within
+     this process all shard engines share ONE store handle (the file
+     locks are per-process);
    - graceful drain: SIGTERM/SIGINT stop accepting, finish (or shed,
      past --drain-grace) queued work, flush telemetry, exit 0.
 
-   See DESIGN.md §11 for the wire protocol and the drain state
-   machine; bhive_load is the matching load generator. *)
+   See DESIGN.md §10-§12 for the wire protocol, the drain state
+   machine and the shard pool; bhive_load is the matching load
+   generator. *)
 
 open Cmdliner
 
-let run socket store jobs trace queue_capacity batch_max idle_timeout
+let run socket store jobs shards trace queue_capacity batch_max idle_timeout
     write_timeout drain_grace =
   (match Engine.validate_env () with
   | Ok () -> ()
@@ -32,7 +39,26 @@ let run socket store jobs trace queue_capacity batch_max idle_timeout
     prerr_endline "bhive_serve: --queue-capacity and --batch-max must be >= 1";
     exit 2
   end;
-  let engine = Engine.create ?jobs ?store_path:store () in
+  let nshards =
+    match (shards, jobs) with
+    | Some n, _ | None, Some n -> n
+    | None, None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  if nshards < 1 then begin
+    prerr_endline "bhive_serve: --shards must be >= 1";
+    exit 2
+  end;
+  (* one store handle for the whole pool: the store's cross-process
+     file locks are per-process, so per-engine opens of the same
+     directory would break intra-process append exclusion *)
+  let store_path =
+    match store with Some _ as p -> p | None -> Engine.default_store_path ()
+  in
+  let shared_store = Option.map Store.open_ store_path in
+  let engines =
+    Array.init nshards (fun _ ->
+        Engine.create ~jobs:1 ?store:shared_store ())
+  in
   let config =
     {
       (Serve.Server.default_config socket) with
@@ -44,7 +70,7 @@ let run socket store jobs trace queue_capacity batch_max idle_timeout
     }
   in
   let server =
-    match Serve.Server.create ~config ~engine socket with
+    match Serve.Server.create ~config ~engines socket with
     | s -> s
     | exception Failure msg ->
       prerr_endline ("bhive_serve: " ^ msg);
@@ -54,8 +80,8 @@ let run socket store jobs trace queue_capacity batch_max idle_timeout
         (Unix.error_message e);
       exit 2
   in
-  Printf.eprintf "bhive_serve: pid %d listening on %s\n%!" (Unix.getpid ())
-    socket;
+  Printf.eprintf "bhive_serve: pid %d listening on %s (%d shards)\n%!"
+    (Unix.getpid ()) socket nshards;
   Serve.Server.run server;
   let c = Serve.Server.counters server in
   Printf.eprintf
@@ -122,10 +148,19 @@ let cmd =
             "After SIGTERM/SIGINT, finish queued work for this long; \
              whatever remains is shed with $(b,shutting_down).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Dispatcher pool size: N domains, each owning one engine. \
+             Defaults to $(b,--jobs) if given, else one per spare core.")
+  in
   let term =
     Term.(
-      const run $ socket $ Cli_common.store_arg $ Cli_common.jobs_arg $ trace
-      $ queue_capacity $ batch_max $ idle_timeout $ write_timeout
+      const run $ socket $ Cli_common.store_arg $ Cli_common.jobs_arg $ shards
+      $ trace $ queue_capacity $ batch_max $ idle_timeout $ write_timeout
       $ drain_grace)
   in
   Cmd.v

@@ -306,14 +306,24 @@ let open_store path =
   end
   else Store.open_ path
 
-let create ?jobs ?progress ?faults ?store_path ?max_retries ?deadline_ms
+let create ?jobs ?progress ?faults ?store ?store_path ?max_retries ?deadline_ms
     ?backoff_ms ?quorum () =
   let n_jobs = max 1 (match jobs with Some n -> n | None -> default_jobs ()) in
   let faults = match faults with Some f -> f | None -> Faultsim.default () in
-  let store_path =
-    match store_path with Some _ as p -> p | None -> default_store_path ()
+  let store =
+    (* an already-open handle wins over any path: the store's
+       cross-process file locks are per-process, so several engines of
+       one process (the daemon's shard pool) must share ONE handle —
+       a second open_ in the same process would silently break the
+       intra-process append exclusion *)
+    match store with
+    | Some _ as s -> s
+    | None ->
+      let store_path =
+        match store_path with Some _ as p -> p | None -> default_store_path ()
+      in
+      Option.map open_store store_path
   in
-  let store = Option.map open_store store_path in
   let base = !policy_override in
   let policy =
     clamp_policy

@@ -178,11 +178,18 @@ type t
     values are clamped to at least 1. [progress] is invoked (under a
     lock) once per resolved unique job. [faults] defaults to
     {!Faultsim.default} (i.e. [$BHIVE_FAULTS] unless overridden); the
-    policy fields default to {!set_default_policy}'s current values. *)
+    policy fields default to {!set_default_policy}'s current values.
+
+    [store] (an already-open handle) wins over [store_path]: the
+    store's cross-process file locks are per-process, so multiple
+    engines of one process — the daemon's shard pool — must share one
+    handle rather than each opening the same directory. The caller
+    keeps ownership: engines never close a store they were handed. *)
 val create :
   ?jobs:int ->
   ?progress:(done_:int -> total:int -> unit) ->
   ?faults:Faultsim.config ->
+  ?store:Store.t ->
   ?store_path:string ->
   ?max_retries:int ->
   ?deadline_ms:int ->

@@ -593,7 +593,7 @@ let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
         ]
     in
     Json.Object
-      (("schema_version", Json.Number 7.0)
+      (("schema_version", Json.Number 8.0)
       :: ("scale", Json.Number (float_of_int spec.corpus.scale))
       :: ("rev", Json.String rev)
       :: ("name", Json.String spec.name)

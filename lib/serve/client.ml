@@ -23,9 +23,12 @@ let connect ?(retries = 0) ?(retry_interval = 0.1) path =
   in
   go retries
 
-let request t req : (Wire.response, string) result =
+(* Raw variant: the caller supplies an already-encoded request payload,
+   so a load generator replaying the same request thousands of times
+   pays the JSON encoding once, not per send. *)
+let request_raw t payload : (Wire.response, string) result =
   match
-    Wire.write_frame t.fd (Wire.request_to_string req);
+    Wire.write_frame t.fd payload;
     Wire.read_frame t.fd
   with
   | Ok payload -> Wire.response_of_string payload
@@ -33,5 +36,8 @@ let request t req : (Wire.response, string) result =
   | Error (Wire.Malformed msg) -> Error ("malformed response frame: " ^ msg)
   | exception Unix.Unix_error (e, _, _) ->
     Error ("connection error: " ^ Unix.error_message e)
+
+let request t req : (Wire.response, string) result =
+  request_raw t (Wire.request_to_string req)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

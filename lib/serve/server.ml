@@ -1,29 +1,44 @@
-(* The bhive_serve daemon core: a Unix-socket server in front of one
-   engine + store, built so overload degrades into typed refusals
-   instead of hangs.
+(* The bhive_serve daemon core: a Unix-socket server in front of a
+   sharded pool of engines over one shared store, built so overload
+   degrades into typed refusals instead of hangs.
 
-   Thread layout — exactly one thread ever touches the engine:
+   Thread layout — per engine, exactly one domain ever touches it:
 
    - the caller of [run] becomes the acceptor: accepts connections
      (with a short poll timeout so a drain flag is noticed promptly)
      and spawns one handler thread per connection;
-   - handler threads parse requests, admit them into the bounded
-     queue (or refuse: Overloaded / Shutting_down / Bad_request),
-     block on their waiter until the dispatcher fulfils it, and write
-     the response under a send timeout so a slow client cannot wedge
-     a dispatcher result;
-   - the dispatcher thread owns the engine (Engine.run_batch's memo
-     cache is submitting-thread-only): it pops up to [batch_max]
-     queued entries, sheds the expired ones, answers warm ones via
-     Engine.peek, batches the rest through the engine, and fulfils
-     every waiter.
+   - handler threads parse requests (through a resolution cache, so
+     the x86 parser and the fingerprint sha256 run once per unique
+     block), answer repeats of already-computed blocks straight from
+     a rendered-answer cache, admit the rest into the bounded
+     per-shard queues (or refuse: Overloaded / Shutting_down /
+     Bad_request), block on their waiter until a dispatcher fulfils
+     it, and write the response under a send timeout so a slow client
+     cannot wedge a dispatcher result;
+   - one dispatcher *domain* per shard owns that shard's engine
+     (Engine.run_batch's memo cache is submitting-thread-only, and an
+     engine created with [~jobs:1] executes its batch inline on the
+     calling domain, so each dispatcher domain gets its own
+     [Pipeline.Batch] machine through the existing Domain.DLS
+     discipline): it pops up to [batch_max] queued entries, sheds the
+     expired ones, answers warm ones via Engine.peek, micro-batches
+     the rest through [Engine.run_batch], and fulfils every waiter.
 
-   Coalescing: [inflight] maps job fingerprint -> entry for every
-   queued or executing entry. A request whose fingerprint is already
-   in flight attaches as a waiter (coalesced++) instead of occupying a
-   queue slot. The entry is removed from the map atomically with
-   taking its waiter list, so a late request can never attach to an
-   already-fulfilled entry.
+   Sharding: requests are routed by the hash of the job fingerprint,
+   so every request for a given block lands on the same shard — which
+   is exactly what makes coalescing still exact with N dispatchers,
+   and what makes responses independent of the pool size: the answer
+   to a job depends only on the job, never on which shard computed it.
+   The engines share ONE store handle (the store's cross-process file
+   locks are per-process; see Engine.create's [?store]).
+
+   Coalescing: each shard's [inflight] maps job fingerprint -> entry
+   for every queued or executing entry of that shard. A request whose
+   fingerprint is already in flight attaches as a waiter (coalesced++)
+   instead of occupying a queue slot. The entry is removed from the
+   map atomically with taking its waiter list — on every fulfilment
+   path, including deadline and drain sheds — so a late request can
+   never attach to an already-dead entry.
 
    Drain: SIGTERM/SIGINT set a flag. The acceptor stops accepting and
    returns; queued work is finished if it fits inside the drain grace
@@ -35,7 +50,8 @@ module Json = Telemetry.Json
 type config = {
   socket_path : string;
   queue_capacity : int;
-  batch_max : int;
+      (** total across the pool; each shard gets an equal slice *)
+  batch_max : int;  (** micro-batch ceiling per dispatch cycle *)
   idle_timeout : float;  (** seconds a connection may sit between requests *)
   write_timeout : float;  (** slow-client response-write budget, seconds *)
   drain_grace : float;  (** seconds to finish queued work after SIGTERM *)
@@ -53,11 +69,14 @@ let default_config socket_path =
 
 type counters = {
   mutable connections : int;
-  mutable requests : int;  (** predict requests that reached admission *)
-  mutable accepted : int;  (** entries admitted into the queue *)
+  mutable requests : int;
+      (** predict requests handled (admitted or answered from cache) *)
+  mutable accepted : int;  (** entries admitted into a queue *)
   mutable coalesced : int;  (** requests attached to an in-flight entry *)
   mutable completed : int;  (** requests answered with a result *)
-  mutable warm_hits : int;  (** entries answered from memo/store via peek *)
+  mutable warm_hits : int;
+      (** requests answered without executing: the handler's answer
+          cache or the dispatcher's memo/store peek *)
   mutable executed : int;  (** entries resolved through Engine.run_batch *)
   mutable shed_overload : int;  (** refused at admission: queue full *)
   mutable shed_deadline : int;  (** shed after accept: deadline expired *)
@@ -79,21 +98,54 @@ type entry = {
   mutable waiters : waiter list;
 }
 
+type shard = {
+  s_engine : Engine.t;
+  s_mutex : Mutex.t;
+  s_cond : Condition.t;
+  s_queue : entry Queue.t;
+  s_inflight : (string, entry) Hashtbl.t;
+  s_capacity : int;
+}
+
 type t = {
   cfg : config;
-  engine : Engine.t;
+  shards : shard array;
   listen_fd : Unix.file_descr;
-  qmutex : Mutex.t;
-  qcond : Condition.t;
-  queue : entry Queue.t;
-  inflight : (string, entry) Hashtbl.t;
+  cmutex : Mutex.t;
+      (** guards [c] and [busy]; lock order is shard mutex first,
+          [cmutex] second — never the reverse *)
   c : counters;
   draining : bool Atomic.t;
   mutable drain_until_ns : int64;
   mutable busy : int;  (** admitted requests not yet written back *)
+  rmutex : Mutex.t;
+      (** guards [resolved] and [answers]; a leaf lock — never taken
+          while holding it *)
+  resolved :
+    ( string * string * string option * Manifest.Spec.filters,
+      (Engine.job * string, string) result )
+    Hashtbl.t;
+      (** request resolution cache: (uarch, asm, block_hex, filters) —
+          everything that determines the job, deadline excluded — to
+          the parsed job and its fingerprint (or the parse error).
+          Sound because [Wire.job_of_predict] and [Engine.fingerprint]
+          are deterministic; this takes the x86 parser and sha256 off
+          the warm path. *)
+  answers : (string, Wire.response * string) Hashtbl.t;
+      (** fingerprint -> (successful Result, its rendered v1 frame).
+          Filled by [fulfil]; lets a handler answer a repeat request
+          directly, without a dispatcher round trip (which on a
+          saturated box costs two context switches per request).
+          Refusals are never cached, and results are immutable for the
+          life of the process (same property the engine memo relies
+          on), so a cached answer is byte-identical to a recomputed
+          one. *)
   gate : (unit -> unit) option;
       (** test hook, called at the top of every dispatch cycle *)
 }
+
+let resolve_cache_max = 8192
+let answer_cache_max = 65536
 
 let now_ns () = Telemetry.Trace.now_ns ()
 
@@ -101,7 +153,9 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let create ?(config : config option) ?gate ~engine socket_path =
+let create ?(config : config option) ?gate ~engines socket_path =
+  if Array.length engines = 0 then
+    invalid_arg "Server.create: empty engine pool";
   let cfg =
     match config with Some c -> c | None -> default_config socket_path
   in
@@ -117,14 +171,25 @@ let create ?(config : config option) ?gate ~engine socket_path =
   Unix.listen listen_fd 128;
   (* short accept timeout: the accept loop is also the drain poll *)
   Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.25;
+  let capacity =
+    max 1 (cfg.queue_capacity / Array.length engines)
+  in
   {
     cfg;
-    engine;
+    shards =
+      Array.map
+        (fun engine ->
+          {
+            s_engine = engine;
+            s_mutex = Mutex.create ();
+            s_cond = Condition.create ();
+            s_queue = Queue.create ();
+            s_inflight = Hashtbl.create 256;
+            s_capacity = capacity;
+          })
+        engines;
     listen_fd;
-    qmutex = Mutex.create ();
-    qcond = Condition.create ();
-    queue = Queue.create ();
-    inflight = Hashtbl.create 256;
+    cmutex = Mutex.create ();
     c =
       {
         connections = 0;
@@ -143,64 +208,147 @@ let create ?(config : config option) ?gate ~engine socket_path =
     draining = Atomic.make false;
     drain_until_ns = Int64.max_int;
     busy = 0;
+    rmutex = Mutex.create ();
+    resolved = Hashtbl.create 1024;
+    answers = Hashtbl.create 4096;
     gate;
   }
 
+(* Same-fingerprint requests always land on the same shard: that is
+   what keeps coalescing exact with N dispatchers, and why responses
+   cannot depend on the pool size. *)
+let shard_index t fp =
+  let h = Store.Codec.fnv1a64 fp in
+  Int64.to_int
+    (Int64.rem (Int64.logand h Int64.max_int)
+       (Int64.of_int (Array.length t.shards)))
+
+let shard_for t fp = t.shards.(shard_index t fp)
+
 let stats_json t =
-  let c, queued, inflight =
-    with_lock t.qmutex (fun () ->
-        ( { t.c with connections = t.c.connections },
-          Queue.length t.queue,
-          Hashtbl.length t.inflight ))
+  let queued = ref 0 and inflight = ref 0 in
+  Array.iter
+    (fun sh ->
+      with_lock sh.s_mutex (fun () ->
+          queued := !queued + Queue.length sh.s_queue;
+          inflight := !inflight + Hashtbl.length sh.s_inflight))
+    t.shards;
+  let c = with_lock t.cmutex (fun () -> { t.c with connections = t.c.connections }) in
+  let agg f =
+    Array.fold_left (fun acc sh -> acc + f (Engine.stats sh.s_engine)) 0 t.shards
   in
-  let e = Engine.stats t.engine in
   let n name v = (name, Json.Number (float_of_int v)) in
   Json.Object
-    [
-      ( "serving",
-        Json.Object
-          [
-            n "connections" c.connections;
-            n "requests" c.requests;
-            n "accepted" c.accepted;
-            n "coalesced" c.coalesced;
-            n "completed" c.completed;
-            n "warm_hits" c.warm_hits;
-            n "executed" c.executed;
-            n "shed_overload" c.shed_overload;
-            n "shed_deadline" c.shed_deadline;
-            n "shed_drain" c.shed_drain;
-            n "bad_requests" c.bad_requests;
-            n "write_timeouts" c.write_timeouts;
-            n "queued" queued;
-            n "inflight" inflight;
-          ] );
-      ( "engine",
-        Json.Object
-          [
-            n "profiler_calls" e.Engine.profiler_calls;
-            n "store_hits" e.Engine.store_hits;
-            n "store_misses" e.Engine.store_misses;
-            n "store_writes" e.Engine.store_writes;
-            n "cache_hits" e.Engine.cache_hits;
-            n "executed" e.Engine.executed;
-          ] );
-    ]
+    ([
+       ( "serving",
+         Json.Object
+           [
+             n "shards" (Array.length t.shards);
+             n "connections" c.connections;
+             n "requests" c.requests;
+             n "accepted" c.accepted;
+             n "coalesced" c.coalesced;
+             n "completed" c.completed;
+             n "warm_hits" c.warm_hits;
+             n "executed" c.executed;
+             n "shed_overload" c.shed_overload;
+             n "shed_deadline" c.shed_deadline;
+             n "shed_drain" c.shed_drain;
+             n "bad_requests" c.bad_requests;
+             n "write_timeouts" c.write_timeouts;
+             n "queued" !queued;
+             n "inflight" !inflight;
+           ] );
+       ( "engine",
+         Json.Object
+           [
+             n "profiler_calls" (agg (fun e -> e.Engine.profiler_calls));
+             n "store_hits" (agg (fun e -> e.Engine.store_hits));
+             n "store_misses" (agg (fun e -> e.Engine.store_misses));
+             n "store_writes" (agg (fun e -> e.Engine.store_writes));
+             n "cache_hits" (agg (fun e -> e.Engine.cache_hits));
+             n "executed" (agg (fun e -> e.Engine.executed));
+           ] );
+     ]
+    @
+    match Engine.store t.shards.(0).s_engine with
+    | None -> []
+    | Some store ->
+      let s = Store.stats store in
+      [
+        ( "store",
+          Json.Object
+            [
+              n "index_persisted" s.Store.s_index_persisted;
+              n "index_scanned" s.Store.s_index_scanned;
+              ("open_seconds", Json.Number s.Store.s_open_seconds);
+              n "live" s.Store.s_live;
+            ] );
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Warm-path caches                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let resolve t (p : Wire.predict) =
+  let key = (p.Wire.uarch, p.Wire.asm, p.Wire.block_hex, p.Wire.filters) in
+  match with_lock t.rmutex (fun () -> Hashtbl.find_opt t.resolved key) with
+  | Some r -> r
+  | None ->
+    let r =
+      match Wire.job_of_predict p with
+      | Error _ as e -> e
+      | Ok job -> Ok (job, Engine.fingerprint job)
+    in
+    (* two threads may race to compute the same key; both arrive at the
+       same value, so last-write-wins is fine *)
+    with_lock t.rmutex (fun () ->
+        if Hashtbl.length t.resolved >= resolve_cache_max then
+          Hashtbl.reset t.resolved;
+        Hashtbl.replace t.resolved key r);
+    r
+
+let cached_answer t fp =
+  with_lock t.rmutex (fun () -> Hashtbl.find_opt t.answers fp)
+
+let cache_answer t fp reply =
+  with_lock t.rmutex (fun () ->
+      if not (Hashtbl.mem t.answers fp) then begin
+        if Hashtbl.length t.answers >= answer_cache_max then
+          Hashtbl.reset t.answers;
+        Hashtbl.replace t.answers fp (reply, Wire.response_to_string reply)
+      end)
+
+(* Counter bump for requests answered straight from the handler's
+   answer cache: they never reach admission, but they are requests,
+   warm hits and completions all the same. *)
+let count_cache_hits t n =
+  if n > 0 then
+    with_lock t.cmutex (fun () ->
+        t.c.requests <- t.c.requests + n;
+        t.c.warm_hits <- t.c.warm_hits + n;
+        t.c.completed <- t.c.completed + n)
 
 (* Fulfil every waiter of [entry] with [reply], detaching the entry
-   from the coalescing map first (atomically with taking the waiter
-   list). *)
-let fulfil t entry reply =
+   from its shard's coalescing map first (atomically with taking the
+   waiter list) — this removal happens on shed paths too, so a late
+   duplicate can never attach to a dead entry. *)
+let fulfil t sh entry reply =
+  (match reply with
+  | Wire.Result _ -> cache_answer t entry.fp reply
+  | _ -> ());
   let ws =
-    with_lock t.qmutex (fun () ->
-        Hashtbl.remove t.inflight entry.fp;
+    with_lock sh.s_mutex (fun () ->
+        Hashtbl.remove sh.s_inflight entry.fp;
         let ws = entry.waiters in
         entry.waiters <- [];
-        (match reply with
-        | Wire.Result _ -> t.c.completed <- t.c.completed + List.length ws
-        | _ -> ());
         ws)
   in
+  (match reply with
+  | Wire.Result _ ->
+    with_lock t.cmutex (fun () ->
+        t.c.completed <- t.c.completed + List.length ws)
+  | _ -> ());
   List.iter
     (fun w ->
       with_lock w.w_mutex (fun () ->
@@ -209,20 +357,23 @@ let fulfil t entry reply =
     ws
 
 (* ------------------------------------------------------------------ *)
-(* Dispatcher                                                          *)
+(* Dispatchers                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let dispatcher_cycle t =
+let bump t f =
+  with_lock t.cmutex (fun () -> f t.c)
+
+let dispatcher_cycle t sh =
   (match t.gate with Some g -> g () | None -> ());
   let batch =
-    with_lock t.qmutex (fun () ->
-        while Queue.is_empty t.queue && not (Atomic.get t.draining) do
-          Condition.wait t.qcond t.qmutex
+    with_lock sh.s_mutex (fun () ->
+        while Queue.is_empty sh.s_queue && not (Atomic.get t.draining) do
+          Condition.wait sh.s_cond sh.s_mutex
         done;
-        if Queue.is_empty t.queue then None
+        if Queue.is_empty sh.s_queue then None
         else begin
-          let n = min t.cfg.batch_max (Queue.length t.queue) in
-          Some (List.init n (fun _ -> Queue.pop t.queue))
+          let n = min t.cfg.batch_max (Queue.length sh.s_queue) in
+          Some (List.init n (fun _ -> Queue.pop sh.s_queue))
         end)
   in
   match batch with
@@ -237,17 +388,15 @@ let dispatcher_cycle t =
         (fun e ->
           match drain_cut with
           | `Shed ->
-            with_lock t.qmutex (fun () ->
-                t.c.shed_drain <- t.c.shed_drain + 1);
-            fulfil t e
+            bump t (fun c -> c.shed_drain <- c.shed_drain + 1);
+            fulfil t sh e
               (Wire.Refused (Wire.Shutting_down, "drain deadline exceeded"));
             false
           | `Run -> (
             match e.deadline_ns with
             | Some d when now > d ->
-              with_lock t.qmutex (fun () ->
-                  t.c.shed_deadline <- t.c.shed_deadline + 1);
-              fulfil t e
+              bump t (fun c -> c.shed_deadline <- c.shed_deadline + 1);
+              fulfil t sh e
                 (Wire.Refused
                    (Wire.Deadline_exceeded, "deadline expired before dispatch"));
               false
@@ -258,11 +407,10 @@ let dispatcher_cycle t =
     let cold =
       List.filter
         (fun e ->
-          match Engine.peek t.engine e.job with
+          match Engine.peek sh.s_engine e.job with
           | Some outcome ->
-            with_lock t.qmutex (fun () ->
-                t.c.warm_hits <- t.c.warm_hits + 1);
-            fulfil t e (Wire.Result (Wire.outcome_json outcome));
+            bump t (fun c -> c.warm_hits <- c.warm_hits + 1);
+            fulfil t sh e (Wire.Result (Wire.outcome_json outcome));
             false
           | None -> true)
         runnable
@@ -270,81 +418,125 @@ let dispatcher_cycle t =
     (match cold with
     | [] -> ()
     | _ ->
-      let batch = Engine.run_batch t.engine (List.map (fun e -> e.job) cold) in
-      with_lock t.qmutex (fun () ->
-          t.c.executed <- t.c.executed + List.length cold);
+      let batch =
+        Engine.run_batch sh.s_engine (List.map (fun e -> e.job) cold)
+      in
+      bump t (fun c -> c.executed <- c.executed + List.length cold);
       List.iteri
         (fun i e ->
-          fulfil t e (Wire.Result (Wire.outcome_json batch.Engine.outcomes.(i))))
+          fulfil t sh e
+            (Wire.Result (Wire.outcome_json batch.Engine.outcomes.(i))))
         cold);
     true
 
-let rec dispatcher_loop t = if dispatcher_cycle t then dispatcher_loop t
+let rec dispatcher_loop t sh = if dispatcher_cycle t sh then dispatcher_loop t sh
 
 (* ------------------------------------------------------------------ *)
 (* Admission and handlers                                              *)
 (* ------------------------------------------------------------------ *)
 
-let submit_and_wait t (job : Engine.job) deadline_ms =
-  let fp = Engine.fingerprint job in
-  let w =
-    { w_mutex = Mutex.create (); w_cond = Condition.create (); w_reply = None }
-  in
-  let admitted =
-    with_lock t.qmutex (fun () ->
-        t.c.requests <- t.c.requests + 1;
-        if Atomic.get t.draining then
-          `Refuse (Wire.Refused (Wire.Shutting_down, "server is draining"))
-        else
-          match Hashtbl.find_opt t.inflight fp with
-          | Some entry ->
-            entry.waiters <- w :: entry.waiters;
-            t.c.coalesced <- t.c.coalesced + 1;
-            t.busy <- t.busy + 1;
-            `Wait
-          | None ->
-            if Queue.length t.queue >= t.cfg.queue_capacity then begin
-              t.c.shed_overload <- t.c.shed_overload + 1;
-              `Refuse
-                (Wire.Refused
-                   ( Wire.Overloaded,
-                     Printf.sprintf "queue full (%d entries)"
-                       t.cfg.queue_capacity ))
-            end
-            else begin
-              let deadline_ns =
-                Option.map
-                  (fun ms ->
-                    Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)))
-                  deadline_ms
-              in
-              let entry = { fp; job; deadline_ns; waiters = [ w ] } in
-              Hashtbl.replace t.inflight fp entry;
-              Queue.push entry t.queue;
-              t.c.accepted <- t.c.accepted + 1;
-              t.busy <- t.busy + 1;
-              Condition.signal t.qcond;
-              `Wait
-            end)
-  in
-  match admitted with
-  | `Refuse r -> (r, false)
-  | `Wait ->
-    ( with_lock w.w_mutex (fun () ->
-          while w.w_reply = None do
-            Condition.wait w.w_cond w.w_mutex
-          done;
-          Option.get w.w_reply),
-      true )
+let new_waiter () =
+  { w_mutex = Mutex.create (); w_cond = Condition.create (); w_reply = None }
 
-let send_response t fd response =
-  match Wire.write_frame fd (Wire.response_to_string response) with
+(* Admit one job into [sh]. The caller holds [sh.s_mutex]. *)
+let admit t sh ~fp job deadline_ms =
+  bump t (fun c -> c.requests <- c.requests + 1);
+  if Atomic.get t.draining then
+    `Refuse (Wire.Refused (Wire.Shutting_down, "server is draining"))
+  else
+    match Hashtbl.find_opt sh.s_inflight fp with
+    | Some entry ->
+      let w = new_waiter () in
+      entry.waiters <- w :: entry.waiters;
+      with_lock t.cmutex (fun () ->
+          t.c.coalesced <- t.c.coalesced + 1;
+          t.busy <- t.busy + 1);
+      `Wait w
+    | None ->
+      if Queue.length sh.s_queue >= sh.s_capacity then begin
+        bump t (fun c -> c.shed_overload <- c.shed_overload + 1);
+        `Refuse
+          (Wire.Refused
+             ( Wire.Overloaded,
+               Printf.sprintf "queue full (%d entries)" sh.s_capacity ))
+      end
+      else begin
+        let w = new_waiter () in
+        let deadline_ns =
+          Option.map
+            (fun ms -> Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)))
+            deadline_ms
+        in
+        let entry = { fp; job; deadline_ns; waiters = [ w ] } in
+        Hashtbl.replace sh.s_inflight fp entry;
+        Queue.push entry sh.s_queue;
+        with_lock t.cmutex (fun () ->
+            t.c.accepted <- t.c.accepted + 1;
+            t.busy <- t.busy + 1);
+        Condition.signal sh.s_cond;
+        `Wait w
+      end
+
+let wait_reply w =
+  with_lock w.w_mutex (fun () ->
+      while w.w_reply = None do
+        Condition.wait w.w_cond w.w_mutex
+      done;
+      Option.get w.w_reply)
+
+let submit_and_wait t ~fp (job : Engine.job) deadline_ms =
+  let sh = shard_for t fp in
+  match with_lock sh.s_mutex (fun () -> admit t sh ~fp job deadline_ms) with
+  | `Refuse r -> (r, false)
+  | `Wait w -> (wait_reply w, true)
+
+(* Admit many (fingerprint, job) pairs, taking each shard's lock only
+   once however many of the batch land on it. Returns one slot per
+   job, in order; [waited] is how many were admitted (their busy ticks
+   to release after the response is written). *)
+let submit_jobs t (jobs : (string * Engine.job) list) deadline_ms =
+  let items =
+    List.mapi (fun i (fp, job) -> (i, fp, job, shard_index t fp)) jobs
+  in
+  let out = Array.make (List.length jobs) None in
+  Array.iteri
+    (fun si sh ->
+      match List.filter (fun (_, _, _, s) -> s = si) items with
+      | [] -> ()
+      | mine ->
+        with_lock sh.s_mutex (fun () ->
+            List.iter
+              (fun (i, fp, job, _) ->
+                out.(i) <- Some (admit t sh ~fp job deadline_ms))
+              mine))
+    t.shards;
+  let waited = ref 0 in
+  let slots =
+    Array.to_list
+      (Array.map
+         (function
+           | Some (`Refuse r) -> r
+           | Some (`Wait w) ->
+             incr waited;
+             wait_reply w
+           | None -> assert false)
+         out)
+  in
+  (slots, !waited)
+
+let send_raw t fd payload =
+  match Wire.write_frame fd payload with
   | () -> true
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-    with_lock t.qmutex (fun () ->
-        t.c.write_timeouts <- t.c.write_timeouts + 1);
+    bump t (fun c -> c.write_timeouts <- c.write_timeouts + 1);
     false
   | exception Unix.Unix_error (_, _, _) -> false
+
+let send_response t fd response =
+  send_raw t fd (Wire.response_to_string response)
+
+let release_busy t n =
+  if n > 0 then with_lock t.cmutex (fun () -> t.busy <- t.busy - n)
 
 let handle_connection t fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
@@ -364,8 +556,7 @@ let handle_connection t fd =
        | Ok payload -> (
          match Wire.request_of_string payload with
          | Error msg ->
-           with_lock t.qmutex (fun () ->
-               t.c.bad_requests <- t.c.bad_requests + 1);
+           bump t (fun c -> c.bad_requests <- c.bad_requests + 1);
            if not (send_response t fd (Wire.Refused (Wire.Bad_request, msg)))
            then finished := true
          | Ok Wire.Ping ->
@@ -374,18 +565,73 @@ let handle_connection t fd =
            if not (send_response t fd (Wire.Stats_reply (stats_json t))) then
              finished := true
          | Ok (Wire.Predict p) -> (
-           match Wire.job_of_predict p with
+           match resolve t p with
            | Error msg ->
-             with_lock t.qmutex (fun () ->
-                 t.c.bad_requests <- t.c.bad_requests + 1);
+             bump t (fun c -> c.bad_requests <- c.bad_requests + 1);
              if not (send_response t fd (Wire.Refused (Wire.Bad_request, msg)))
              then finished := true
-           | Ok job ->
-             let reply, waited = submit_and_wait t job p.deadline_ms in
-             let ok = send_response t fd reply in
-             if waited then
-               with_lock t.qmutex (fun () -> t.busy <- t.busy - 1);
-             if not ok then finished := true))
+           | Ok (job, fp) -> (
+             (* handler fast path: a repeat of an already-answered
+                block is written straight from the answer cache —
+                no admission, no dispatcher round trip. Skipped while
+                draining so a drain refuses uniformly. *)
+             match
+               if Atomic.get t.draining then None else cached_answer t fp
+             with
+             | Some (_, raw) ->
+               count_cache_hits t 1;
+               if not (send_raw t fd raw) then finished := true
+             | None ->
+               let reply, waited = submit_and_wait t ~fp job p.deadline_ms in
+               let ok = send_response t fd reply in
+               if waited then release_busy t 1;
+               if not ok then finished := true))
+         | Ok (Wire.Predict_batch pb) ->
+           (* each block is resolved and admitted independently: a
+              malformed slot answers Bad_request in place, a cached
+              slot answers from the handler, and only the rest of the
+              batch is admitted *)
+           let draining = Atomic.get t.draining in
+           let slots0 =
+             List.map
+               (fun bb ->
+                 match resolve t (Wire.predict_of_batch_block pb bb) with
+                 | Error msg ->
+                   bump t (fun c -> c.bad_requests <- c.bad_requests + 1);
+                   `Bad msg
+                 | Ok (job, fp) -> (
+                   match if draining then None else cached_answer t fp with
+                   | Some (reply, _) -> `Hit reply
+                   | None -> `Submit (fp, job)))
+               pb.pb_blocks
+           in
+           count_cache_hits t
+             (List.length
+                (List.filter (function `Hit _ -> true | _ -> false) slots0));
+           let jobs =
+             List.filter_map
+               (function `Submit fj -> Some fj | _ -> None)
+               slots0
+           in
+           let replies, waited = submit_jobs t jobs pb.pb_deadline_ms in
+           (* re-interleave engine answers with the per-slot parse
+              errors and cache hits *)
+           let slots =
+             let rec zip slots0 replies =
+               match (slots0, replies) with
+               | [], _ -> []
+               | `Bad msg :: rest, replies ->
+                 Wire.Refused (Wire.Bad_request, msg) :: zip rest replies
+               | `Hit reply :: rest, replies -> reply :: zip rest replies
+               | `Submit _ :: rest, reply :: replies ->
+                 reply :: zip rest replies
+               | `Submit _ :: _, [] -> assert false
+             in
+             zip slots0 replies
+           in
+           let ok = send_response t fd (Wire.Results slots) in
+           release_busy t waited;
+           if not ok then finished := true)
      done
    with _ -> ());
   (try Unix.close fd with Unix.Unix_error _ -> ())
@@ -411,8 +657,7 @@ let accept_loop t =
     else
       match Store.Eintr.intr (fun () -> Unix.accept ~cloexec:true t.listen_fd) with
       | fd, _ ->
-        with_lock t.qmutex (fun () ->
-            t.c.connections <- t.c.connections + 1);
+        bump t (fun c -> c.connections <- c.connections + 1);
         ignore (Thread.create (fun () -> handle_connection t fd) ())
       | exception
           Unix.Unix_error
@@ -425,7 +670,7 @@ let accept_loop t =
    responses, so a drain does not exit with results still unsent. *)
 let await_quiescent t deadline_ns =
   let rec go () =
-    let busy = with_lock t.qmutex (fun () -> t.busy) in
+    let busy = with_lock t.cmutex (fun () -> t.busy) in
     if busy > 0 && now_ns () < deadline_ns then begin
       Thread.delay 0.01;
       go ()
@@ -434,21 +679,26 @@ let await_quiescent t deadline_ns =
   go ()
 
 (* Run until drained: blocks the calling thread in the accept loop and
-   returns once the queue is drained (or shed) and responses are
-   written. The caller flushes telemetry and exits. *)
+   returns once every shard queue is drained (or shed) and responses
+   are written. The caller flushes telemetry and exits. *)
 let run ?(signals = true) t =
   if signals then install_signal_handlers t;
-  let dispatcher = Thread.create (fun () -> dispatcher_loop t) () in
+  let dispatchers =
+    Array.map (fun sh -> Domain.spawn (fun () -> dispatcher_loop t sh)) t.shards
+  in
   accept_loop t;
   (* drain: the grace period starts when the drain begins *)
   t.drain_until_ns <-
     Int64.add (now_ns ())
       (Int64.of_float (t.cfg.drain_grace *. 1e9));
-  with_lock t.qmutex (fun () -> Condition.broadcast t.qcond);
-  Thread.join dispatcher;
+  Array.iter
+    (fun sh -> with_lock sh.s_mutex (fun () -> Condition.broadcast sh.s_cond))
+    t.shards;
+  Array.iter Domain.join dispatchers;
   await_quiescent t t.drain_until_ns;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
 
 let counters t = t.c
-let engine t = t.engine
+let shard_count t = Array.length t.shards
+let engine t = t.shards.(0).s_engine

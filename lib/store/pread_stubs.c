@@ -1,0 +1,56 @@
+/* pread(2) binding for the store's lock-free warm read path.
+ *
+ * The Unix library's read() shares one file offset per descriptor, so
+ * concurrent readers of a segment would have to serialise on a mutex
+ * around seek+read. pread carries its own offset and never touches
+ * the shared one, so any number of domains can read the same segment
+ * fd in parallel.
+ *
+ * The runtime lock is released around the syscall (that is the whole
+ * point — readers must overlap), which means the OCaml bytes buffer
+ * cannot be touched while blocked: the GC may move it. The data lands
+ * in a malloc'd staging buffer and is copied out after the lock is
+ * reacquired.
+ *
+ * Returns the byte count (0 at EOF, short counts possible) or -1 on
+ * any error; errno discrimination is deliberately not exposed — the
+ * OCaml caller treats every failure as "segment changed under us" and
+ * retries under the shard lock, where ordinary channel I/O reports
+ * real errors with full fidelity. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+CAMLprim value bhive_store_pread(value vfd, value vbuf, value vpos, value vlen,
+                                 value voff)
+{
+  CAMLparam5(vfd, vbuf, vpos, vlen, voff);
+  int fd = Int_val(vfd);
+  long pos = Long_val(vpos);
+  long len = Long_val(vlen);
+  long long off = (long long)Long_val(voff);
+  ssize_t n;
+
+  if (len < 0 || pos < 0) CAMLreturn(Val_long(-1));
+  if (len == 0) CAMLreturn(Val_long(0));
+
+  char *staging = malloc((size_t)len);
+  if (staging == NULL) caml_raise_out_of_memory();
+
+  caml_release_runtime_system();
+  do {
+    n = pread(fd, staging, (size_t)len, (off_t)off);
+  } while (n == -1 && errno == EINTR);
+  caml_acquire_runtime_system();
+
+  if (n > 0) memcpy(Bytes_val(vbuf) + pos, staging, (size_t)n);
+  free(staging);
+  CAMLreturn(Val_long(n == -1 ? -1 : n));
+}

@@ -45,9 +45,20 @@
 type t
 
 (** Open (creating if needed) the store rooted at a directory path.
-    Scans every segment to rebuild the in-memory index, truncating any
-    torn tail. Raises [Failure] if the path exists and is not a
-    directory. *)
+    Each segment may carry a checksummed sidecar index ([.idx]
+    sibling, written on every append and rewritten by every full
+    scan); a warm open loads the index from the sidecar after
+    verifying it against the segment (header bytes, entry bounds and
+    tiling, and the last indexed record's checksum), scanning only the
+    segment bytes the sidecar does not cover. Any disagreement —
+    foreign header, torn or bit-flipped entries beyond the tail,
+    overlap, a tail record that fails verification — distrusts the
+    sidecar entirely and falls back to the full segment scan, which
+    rewrites a fresh sidecar. Either way the resulting index is
+    derived from (or verified against) checksummed segment bytes, so
+    sidecar corruption costs open time, never wrong answers. Torn
+    segment tails are truncated as before. Raises [Failure] if the
+    path exists and is not a directory. *)
 val open_ : string -> t
 
 val close : t -> unit
@@ -58,6 +69,14 @@ type lookup =
   | Stale  (** key present but written under a different generation *)
   | Miss
 
+(** Warm-path lookup. The shard lock covers only the in-memory index
+    probe; the payload itself is read with [pread] on a per-shard
+    descriptor that carries no shared offset, so any number of domains
+    read the same shard concurrently without serialising. A read that
+    comes back short (the segment was truncated under us by a sibling
+    process healing a torn tail) retries once under the shard and file
+    locks after a resync; if the record is gone it degrades to
+    {!Miss}, never a wrong payload. *)
 val get : t -> key:string -> gen:string -> lookup
 
 (** Append a record. Returns [false] (and writes nothing) when the
@@ -68,6 +87,16 @@ val put : t -> key:string -> gen:string -> string -> bool
 
 (** Iterate live records in deterministic (key-sorted) order. *)
 val fold : t -> init:'a -> f:('a -> key:string -> gen:string -> string -> 'a) -> 'a
+
+type shard_stats = {
+  ss_shard : int;
+  ss_live : int;
+  ss_records : int;
+  ss_bytes : int;
+  ss_persisted : bool;
+      (** this shard's open was served by the sidecar index *)
+  ss_open_seconds : float;
+}
 
 type stats = {
   s_dir : string;
@@ -81,6 +110,10 @@ type stats = {
           (different format or OCaml version); treated as empty and
           rewritten on first append *)
   s_bytes : int;
+  s_index_persisted : int;  (** shards opened from their sidecar index *)
+  s_index_scanned : int;  (** shards opened by a full segment scan *)
+  s_open_seconds : float;  (** summed per-shard open wall time *)
+  s_per_shard : shard_stats list;
 }
 
 val stats : t -> stats
@@ -91,10 +124,20 @@ type verify_report = {
   v_corrupt : int;  (** checksum failures found by this scan *)
   v_torn : int;  (** torn-tail events recorded when the store was opened *)
   v_stale_segments : int;
+  v_index_entries : int;  (** valid sidecar entries checked *)
+  v_index_mismatched : int;
+      (** sidecar entries that disagree with the record actually at
+          their offset — the only sidecar failure mode that counts as
+          corruption (a missing or subset sidecar merely costs the
+          next open a scan) *)
+  v_index_missing : int;
+      (** non-empty segments with no parseable sidecar *)
 }
 
-(** Re-scan every segment from disk and re-check every record
-    checksum. A clean store reports [v_corrupt = 0]. *)
+(** Re-scan every segment from disk, re-check every record checksum,
+    and validate every sidecar index entry against the record at its
+    offset. A clean store reports [v_corrupt = 0] and
+    [v_index_mismatched = 0]. *)
 val verify : t -> verify_report
 
 type gc_report = {

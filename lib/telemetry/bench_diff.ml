@@ -187,7 +187,7 @@ let manifest_field doc name =
 
 let compare_summaries ?(thresholds = default_thresholds)
     ?(require_identical = false) ?min_store_hit_rate ?min_speedup
-    ?min_coalesce ?max_p99_ms ~baseline ~current () =
+    ?min_coalesce ?max_p99_ms ?min_rps ~baseline ~current () =
   let t = thresholds in
   (* Same experiment? Two summaries with different experiment ids were
      produced by manifests that measure different things — comparing
@@ -433,6 +433,65 @@ let compare_summaries ?(thresholds = default_thresholds)
           detail =
             "serving.coalesce_ratio missing (not a bhive_load summary?) — \
              cannot gate coalescing";
+        }
+        :: !acc));
+  (* serving throughput (schema v8): [serving.requests_per_sec] is
+     answered requests over replay wall time — the end-to-end daemon
+     number the serve-perf CI job gates. Like the simulator gate, the
+     floor is a ratio against the checked-in baseline, and a baseline
+     that cannot anchor the ratio (zero, missing field, or no serving
+     object at all) is a clean failure, not a silent pass. *)
+  (match min_rps with
+  | None -> ()
+  | Some floor ->
+    let rps doc = serving_num doc "requests_per_sec" in
+    (match (rps baseline, rps current) with
+    | Some b, Some _ when b = 0.0 ->
+      acc :=
+        {
+          severity = Regression;
+          metric = "serving.requests_per_sec";
+          baseline = 0.0;
+          current = 0.0;
+          limit = floor;
+          detail =
+            "baseline serving.requests_per_sec is zero — cannot compute a \
+             throughput ratio; regenerate the serving baseline from a real \
+             load run";
+        }
+        :: !acc
+    | Some b, Some c when b > 0.0 ->
+      let ratio = c /. b in
+      if ratio < floor then
+        acc :=
+          {
+            severity = Regression;
+            metric = "serving.requests_per_sec";
+            baseline = b;
+            current = c;
+            limit = b *. floor;
+            detail =
+              Printf.sprintf
+                "serving throughput regressed to %.2fx baseline (floor %.2fx)"
+                ratio floor;
+          }
+          :: !acc
+      else
+        acc :=
+          check ~severity:Regression ~metric:"serving.requests_per_sec"
+            ~baseline:b ~current:c ~limit:(b *. floor) ~violated:false
+            ~detail:"ok" !acc
+    | _ ->
+      acc :=
+        {
+          severity = Regression;
+          metric = "serving.requests_per_sec";
+          baseline = 0.0;
+          current = 0.0;
+          limit = floor;
+          detail =
+            "serving.requests_per_sec missing (not a schema v8 bhive_load \
+             summary?) — cannot gate serving throughput";
         }
         :: !acc));
   (match max_p99_ms with

@@ -103,7 +103,14 @@ val strip_volatile : Json.t -> Json.t
     additionally imposes a floor on [serving.coalesce_ratio] (the CI
     serve job's duplicate-sharing gate) and [?max_p99_ms] a ceiling on
     [serving.p99_ms]; either flag fails outright when the current
-    summary lacks the field. *)
+    summary lacks the field.
+
+    [?min_rps] gates end-to-end serving throughput (schema v8):
+    [serving.requests_per_sec] must be at least [min_rps] x the
+    baseline's. Like [?min_speedup], a baseline that cannot anchor the
+    ratio — a zero value, a missing field, or no [serving] object at
+    all in either summary — fails cleanly rather than passing
+    silently. *)
 val compare_summaries :
   ?thresholds:thresholds ->
   ?require_identical:bool ->
@@ -111,6 +118,7 @@ val compare_summaries :
   ?min_speedup:float ->
   ?min_coalesce:float ->
   ?max_p99_ms:float ->
+  ?min_rps:float ->
   baseline:Json.t -> current:Json.t -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit

@@ -128,6 +128,30 @@ let test_wire_request_roundtrip () =
   bad "wrong version" {|{"v":99,"op":"ping"}|};
   bad "no version" {|{"op":"ping"}|};
   bad "not json" "}{";
+  (* v2 coexists with v1 on the same decoder *)
+  (match Wire.request_of_string {|{"v":2,"op":"ping"}|} with
+  | Ok Wire.Ping -> ()
+  | _ -> Alcotest.fail "v2 ping rejected");
+  let pb =
+    Wire.Predict_batch
+      {
+        Wire.pb_uarch = "hsw";
+        pb_deadline_ms = Some 100;
+        pb_filters = Manifest.Spec.default_filters;
+        pb_blocks =
+          [
+            { Wire.bb_asm = "add %rbx, %r10"; bb_block_hex = None };
+            { Wire.bb_asm = "imul %rsi, %rdi"; bb_block_hex = Some "ab" };
+          ];
+      }
+  in
+  (match Wire.request_of_string (Wire.request_to_string pb) with
+  | Ok pb' -> Alcotest.(check bool) "batch round-trips" true (pb = pb')
+  | Error msg -> Alcotest.fail ("batch round-trip failed: " ^ msg));
+  bad "batch on v1" {|{"v":1,"op":"predict_batch","blocks":[{"asm":"nop"}]}|};
+  bad "empty blocks" {|{"v":2,"op":"predict_batch","blocks":[]}|};
+  bad "blocks not array" {|{"v":2,"op":"predict_batch","blocks":3}|};
+  bad "block missing asm" {|{"v":2,"op":"predict_batch","blocks":[{}]}|};
   Alcotest.(check pass) "malformed requests rejected" () ()
 
 let test_wire_response_roundtrip () =
@@ -140,6 +164,12 @@ let test_wire_response_roundtrip () =
       Wire.Refused (Wire.Bad_request, "nope");
       Wire.Refused (Wire.Shutting_down, "bye");
       Wire.Stats_reply (Json.Object [ ("requests", Json.Number 3.0) ]);
+      Wire.Results
+        [
+          Wire.Result (Json.Object [ ("status", Json.String "measured") ]);
+          Wire.Refused (Wire.Deadline_exceeded, "late");
+          Wire.Result (Json.Object [ ("status", Json.String "failed") ]);
+        ];
     ]
   in
   List.iter
@@ -147,7 +177,15 @@ let test_wire_response_roundtrip () =
       match Wire.response_of_string (Wire.response_to_string r) with
       | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
       | Error msg -> Alcotest.fail ("round-trip failed: " ^ msg))
-    resps
+    resps;
+  (* a batch slot's result object renders byte-identically to the v1
+     response carrying the same result, modulo the "v" envelope *)
+  let r = Json.Object [ ("status", Json.String "measured") ] in
+  let v1 = Wire.response_to_string (Wire.Result r) in
+  let v2 = Wire.response_to_string (Wire.Results [ Wire.Result r ]) in
+  Alcotest.(check bool) "slot body embedded in v1 rendering" true
+    (let body = {|"status":"ok","result":{"status":"measured"}|} in
+     contains ~needle:body v1 && contains ~needle:body v2)
 
 (* --- In-process server ------------------------------------------------- *)
 
@@ -177,14 +215,14 @@ let set_gate g open_ =
   Condition.broadcast g.g_cond;
   Mutex.unlock g.g_mutex
 
-let with_server ?(configure = Server.default_config) ?gate f =
+let with_server ?(configure = Server.default_config) ?(shards = 1) ?gate f =
   let socket = temp_socket () in
-  let engine = Engine.create ~jobs:1 () in
+  let engines = Array.init shards (fun _ -> Engine.create ~jobs:1 ()) in
   let config = configure socket in
   let server =
     match gate with
-    | Some g -> Server.create ~config ~gate:(gate_fn g) ~engine socket
-    | None -> Server.create ~config ~engine socket
+    | Some g -> Server.create ~config ~gate:(gate_fn g) ~engines socket
+    | None -> Server.create ~config ~engines socket
   in
   let runner = Thread.create (fun () -> Server.run ~signals:false server) () in
   Fun.protect
@@ -203,6 +241,16 @@ let predict ?deadline_ms ?(uarch = "hsw") asm =
       deadline_ms;
       block_hex = None;
       filters = Manifest.Spec.default_filters;
+    }
+
+let batch ?deadline_ms ?(uarch = "hsw") asms =
+  Wire.Predict_batch
+    {
+      Wire.pb_uarch = uarch;
+      pb_deadline_ms = deadline_ms;
+      pb_filters = Manifest.Spec.default_filters;
+      pb_blocks =
+        List.map (fun asm -> { Wire.bb_asm = asm; bb_block_hex = None }) asms;
     }
 
 let request_exn what client req =
@@ -390,6 +438,97 @@ let test_serve_deadline_shed () =
       | Error msg -> Alcotest.fail msg);
       Alcotest.(check int) "deadline shed counted" 1 c.Server.shed_deadline)
 
+let test_serve_batch_identity () =
+  (* one v2 batch frame must produce exactly the slot bodies the v1
+     path produces for the same blocks, in request order *)
+  with_server ~shards:2 (fun _server socket ->
+      match Client.connect ~retries:20 socket with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+        let asms = [ asm_a; asm_b; asm_c ] in
+        let singles =
+          List.map
+            (fun asm ->
+              match request_exn "v1 predict" c (predict asm) with
+              | Wire.Result r -> Json.to_string ~compact:true r
+              | _ -> Alcotest.fail "v1 predict refused")
+            asms
+        in
+        (match request_exn "v2 batch" c (batch asms) with
+        | Wire.Results slots ->
+          let batched =
+            List.map
+              (function
+                | Wire.Result r -> Json.to_string ~compact:true r
+                | _ -> Alcotest.fail "batch slot refused")
+              slots
+          in
+          Alcotest.(check (list string)) "batch slots match v1 answers"
+            singles batched
+        | _ -> Alcotest.fail "batch request refused");
+        (* a bad slot is refused in place without poisoning its
+           neighbours *)
+        (match
+           request_exn "mixed batch" c (batch [ asm_a; "not asm!"; asm_b ])
+         with
+        | Wire.Results
+            [ Wire.Result _; Wire.Refused (Wire.Bad_request, _); Wire.Result _ ]
+          -> ()
+        | _ -> Alcotest.fail "mixed batch not refused slot-wise");
+        Client.close c)
+
+let test_serve_shard_determinism () =
+  (* the determinism matrix: answers must not depend on the pool size *)
+  let answers shards =
+    with_server ~shards (fun _server socket ->
+        match Client.connect ~retries:20 socket with
+        | Error msg -> Alcotest.fail msg
+        | Ok c ->
+          let out =
+            List.map
+              (fun asm ->
+                match request_exn "predict" c (predict asm) with
+                | Wire.Result r -> Json.to_string ~compact:true r
+                | _ -> Alcotest.fail "predict refused")
+              [ asm_a; asm_b; asm_c ]
+          in
+          Client.close c;
+          out)
+  in
+  let one = answers 1 in
+  Alcotest.(check (list string)) "2 shards = 1 shard" one (answers 2);
+  Alcotest.(check (list string)) "4 shards = 1 shard" one (answers 4)
+
+let test_serve_shed_inflight_hygiene () =
+  (* a dispatch-shed entry must leave the coalescing map with it: a
+     later duplicate of the shed fingerprint gets a fresh measurement,
+     never an attachment to the dead entry *)
+  let gate = make_gate () in
+  set_gate gate false;
+  with_server ~gate (fun server socket ->
+      let t1, r1 = spawn_predict socket (predict ~deadline_ms:1 asm_a) in
+      let c = Server.counters server in
+      poll_until "request queued" (fun () -> c.Server.accepted = 1);
+      Thread.delay 0.02;
+      set_gate gate true;
+      Thread.join t1;
+      (match !r1 with
+      | Ok (Wire.Refused (Wire.Deadline_exceeded, _)) -> ()
+      | Ok _ -> Alcotest.fail "expired deadline not shed"
+      | Error msg -> Alcotest.fail msg);
+      (* same fingerprint again: must be admitted as a NEW entry *)
+      set_gate gate false;
+      let t2, r2 = spawn_predict socket (predict asm_a) in
+      poll_until "duplicate re-admitted" (fun () -> c.Server.accepted = 2);
+      Alcotest.(check int) "no coalescing onto the shed entry" 0
+        c.Server.coalesced;
+      set_gate gate true;
+      Thread.join t2;
+      match !r2 with
+      | Ok (Wire.Result _) -> ()
+      | Ok _ -> Alcotest.fail "re-admitted duplicate refused"
+      | Error msg -> Alcotest.fail msg)
+
 let test_serve_drain () =
   with_server (fun server socket ->
       match Client.connect ~retries:20 socket with
@@ -425,5 +564,10 @@ let suite =
     Alcotest.test_case "serve: coalescing" `Quick test_serve_coalescing;
     Alcotest.test_case "serve: overload refusal" `Quick test_serve_overload;
     Alcotest.test_case "serve: deadline shed" `Quick test_serve_deadline_shed;
+    Alcotest.test_case "serve: batch identity" `Quick test_serve_batch_identity;
+    Alcotest.test_case "serve: shard determinism" `Quick
+      test_serve_shard_determinism;
+    Alcotest.test_case "serve: shed inflight hygiene" `Quick
+      test_serve_shed_inflight_hygiene;
     Alcotest.test_case "serve: graceful drain" `Quick test_serve_drain;
   ]

@@ -650,7 +650,7 @@ let test_diff_min_speedup_zero_baseline () =
 (* --- schema v7: the serving object and its gates --- *)
 
 let with_serving ?(lost = 0.) ?(shed_after_accept = 0.)
-    ?(coalesce_ratio = 2.5) ?(p99_ms = 40.) s =
+    ?(coalesce_ratio = 2.5) ?(p99_ms = 40.) ?(rps = 5000.) s =
   match s with
   | Json.Object fields ->
     Json.Object
@@ -665,6 +665,7 @@ let with_serving ?(lost = 0.) ?(shed_after_accept = 0.)
                 ("shed_after_accept", Json.Number shed_after_accept);
                 ("coalesce_ratio", Json.Number coalesce_ratio);
                 ("p99_ms", Json.Number p99_ms);
+                ("requests_per_sec", Json.Number rps);
               ] );
         ])
   | other -> other
@@ -737,6 +738,45 @@ let test_diff_max_p99 () =
   let report = gate (with_serving (summary ())) (summary ()) in
   check_verdict "current without serving fails the p99 gate" Bench_diff.Fail
     report
+
+let test_diff_min_rps () =
+  (* schema v8: serving.requests_per_sec gated as a ratio against the
+     baseline, like perf.blocks_per_sec *)
+  let gate baseline current =
+    Bench_diff.compare_summaries ~min_rps:0.8 ~baseline ~current ()
+  in
+  let report =
+    gate
+      (with_serving ~rps:5000. (summary ()))
+      (with_serving ~rps:3000. (summary ()))
+  in
+  check_verdict "throughput below the floor fails" Bench_diff.Fail report;
+  let report =
+    gate
+      (with_serving ~rps:5000. (summary ()))
+      (with_serving ~rps:4800. (summary ()))
+  in
+  check_verdict "throughput above the floor passes" Bench_diff.Pass report;
+  (* a baseline that cannot anchor the ratio fails cleanly *)
+  let report =
+    gate
+      (with_serving ~rps:0. (summary ()))
+      (with_serving ~rps:5000. (summary ()))
+  in
+  check_verdict "zero-rps baseline fails" Bench_diff.Fail report;
+  let report = gate (summary ()) (with_serving ~rps:5000. (summary ())) in
+  check_verdict "baseline without serving fails the rps gate" Bench_diff.Fail
+    report;
+  let report = gate (with_serving ~rps:5000. (summary ())) (summary ()) in
+  check_verdict "current without serving fails the rps gate" Bench_diff.Fail
+    report;
+  (* without the flag a throughput drop imposes nothing *)
+  let report =
+    diff
+      (with_serving ~rps:5000. (summary ()))
+      (with_serving ~rps:100. (summary ()))
+  in
+  check_verdict "no floor requested: rps not gated" Bench_diff.Pass report
 
 let test_diff_serving_volatile_for_identity () =
   (* the serving object is volatile for --identical comparisons: two
@@ -862,6 +902,7 @@ let suite =
       test_diff_serving_invariants;
     Alcotest.test_case "diff: min coalesce floor" `Quick test_diff_min_coalesce;
     Alcotest.test_case "diff: max p99 ceiling" `Quick test_diff_max_p99;
+    Alcotest.test_case "diff: min rps floor" `Quick test_diff_min_rps;
     Alcotest.test_case "diff: serving volatile for identity" `Quick
       test_diff_serving_volatile_for_identity;
     Alcotest.test_case "diff: strip volatile" `Quick test_strip_volatile;

@@ -94,7 +94,13 @@ type waiter = {
 type entry = {
   fp : string;
   job : Engine.job;
-  deadline_ns : int64 option;  (** absolute, Trace.now_ns clock *)
+  mutable deadline_ns : int64 option;
+      (** absolute, Trace.now_ns clock; always the LOOSEST deadline
+          across every attached waiter ([None] = no deadline), so an
+          entry is shed only when no waiter could still use the
+          answer — a client that attached with no (or a longer)
+          deadline is never refused on account of the first
+          requester's. Mutated under the shard mutex. *)
   mutable waiters : waiter list;
 }
 
@@ -329,6 +335,14 @@ let count_cache_hits t n =
         t.c.warm_hits <- t.c.warm_hits + n;
         t.c.completed <- t.c.completed + n)
 
+let notify_waiters ws reply =
+  List.iter
+    (fun w ->
+      with_lock w.w_mutex (fun () ->
+          w.w_reply <- Some reply;
+          Condition.signal w.w_cond))
+    ws
+
 (* Fulfil every waiter of [entry] with [reply], detaching the entry
    from its shard's coalescing map first (atomically with taking the
    waiter list) — this removal happens on shed paths too, so a late
@@ -349,12 +363,24 @@ let fulfil t sh entry reply =
     with_lock t.cmutex (fun () ->
         t.c.completed <- t.c.completed + List.length ws)
   | _ -> ());
-  List.iter
-    (fun w ->
-      with_lock w.w_mutex (fun () ->
-          w.w_reply <- Some reply;
-          Condition.signal w.w_cond))
-    ws
+  notify_waiters ws reply
+
+(* Dispatch-time deadline shed: the expiry check, the detach from the
+   coalescing map and the waiter grab happen atomically under the
+   shard lock, so a concurrent attach that loosens the deadline (see
+   [admit]) either lands before the check and rescues the entry, or
+   misses the map and is admitted as a fresh entry. [entry.deadline_ns]
+   is the loosest deadline over the attached waiters, so when it has
+   expired, every waiter's has. *)
+let take_if_expired sh entry now =
+  with_lock sh.s_mutex (fun () ->
+      match entry.deadline_ns with
+      | Some d when Int64.compare now d > 0 ->
+        Hashtbl.remove sh.s_inflight entry.fp;
+        let ws = entry.waiters in
+        entry.waiters <- [];
+        `Shed ws
+      | _ -> `Run)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatchers                                                         *)
@@ -393,14 +419,14 @@ let dispatcher_cycle t sh =
               (Wire.Refused (Wire.Shutting_down, "drain deadline exceeded"));
             false
           | `Run -> (
-            match e.deadline_ns with
-            | Some d when now > d ->
+            match take_if_expired sh e now with
+            | `Shed ws ->
               bump t (fun c -> c.shed_deadline <- c.shed_deadline + 1);
-              fulfil t sh e
+              notify_waiters ws
                 (Wire.Refused
                    (Wire.Deadline_exceeded, "deadline expired before dispatch"));
               false
-            | _ -> true))
+            | `Run -> true))
         entries
     in
     (* warm fast path: memo/store probe answers without a batch slot *)
@@ -438,6 +464,11 @@ let rec dispatcher_loop t sh = if dispatcher_cycle t sh then dispatcher_loop t s
 let new_waiter () =
   { w_mutex = Mutex.create (); w_cond = Condition.create (); w_reply = None }
 
+let deadline_ns_of deadline_ms =
+  Option.map
+    (fun ms -> Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)))
+    deadline_ms
+
 (* Admit one job into [sh]. The caller holds [sh.s_mutex]. *)
 let admit t sh ~fp job deadline_ms =
   bump t (fun c -> c.requests <- c.requests + 1);
@@ -448,6 +479,13 @@ let admit t sh ~fp job deadline_ms =
     | Some entry ->
       let w = new_waiter () in
       entry.waiters <- w :: entry.waiters;
+      (* keep the entry's deadline the loosest across its waiters: a
+         coalesced entry must outlive its most patient requester *)
+      (match (entry.deadline_ns, deadline_ns_of deadline_ms) with
+      | None, _ -> ()
+      | _, None -> entry.deadline_ns <- None
+      | Some a, Some b ->
+        if Int64.compare b a > 0 then entry.deadline_ns <- Some b);
       with_lock t.cmutex (fun () ->
           t.c.coalesced <- t.c.coalesced + 1;
           t.busy <- t.busy + 1);
@@ -462,11 +500,7 @@ let admit t sh ~fp job deadline_ms =
       end
       else begin
         let w = new_waiter () in
-        let deadline_ns =
-          Option.map
-            (fun ms -> Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)))
-            deadline_ms
-        in
+        let deadline_ns = deadline_ns_of deadline_ms in
         let entry = { fp; job; deadline_ns; waiters = [ w ] } in
         Hashtbl.replace sh.s_inflight fp entry;
         Queue.push entry sh.s_queue;
@@ -583,8 +617,14 @@ let handle_connection t fd =
                if not (send_raw t fd raw) then finished := true
              | None ->
                let reply, waited = submit_and_wait t ~fp job p.deadline_ms in
-               let ok = send_response t fd reply in
-               if waited then release_busy t 1;
+               (* the busy tick must be released on EVERY exit path —
+                  an exception here would otherwise wedge
+                  [await_quiescent] for the full drain grace *)
+               let ok =
+                 Fun.protect
+                   ~finally:(fun () -> if waited then release_busy t 1)
+                   (fun () -> send_response t fd reply)
+               in
                if not ok then finished := true))
          | Ok (Wire.Predict_batch pb) ->
            (* each block is resolved and admitted independently: a
@@ -614,23 +654,31 @@ let handle_connection t fd =
                slots0
            in
            let replies, waited = submit_jobs t jobs pb.pb_deadline_ms in
-           (* re-interleave engine answers with the per-slot parse
-              errors and cache hits *)
-           let slots =
-             let rec zip slots0 replies =
-               match (slots0, replies) with
-               | [], _ -> []
-               | `Bad msg :: rest, replies ->
-                 Wire.Refused (Wire.Bad_request, msg) :: zip rest replies
-               | `Hit reply :: rest, replies -> reply :: zip rest replies
-               | `Submit _ :: rest, reply :: replies ->
-                 reply :: zip rest replies
-               | `Submit _ :: _, [] -> assert false
-             in
-             zip slots0 replies
+           (* the busy ticks must be released on EVERY exit path out
+              of the re-interleave + send below (including a zip
+              assertion or an allocation failure), or a drain would
+              wait out its full grace on ticks nobody will return *)
+           let ok =
+             Fun.protect
+               ~finally:(fun () -> release_busy t waited)
+               (fun () ->
+                 (* re-interleave engine answers with the per-slot
+                    parse errors and cache hits *)
+                 let slots =
+                   let rec zip slots0 replies =
+                     match (slots0, replies) with
+                     | [], _ -> []
+                     | `Bad msg :: rest, replies ->
+                       Wire.Refused (Wire.Bad_request, msg) :: zip rest replies
+                     | `Hit reply :: rest, replies -> reply :: zip rest replies
+                     | `Submit _ :: rest, reply :: replies ->
+                       reply :: zip rest replies
+                     | `Submit _ :: _, [] -> assert false
+                   in
+                   zip slots0 replies
+                 in
+                 send_response t fd (Wire.Results slots))
            in
-           let ok = send_response t fd (Wire.Results slots) in
-           release_busy t waited;
            if not ok then finished := true)
      done
    with _ -> ());

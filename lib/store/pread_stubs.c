@@ -39,6 +39,10 @@ CAMLprim value bhive_store_pread(value vfd, value vbuf, value vpos, value vlen,
   ssize_t n;
 
   if (len < 0 || pos < 0) CAMLreturn(Val_long(-1));
+  /* the destination slice must lie inside the OCaml bytes block, or
+   * the copy-out below would scribble past the heap block */
+  if ((uintnat)pos + (uintnat)len > caml_string_length(vbuf))
+    CAMLreturn(Val_long(-1));
   if (len == 0) CAMLreturn(Val_long(0));
 
   char *staging = malloc((size_t)len);

@@ -45,10 +45,25 @@ type shard = {
       (* lock-free pread descriptor for [get]'s warm path. Deliberately
          NOT closed by [close_channels]: a reader may be mid-pread on
          it without holding the shard lock, and closing would let the
-         OS recycle the fd number under that read. The segment inode
-         is only ever truncated in place (never replaced) while a
-         store is attached, so the descriptor stays valid; a short
-         read tells the reader the file shrank. *)
+         OS recycle the fd number under that read. Ordinary appends and
+         torn-tail truncations happen in place on the same inode, so
+         the descriptor stays valid and a short read tells the reader
+         the file shrank. Whenever the segment inode IS replaced or
+         removed — gc's rename-over-tmp, a rescan after a sibling
+         process compacted the shared store, ensure_oc recreating a
+         removed segment — [reanchor_locked] must run under the locks:
+         it repoints this fd number at the new inode with dup2, so
+         concurrent readers switch inodes atomically and the fd number
+         is never recycled under them. Readers additionally verify the
+         whole record frame (key, gen, checksum) before trusting a
+         payload, so a read that races an inode swap degrades to the
+         locked resync path, never to wrong bytes. *)
+  mutable seg_id : int * int;
+      (* (st_dev, st_ino) of the segment inode the in-memory index and
+         [read_fd] describe; [no_seg_id] when the segment is absent.
+         [resync] compares it against the file on disk to catch a
+         sibling process swapping the inode (gc) even when the sizes
+         coincide. *)
   mutable records : int; (* records on disk, including superseded *)
   mutable superseded : int;
   mutable torn : int; (* torn-tail truncation events at open/resync *)
@@ -324,6 +339,60 @@ let ensure_read_fd sh =
     sh.read_fd <- Some fd;
     fd
 
+let no_seg_id = (-1, -1)
+
+(* Re-anchor the shard to whatever inode currently lives at [sh.path]:
+   record its identity for [resync]'s replacement check and, if a
+   lock-free read descriptor is already out, atomically repoint that
+   fd NUMBER at the new inode with dup2 — concurrent readers holding
+   the number switch inodes without the OS ever recycling it under a
+   mid-flight pread. When the segment is absent the descriptor is
+   parked on /dev/null, so stale reads short-read and fall back to the
+   locked path. Must be called, under the shard Mutex and file lock,
+   whenever the segment inode may have been replaced or removed. *)
+let reanchor_locked sh =
+  match Unix.openfile sh.path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | nfd -> (
+    let st = Unix.fstat nfd in
+    sh.seg_id <- (st.Unix.st_dev, st.Unix.st_ino);
+    match sh.read_fd with
+    | Some fd ->
+      Unix.dup2 ~cloexec:true nfd fd;
+      Unix.close nfd
+    | None -> Unix.close nfd)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
+    sh.seg_id <- no_seg_id;
+    match sh.read_fd with
+    | Some fd ->
+      let nfd = Unix.openfile "/dev/null" [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+      Unix.dup2 ~cloexec:true nfd fd;
+      Unix.close nfd
+    | None -> ())
+
+(* Lock-free verified read of the whole record frame behind [e]:
+   framing, key, gen and checksum must all match the index entry
+   before the payload is trusted. [None] means the segment changed
+   identity under the reader (shrank, or an inode swap raced the
+   probe) — the caller retries under the full locks, where [resync]
+   restores index/descriptor coherence. *)
+let pread_record_verified fd ~key ~gen e =
+  let klen = String.length key and glen = String.length gen in
+  let roff = e.e_off - 12 - klen - glen in
+  let rlen = 12 + klen + glen + e.e_len + 8 in
+  let b = Bytes.create rlen in
+  let ok =
+    (try pread_exact fd b ~pos:0 ~len:rlen ~off:roff
+     with Unix.Unix_error _ -> false)
+    && Codec.get_u32 b 0 = record_magic
+    && Codec.get_u16 b 4 = klen
+    && Codec.get_u16 b 6 = glen
+    && Codec.get_u32 b 8 = e.e_len
+    && Bytes.sub_string b 12 klen = key
+    && Bytes.sub_string b (12 + klen) glen = gen
+    && Codec.fnv1a64_bytes ~off:0 ~len:(rlen - 8) b = Codec.get_i64 b (rlen - 8)
+  in
+  if ok then Some (Bytes.sub_string b (12 + klen + glen) e.e_len) else None
+
 (* ------------------------------------------------------------------ *)
 (* Shard open / rescan                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -401,7 +470,11 @@ let rescan_locked sh =
       sh.size <- good;
       write_sidecar sh.path (List.rev !sidecar)
   end
-  else remove_if_exists (idx_path sh.path)
+  else remove_if_exists (idx_path sh.path);
+  (* the rescan may have been triggered by a sibling process swapping
+     the segment inode (gc): repoint the read descriptor at whatever
+     the index now describes *)
+  reanchor_locked sh
 
 (* Open a shard through its persisted sidecar: validate the sidecar,
    check the segment header and the last indexed record against the
@@ -565,7 +638,16 @@ let load_shard_locked sh =
     && (try try_load_index_locked sh
         with Unix.Unix_error _ | Sys_error _ -> false)
   in
-  if loaded then sh.index_mode <- Persisted
+  if loaded then begin
+    sh.index_mode <- Persisted;
+    (* the sidecar was validated against the inode behind read_fd;
+       that inode is what the index now describes *)
+    match sh.read_fd with
+    | Some fd ->
+      let st = Unix.fstat fd in
+      sh.seg_id <- (st.Unix.st_dev, st.Unix.st_ino)
+    | None -> ()
+  end
   else begin
     rescan_locked sh;
     sh.index_mode <- Scanned
@@ -590,6 +672,7 @@ let open_shard path =
       ic = None;
       idx_oc = None;
       read_fd = None;
+      seg_id = no_seg_id;
       records = 0;
       superseded = 0;
       torn = 0;
@@ -654,14 +737,17 @@ let ensure_ic sh =
    maintenance here — a foreign crash between the two appends leaves a
    gap the next open heals. *)
 let resync sh =
-  let real =
+  let real, replaced =
     match Unix.stat sh.path with
-    | st -> st.Unix.st_size
-    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
+    | st ->
+      (st.Unix.st_size, (st.Unix.st_dev, st.Unix.st_ino) <> sh.seg_id)
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      (0, sh.seg_id <> no_seg_id)
   in
-  if real <> sh.size then
-    if sh.size = 0 || sh.stale || real < sh.size then begin
-      (* segment appeared, was rewritten, or shrank under us: the
+  if real <> sh.size || replaced then
+    if replaced || sh.size = 0 || sh.stale || real < sh.size then begin
+      (* segment appeared, was rewritten, shrank, or is a different
+         inode (a sibling process compacted it) under us: the
          incremental path has nothing to anchor to — rescan it all *)
       close_channels sh;
       rescan_locked sh
@@ -727,6 +813,10 @@ let ensure_oc sh =
           sh.idx_oc <- None
         | None -> ());
         write_sidecar sh.path [];
+        (* O_CREAT may just have made a brand-new inode (the previous
+           segment was removed by a sibling's gc): re-anchor the read
+           descriptor and recorded identity to it *)
+        reanchor_locked sh;
         oc
       end
       else
@@ -753,28 +843,24 @@ let get t ~key ~gen =
   | `Miss -> Miss
   | `Stale -> Stale
   | `Read (fd, e) -> (
-    let b = Bytes.create e.e_len in
-    let read_ok =
-      try pread_exact fd b ~pos:0 ~len:e.e_len ~off:e.e_off
-      with Unix.Unix_error _ -> false
-    in
-    if read_ok then Hit (Bytes.unsafe_to_string b)
-    else
-      (* the segment shrank under the lock-free read (a sibling
-         process truncated a torn tail): resynchronise under the full
-         locks and answer from the fresh index *)
+    match pread_record_verified fd ~key ~gen e with
+    | Some payload -> Hit payload
+    | None ->
+      (* the segment changed under the lock-free read (a sibling
+         process truncated a torn tail or swapped the inode by
+         compacting): resynchronise under the full locks — [resync]
+         re-anchors the read descriptor if the inode was replaced —
+         and answer from the fresh, verified index *)
       with_lock sh.lock (fun () ->
           with_file_lock sh (fun () ->
               resync sh;
               match Hashtbl.find_opt sh.index key with
               | None -> Miss
               | Some e when e.e_gen <> gen -> Stale
-              | Some e ->
-                let b = Bytes.create e.e_len in
-                if pread_exact (ensure_read_fd sh) b ~pos:0 ~len:e.e_len
-                     ~off:e.e_off
-                then Hit (Bytes.unsafe_to_string b)
-                else Miss)))
+              | Some e -> (
+                match pread_record_verified (ensure_read_fd sh) ~key ~gen e with
+                | Some payload -> Hit payload
+                | None -> Miss))))
 
 let put t ~key ~gen payload =
   let sh = shard_of t key in
@@ -1057,6 +1143,11 @@ let gc t =
             write_sidecar sh.path (List.rev !sidecar);
             sh.size <- !pos
           end;
+          (* the rename (or remove) replaced the segment inode: any
+             outstanding lock-free read descriptor still points at the
+             unlinked one — repoint it at the rewrite so the rebuilt
+             index and the bytes readers see stay coherent *)
+          reanchor_locked sh;
           sh.records <- Hashtbl.length sh.index;
           sh.superseded <- 0;
           sh.torn <- 0;

@@ -438,6 +438,37 @@ let test_serve_deadline_shed () =
       | Error msg -> Alcotest.fail msg);
       Alcotest.(check int) "deadline shed counted" 1 c.Server.shed_deadline)
 
+(* Regression: the entry's deadline must be the LOOSEST across its
+   coalesced waiters. A client that attached with no deadline must not
+   be answered Deadline_exceeded on account of the first requester's
+   1ms budget — the entry runs, and everyone gets the result. *)
+let test_serve_coalesced_deadline_loosens () =
+  let gate = make_gate () in
+  set_gate gate false;
+  with_server ~gate (fun server socket ->
+      let t1, r1 = spawn_predict socket (predict ~deadline_ms:1 asm_a) in
+      let c = Server.counters server in
+      poll_until "first request queued" (fun () -> c.Server.accepted = 1);
+      let t2, r2 = spawn_predict socket (predict asm_a) in
+      poll_until "second request coalesced" (fun () -> c.Server.coalesced = 1);
+      (* let the first requester's deadline expire thoroughly *)
+      Thread.delay 0.02;
+      set_gate gate true;
+      Thread.join t1;
+      Thread.join t2;
+      (match !r2 with
+      | Ok (Wire.Result _) -> ()
+      | Ok (Wire.Refused (Wire.Deadline_exceeded, _)) ->
+        Alcotest.fail "no-deadline waiter shed on a coalesced deadline"
+      | Ok _ -> Alcotest.fail "no-deadline waiter refused"
+      | Error msg -> Alcotest.fail msg);
+      (* the entry survived, so the impatient requester gets the (late)
+         result too rather than a refusal *)
+      (match !r1 with
+      | Ok (Wire.Result _) -> ()
+      | _ -> Alcotest.fail "deadlined requester should ride the kept entry");
+      Alcotest.(check int) "nothing shed" 0 c.Server.shed_deadline)
+
 let test_serve_batch_identity () =
   (* one v2 batch frame must produce exactly the slot bodies the v1
      path produces for the same blocks, in request order *)
@@ -564,6 +595,8 @@ let suite =
     Alcotest.test_case "serve: coalescing" `Quick test_serve_coalescing;
     Alcotest.test_case "serve: overload refusal" `Quick test_serve_overload;
     Alcotest.test_case "serve: deadline shed" `Quick test_serve_deadline_shed;
+    Alcotest.test_case "serve: coalesced deadline loosens" `Quick
+      test_serve_coalesced_deadline_loosens;
     Alcotest.test_case "serve: batch identity" `Quick test_serve_batch_identity;
     Alcotest.test_case "serve: shard determinism" `Quick
       test_serve_shard_determinism;

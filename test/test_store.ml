@@ -564,6 +564,91 @@ let test_gc_compaction () =
         (Store.verify st).Store.v_corrupt;
       Store.close st)
 
+(* Regression: gc replaces the segment inode (rename-over-tmp), and a
+   [get] before gc leaves a lock-free pread descriptor open on the OLD
+   inode. Unless gc re-anchors that descriptor, every later warm read
+   probes the rebuilt index (new offsets) but preads the unlinked old
+   inode — silently wrong payloads. *)
+let test_gc_reanchors_read_fd () =
+  with_store_dir "bhive_store_gc_fd" (fun dir ->
+      let st = Store.open_ dir in
+      for i = 0 to 199 do
+        ignore (Store.put st ~key:(key_of i) ~gen:gen_a (Printf.sprintf "a%d" i))
+      done;
+      for i = 0 to 99 do
+        ignore (Store.put st ~key:(key_of i) ~gen:gen_b (Printf.sprintf "b%d" i))
+      done;
+      (* warm reads BEFORE gc: every shard opens its read descriptor
+         on the pre-compaction inode *)
+      for i = 0 to 199 do
+        let gen, p =
+          if i < 100 then (gen_b, Printf.sprintf "b%d" i)
+          else (gen_a, Printf.sprintf "a%d" i)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "pre-gc key %d" i)
+          true
+          (Store.get st ~key:(key_of i) ~gen = Store.Hit p)
+      done;
+      ignore (Store.gc st);
+      for i = 0 to 199 do
+        let gen, p =
+          if i < 100 then (gen_b, Printf.sprintf "b%d" i)
+          else (gen_a, Printf.sprintf "a%d" i)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "post-gc key %d reads the right payload" i)
+          true
+          (Store.get st ~key:(key_of i) ~gen = Store.Hit p)
+      done;
+      Store.close st)
+
+(* Regression: a SIBLING handle compacts the shared store (new inode on
+   disk); our handle's next resync must notice the inode swap — even
+   though it rebuilt its index from the new segment — and reopen its
+   read descriptor, or warm reads pair new offsets with old bytes. *)
+let test_sibling_gc_inode_swap () =
+  with_store_dir "bhive_store_gc_sibling" (fun dir ->
+      let a = Store.open_ dir in
+      for i = 0 to 63 do
+        ignore (Store.put a ~key:(key_of i) ~gen:gen_a (Printf.sprintf "a%d" i))
+      done;
+      for i = 0 to 31 do
+        ignore (Store.put a ~key:(key_of i) ~gen:gen_b (Printf.sprintf "b%d" i))
+      done;
+      (* anchor a's read descriptors on the pre-compaction inodes *)
+      for i = 0 to 63 do
+        let gen = if i < 32 then gen_b else gen_a in
+        ignore (Store.get a ~key:(key_of i) ~gen)
+      done;
+      (* the "sibling process": a second handle on the same directory
+         (the store's advisory file locks are per-process, so this
+         sequential use is equivalent to another process compacting) *)
+      let b = Store.open_ dir in
+      ignore (Store.gc b);
+      Store.close b;
+      (* a put forces a's resync against the swapped inode *)
+      Alcotest.(check bool)
+        "put lands after sibling gc" true
+        (Store.put a ~key:(key_of 64) ~gen:gen_a "fresh");
+      for i = 0 to 64 do
+        let gen, p =
+          if i < 32 then (gen_b, Printf.sprintf "b%d" i)
+          else if i < 64 then (gen_a, Printf.sprintf "a%d" i)
+          else (gen_a, "fresh")
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "post-sibling-gc key %d reads the right payload" i)
+          true
+          (Store.get a ~key:(key_of i) ~gen = Store.Hit p)
+      done;
+      Store.close a;
+      (* a reopen sees the healed state *)
+      let c = Store.open_ dir in
+      Alcotest.(check int) "verify clean after sibling gc" 0
+        (Store.verify c).Store.v_corrupt;
+      Store.close c)
+
 let test_concurrent_puts () =
   with_store_dir "bhive_store_domains" (fun dir ->
       let st = Store.open_ dir in
@@ -1048,6 +1133,10 @@ let suite =
     Alcotest.test_case "sidecar: gc rewrites the index" `Quick
       test_gc_rewrites_sidecar;
     Alcotest.test_case "gc: compaction" `Quick test_gc_compaction;
+    Alcotest.test_case "gc: re-anchors the lock-free read fd" `Quick
+      test_gc_reanchors_read_fd;
+    Alcotest.test_case "gc: sibling compaction inode swap" `Quick
+      test_sibling_gc_inode_swap;
     Alcotest.test_case "concurrent puts from domains" `Quick
       test_concurrent_puts;
     Alcotest.test_case "golden fingerprints pinned" `Quick

@@ -35,7 +35,7 @@ let describe what j =
 
 let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     wall_rel wall_abs wall_fails identical min_store_hit_rate min_speedup
-    min_coalesce max_p99_ms min_rps =
+    min_coalesce max_p99_ms min_rps max_refine_error min_refine_hit_rate =
   match
     (read_summary "baseline" baseline_path, read_summary "current" current_path)
   with
@@ -75,7 +75,8 @@ let run baseline_path current_path executed_rel executed_abs hit_rate_rel
     let report =
       Telemetry.Bench_diff.compare_summaries ~thresholds
         ~require_identical:identical ?min_store_hit_rate ?min_speedup
-        ?min_coalesce ?max_p99_ms ?min_rps ~baseline ~current ()
+        ?min_coalesce ?max_p99_ms ?min_rps ?max_refine_error
+        ?min_refine_hit_rate ~baseline ~current ()
     in
     Telemetry.Bench_diff.pp_report Format.std_formatter report;
     exit (Telemetry.Bench_diff.exit_code report)
@@ -202,12 +203,33 @@ let cmd =
              the CI serve-perf job. A baseline without the field fails \
              cleanly.")
   in
+  let max_refine_error =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-refine-error" ] ~docv:"ERR"
+          ~doc:
+            "Fail if the current run's descriptor-refinement final error \
+             ($(b,refine.final_error), schema v9) exceeds ERR — the CI \
+             refine job's recovery gate. A pre-v9 summary fails cleanly.")
+  in
+  let min_refine_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-refine-hit-rate" ] ~docv:"RATE"
+          ~doc:
+            "Fail unless the current run's cross-eval refinement store hit \
+             rate ($(b,refine.store_hit_rate), schema v9) is at least RATE \
+             — e.g. 0.5 to prove candidate evaluations re-simulate only the \
+             blocks their patch touches.")
+  in
   let term =
     Term.(
       const run $ baseline $ current $ executed_rel $ executed_abs
       $ hit_rate_rel $ wall_rel $ wall_abs $ wall_fails $ identical
       $ min_store_hit_rate $ min_speedup $ min_coalesce $ max_p99_ms
-      $ min_rps)
+      $ min_rps $ max_refine_error $ min_refine_hit_rate)
   in
   Cmd.v
     (Cmd.info "bhive_bench_diff"

@@ -54,6 +54,14 @@ let run_stats dir =
           (if ss.Store.ss_persisted then "persisted-index" else "scan")
           ss.Store.ss_open_seconds)
     s.Store.s_per_shard;
+  let gens = Store.gen_stats st in
+  Printf.printf "generations:    %d\n" (List.length gens);
+  List.iter
+    (fun g ->
+      Printf.printf "  gen %s…: %d live, %d bytes\n"
+        (String.sub g.Store.g_gen 0 (min 12 (String.length g.Store.g_gen)))
+        g.Store.g_live g.Store.g_bytes)
+    gens;
   Store.close st
 
 let run_verify dir =

@@ -41,6 +41,8 @@ let fingerprint (j : job) =
 
 let generation = Stable_key.generation
 let flat_digest = Stable_key.flat_digest
+let block_generation = Stable_key.block_generation
+let overlay_digest = Stable_key.overlay_digest
 
 (* --- retry policy ----------------------------------------------------- *)
 
@@ -240,6 +242,12 @@ type t = {
           (physical equality — a perturbed copy of a descriptor must
           get its own generation); only the submitting thread touches
           it *)
+  block_gen : (string, Uarch.Descriptor.t * string) Hashtbl.t option;
+      (** when [Some], block-sensitive generations: store generations
+          come from {!Stable_key.block_generation} (per job, keyed by
+          job fingerprint, guarded by descriptor identity so a fresh
+          candidate descriptor under the same fingerprint recomputes);
+          submitting thread only, like [gen_cache] *)
   lock : Mutex.t;  (** guards the progress hook only *)
   worker_busy_ns : int64 array;
       (** per-worker-slot execution time; only the slot's current
@@ -307,7 +315,7 @@ let open_store path =
   else Store.open_ path
 
 let create ?jobs ?progress ?faults ?store ?store_path ?max_retries ?deadline_ms
-    ?backoff_ms ?quorum () =
+    ?backoff_ms ?quorum ?(block_generation = false) () =
   let n_jobs = max 1 (match jobs with Some n -> n | None -> default_jobs ()) in
   let faults = match faults with Some f -> f | None -> Faultsim.default () in
   let store =
@@ -342,6 +350,7 @@ let create ?jobs ?progress ?faults ?store ?store_path ?max_retries ?deadline_ms
     cache = Hashtbl.create 4096;
     store;
     gen_cache = [];
+    block_gen = (if block_generation then Some (Hashtbl.create 1024) else None);
     lock = Mutex.create ();
     worker_busy_ns = Array.make n_jobs 0L;
     worker_jobs = Array.make n_jobs 0;
@@ -384,6 +393,33 @@ let generation_of t (u : Uarch.Descriptor.t) =
     t.gen_cache <- (u, g) :: t.gen_cache;
     g
 
+(* The store generation for one job: whole-descriptor by default,
+   per-block table slice when the engine was created with
+   [~block_generation:true]. The block-sensitive cache is keyed by job
+   fingerprint but guarded by descriptor identity: refinement reuses
+   one fingerprint across candidate descriptors (same short name), and
+   a fresh engine per candidate plus this guard keeps them distinct. *)
+let generation_for t fp (j : job) =
+  match t.block_gen with
+  | None -> generation_of t j.uarch
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl fp with
+    | Some (d, g) when d == j.uarch -> g
+    | _ ->
+      let g = Stable_key.block_generation j.uarch j.block in
+      Hashtbl.replace tbl fp (j.uarch, g);
+      g)
+
+(* In block-generation mode the store key is content-addressed by the
+   generation itself: each (job, table-slice) pair lives under its own
+   key, so a rejected refinement candidate's writes never supersede the
+   incumbent's records and every previously-visited configuration stays
+   warm (invalidation shows up as a miss, never a stale record).
+   Whole-descriptor mode keeps the bare fingerprint key — one live
+   record per job, superseded when the descriptor changes. *)
+let store_key t fp gen =
+  match t.block_gen with None -> fp | Some _ -> fp ^ "@" ^ gen
+
 (* Cache probe without execution: memo tier, then the disk store. A
    store hit fills the memo so later probes and batches resolve in
    memory. Same threading contract as [run_batch] — submitting thread
@@ -399,8 +435,8 @@ let peek t (j : job) : outcome option =
     match t.store with
     | None -> None
     | Some st -> (
-      let gen = generation_of t j.uarch in
-      match Store.get st ~key:fp ~gen with
+      let gen = generation_for t fp j in
+      match Store.get st ~key:(store_key t fp gen) ~gen with
       | Store.Hit payload -> (
         match
           try Some (Marshal.from_string payload 0 : outcome) with _ -> None
@@ -531,8 +567,8 @@ let run_batch t (submission : job list) : batch =
       match t.store with
       | None -> None
       | Some st -> (
-        let gen = generation_of t j.uarch in
-        match Store.get st ~key:fp ~gen with
+        let gen = generation_for t fp j in
+        match Store.get st ~key:(store_key t fp gen) ~gen with
         | Store.Hit payload -> (
           match
             try Some (Marshal.from_string payload 0 : outcome)
@@ -612,7 +648,7 @@ let run_batch t (submission : job list) : batch =
       | None -> [||]
       | Some _ ->
         Array.map
-          (fun (_, slot) -> generation_of t submission.(slot).uarch)
+          (fun (fp, slot) -> generation_for t fp submission.(slot))
           worklist
     in
     (* Persist measured outcomes from the worker that produced them.
@@ -626,7 +662,11 @@ let run_batch t (submission : job list) : batch =
         match r with
         | Error (Quarantined _) -> ()
         | Ok _ | Error (Profiler_failure _) ->
-          if Store.put st ~key:fp ~gen:gens.(u) (Marshal.to_string r [])
+          if
+            Store.put st
+              ~key:(store_key t fp gens.(u))
+              ~gen:gens.(u)
+              (Marshal.to_string r [])
           then begin
             Atomic.incr a_store_writes;
             Telemetry.Metrics.incr m_store_writes;

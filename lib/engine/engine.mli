@@ -67,6 +67,17 @@ val generation : Uarch.Descriptor.t -> string
     simulation inputs or invalidation semantics. *)
 val flat_digest : Uarch.Descriptor.t -> string
 
+(** Block-sensitive generation: digest of the descriptor-table slice
+    this block's opcode classes decode with (plus the machine
+    parameters every simulation reads). Unchanged-slice edits leave the
+    digest — and any store record under it — warm. See [create]'s
+    [?block_generation]. *)
+val block_generation : Uarch.Descriptor.t -> X86.Inst.t list -> string
+
+(** Digest of a canonical {!Uarch.Overlay} encoding — the identity of a
+    refinement candidate's patch. *)
+val overlay_digest : Uarch.Overlay.t -> string
+
 (** {1 Retry policy} *)
 
 type policy = {
@@ -195,7 +206,15 @@ val create :
   ?deadline_ms:int ->
   ?backoff_ms:int ->
   ?quorum:int ->
+  ?block_generation:bool ->
   unit -> t
+(** [block_generation] (default [false]) switches the store's
+    generation fingerprints from whole-descriptor
+    ({!Stable_key.generation}) to per-block table slices
+    ({!Stable_key.block_generation}): a record stays warm under any
+    descriptor edit its block never reads. This is what makes each
+    refinement candidate evaluation incremental; normal runs keep the
+    default scheme so their store keys and golden pins are unchanged. *)
 
 (** The shared process-wide engine (created on first use from
     [BHIVE_JOBS] / [BHIVE_FAULTS] / the default-policy overrides).

@@ -163,3 +163,66 @@ let generation (d : Uarch.Descriptor.t) =
     means table flattening itself altered simulation inputs. *)
 let flat_digest (d : Uarch.Descriptor.t) =
   Store.Sha256.hex (Uarch.Flat.encode (Uarch.Descriptor.flat d))
+
+(* --- block-sensitive generations (descriptor refinement) --------------- *)
+
+let block_generation_version = "bhive-gen-block-v1"
+
+(** 64-char hex digest identifying HOW one specific block is measured:
+    the slice of the descriptor tables its opcode classes actually
+    decode with, rather than the whole descriptor. Two descriptors that
+    differ only in entries a block never reads give the block the same
+    generation, so a store warmed under one stays hot under the other —
+    this is what makes each refinement candidate evaluation incremental.
+    Soundness direction: the digest must change whenever the block's
+    simulation could change; hashing too much only costs warm hits. *)
+let block_generation (d : Uarch.Descriptor.t) (block : X86.Inst.t list) =
+  let p = d.profile in
+  let f = Uarch.Descriptor.flat d in
+  let buf = Buffer.create 512 in
+  Codec.str buf block_generation_version;
+  Codec.str buf Harness.Profiler.algorithm_version;
+  (* machine parameters outside the execution tables; identity names are
+     deliberately excluded — same tables, same simulation *)
+  Codec.int buf d.rename_width;
+  Codec.int buf d.retire_width;
+  Codec.int buf d.rob_size;
+  Codec.int buf d.scheduler_size;
+  Codec.int buf d.n_ports;
+  Codec.int buf d.icache_miss_penalty;
+  Codec.int buf d.l1d_miss_penalty;
+  Codec.int buf d.l2_miss_penalty;
+  Codec.int buf d.subnormal_assist_cycles;
+  Codec.int buf d.misaligned_extra_cycles;
+  Codec.bool buf d.supports_avx2;
+  (* decomposition-wide profile switches *)
+  Codec.bool buf p.zero_idiom_elim;
+  Codec.bool buf p.move_elim;
+  Codec.bool buf p.micro_fusion;
+  Codec.int buf f.port_mask;
+  (* the load/store table section, only when the block touches memory
+     (implicit push/pop accesses included) *)
+  if List.exists (fun i -> X86.Inst.mem_accesses i <> []) block then
+    Codec.str buf (Uarch.Flat.encode_memory f);
+  (* per distinct opcode class, the exact table slice it decodes with *)
+  let ks =
+    List.sort_uniq compare
+      (List.map (fun (i : X86.Inst.t) -> Uarch.Flat.class_of i.opcode) block)
+  in
+  List.iter
+    (fun k ->
+      Codec.int buf k;
+      if k < 0 then add_profile buf p (* unmodelled opcode: whole profile *)
+      else begin
+        Codec.str buf (Uarch.Flat.encode_class f k);
+        if f.variant.(k) then
+          Codec.str buf
+            (Uarch.Overlay.variant_signature p Uarch.Flat.classes.(k));
+        if f.int_div.(k) then Codec.str buf (Uarch.Flat.encode_int_div f)
+      end)
+    ks;
+  Store.Sha256.hex (Buffer.contents buf)
+
+(** 64-char hex digest of a canonical overlay encoding — the identity
+    of a refinement candidate's patch, journaled with every search step. *)
+let overlay_digest (o : Uarch.Overlay.t) = Store.Sha256.hex (Uarch.Overlay.encode o)

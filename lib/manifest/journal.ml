@@ -32,7 +32,18 @@ type entry = {
 
 type sink = Disk of Store.Jsonl.t | Memory
 
-type t = { sink : sink; mutable entries : entry list (* reverse order *) }
+type t = {
+  sink : sink;
+  mutable entries : entry list;  (* reverse order *)
+  mutable extras : Json.t list;  (* reverse order; typed extra records *)
+}
+
+(* Record types a journal recognises as its own structure; anything
+   else appended through [add_extra] (refinement steps, summaries of
+   resumable sub-searches) is carried verbatim in [extras]. *)
+let structural = function
+  | Some "run" | Some "section_start" | Some "section_end" -> true
+  | _ -> false
 
 let num i = Json.Number (float_of_int i)
 let int_field name j = Option.map int_of_float (Option.bind (Json.member name j) Json.number)
@@ -84,7 +95,7 @@ let header_json manifest_id =
   Json.Object
     [ ("type", Json.String "run"); ("manifest_id", Json.String manifest_id) ]
 
-let memory () = { sink = Memory; entries = [] }
+let memory () = { sink = Memory; entries = []; extras = [] }
 
 let open_ ?(fresh = false) ~manifest_id path =
   let valid line = Result.is_ok (Json.parse line) in
@@ -96,7 +107,7 @@ let open_ ?(fresh = false) ~manifest_id path =
     | [] ->
       Store.Jsonl.append file
         (Json.to_string ~compact:true (header_json manifest_id));
-      Ok { sink = Disk file; entries = [] }
+      Ok { sink = Disk file; entries = []; extras = [] }
     | header :: rest ->
       (match (str_field "type" header, str_field "manifest_id" header) with
       | Some "run", Some id when id = manifest_id ->
@@ -108,7 +119,10 @@ let open_ ?(fresh = false) ~manifest_id path =
               | _ -> None)
             rest
         in
-        Ok { sink = Disk file; entries = List.rev entries }
+        let extras =
+          List.filter (fun r -> not (structural (str_field "type" r))) rest
+        in
+        Ok { sink = Disk file; entries = List.rev entries; extras = List.rev extras }
       | Some "run", Some id ->
         Store.Jsonl.close file;
         Error
@@ -146,6 +160,24 @@ let section_start t ~index ~section =
 let add t entry =
   t.entries <- entry :: t.entries;
   append_json t (entry_to_json entry)
+
+(* Typed extra records (e.g. [refine_step]); appended durably and
+   visible to [extras] immediately, so in-memory journals behave like
+   reopened disk ones. The record must carry a "type" field that is
+   none of the journal's own. *)
+let add_extra t j =
+  (match str_field "type" j with
+  | Some ty when not (structural (Some ty)) -> ()
+  | _ -> invalid_arg "Journal.add_extra: record needs a non-structural type");
+  t.extras <- j :: t.extras;
+  append_json t j
+
+(** All extra records in append order, optionally filtered by "type". *)
+let extras ?type_ t =
+  let all = List.rev t.extras in
+  match type_ with
+  | None -> all
+  | Some ty -> List.filter (fun r -> str_field "type" r = Some ty) all
 
 let close t = match t.sink with Memory -> () | Disk file -> Store.Jsonl.close file
 

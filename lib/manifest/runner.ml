@@ -73,6 +73,11 @@ type outcome = {
 type ctx = {
   spec : Spec.t;
   engine : Engine.t;
+  journal : Journal.t;
+  progress : (done_:int -> total:int -> unit) option;
+      (* the run's kill/progress hook; sections that build their own
+         engines (refine) must install it there too, or
+         [kill_after_jobs] could never land inside them *)
   env : Harness.Environment.t;
   config : Corpus.Suite.config;
   suite : Corpus.Block.t list Lazy.t;
@@ -84,7 +89,7 @@ type ctx = {
   evals : (string * Bhive.Validation.eval list) list Lazy.t;
 }
 
-let make_ctx (spec : Spec.t) engine =
+let make_ctx (spec : Spec.t) engine journal progress =
   let config =
     let d = Corpus.Suite.default_config in
     {
@@ -112,6 +117,8 @@ let make_ctx (spec : Spec.t) engine =
   {
     spec;
     engine;
+    journal;
+    progress;
     env;
     config;
     suite;
@@ -484,7 +491,55 @@ let sec_profile ctx fmt ~asm ~uarch:short ~with_models ~schedule =
       ]
   end
 
-let exec_section ctx fmt (kind : Spec.kind) =
+(* Descriptor refinement (lib/refine): perturb the reference table with
+   the pinned seed, then search the repair. Every candidate evaluation
+   is journaled through [Journal.add_extra] tagged with the section
+   name; a resumed run feeds those records back as [prior_steps], so a
+   kill mid-search replays the already-evaluated prefix verbatim and
+   continues from there. The finished search's summary object is also
+   journaled ([refine_summary]) so the run summary can carry it even
+   when this section itself is replayed. *)
+let sec_refine ctx fmt ~name ~uarch:short ~seed ~edits ~target_error ~max_evals =
+  let reference = uarch_exn short in
+  let corpus =
+    List.map (fun (b : Corpus.Block.t) -> b.insts) (Lazy.force ctx.suite)
+  in
+  let broken, truth = Refine.Perturb.break ~seed ~edits reference in
+  Format.fprintf fmt "perturb %s: seed=%Ld edits=%d -> %s@."
+    reference.Uarch.Descriptor.short seed edits
+    (Uarch.Overlay.to_string truth);
+  let prior_steps =
+    List.filter
+      (fun j ->
+        Option.bind (Json.member "section" j) Json.string_value = Some name)
+      (Journal.extras ~type_:"refine_step" ctx.journal)
+  in
+  let record_step j =
+    match j with
+    | Json.Object fields ->
+      Journal.add_extra ctx.journal
+        (Json.Object (fields @ [ ("section", Json.String name) ]))
+    | _ -> ()
+  in
+  let r =
+    Refine.Driver.run ~jobs:(Engine.jobs ctx.engine)
+      ?store:(Engine.store ctx.engine) ?progress:ctx.progress ~record_step
+      ~prior_steps ~truth ~env:ctx.env ~reference
+      ~start:broken.Uarch.Descriptor.profile ~corpus
+      { Refine.Driver.target_error; max_evals }
+  in
+  Format.pp_print_string fmt (Refine.Driver.report r);
+  Format.pp_print_flush fmt ();
+  match Refine.Driver.summary_json ~truth r with
+  | Json.Object fields ->
+    Journal.add_extra ctx.journal
+      (Json.Object
+         (("type", Json.String "refine_summary")
+         :: ("section", Json.String name)
+         :: fields))
+  | _ -> ()
+
+let exec_section ctx fmt ~name (kind : Spec.kind) =
   match kind with
   | Spec.Corpus_load -> sec_corpus ctx fmt
   | Spec.Corpus_dump { variant; app; limit; freq } ->
@@ -520,6 +575,8 @@ let exec_section ctx fmt (kind : Spec.kind) =
   | Spec.Speed -> sec_speed ctx fmt
   | Spec.Profile { asm; uarch; with_models; schedule } ->
     sec_profile ctx fmt ~asm ~uarch ~with_models ~schedule
+  | Spec.Refine { uarch; seed; edits; target_error; max_evals } ->
+    sec_refine ctx fmt ~name ~uarch ~seed ~edits ~target_error ~max_evals
 
 (* ------------------------------------------------------------------ *)
 (* Summary (schema v5)                                                 *)
@@ -546,7 +603,7 @@ let section_json jobs (e : Journal.entry) =
     ]
 
 let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
-    engine sections =
+    ?refine engine sections =
   let rev =
     match Sys.getenv_opt "BHIVE_REV" with
     | Some r when String.trim r <> "" -> String.trim r
@@ -593,7 +650,7 @@ let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
         ]
     in
     Json.Object
-      (("schema_version", Json.Number 8.0)
+      (("schema_version", Json.Number 9.0)
       :: ("scale", Json.Number (float_of_int spec.corpus.scale))
       :: ("rev", Json.String rev)
       :: ("name", Json.String spec.name)
@@ -605,8 +662,9 @@ let summary_json ~(spec : Spec.t) ~manifest_id ~experiment_id ~journal_digest
                ("journal", Json.String journal_digest);
              ] )
       :: (fields
+         @ [ ("perf", perf) ]
+         @ (match refine with Some r -> [ ("refine", r) ] | None -> [])
          @ [
-             ("perf", perf);
              ("sections", Json.List sections_json);
              ("telemetry", Telemetry.Metrics.snapshot ());
            ]))
@@ -667,7 +725,7 @@ let run ?(overrides = no_overrides) ?(fresh = false) ?max_sections
   Fun.protect
     ~finally:(fun () -> Journal.close journal)
     (fun () ->
-      let ctx = make_ctx spec engine in
+      let ctx = make_ctx spec engine journal progress in
       let replayed = ref 0 and executed = ref 0 in
       let interrupted = ref false in
       List.iteri
@@ -690,7 +748,8 @@ let run ?(overrides = no_overrides) ?(fresh = false) ?max_sections
               let t0 = Unix.gettimeofday () in
               let buf = Buffer.create 4096 in
               let bfmt = Format.formatter_of_buffer buf in
-              Engine.phase engine name (fun () -> exec_section ctx bfmt s.kind);
+              Engine.phase engine name (fun () ->
+                  exec_section ctx bfmt ~name s.kind);
               Format.pp_print_flush bfmt ();
               let output = Buffer.contents buf in
               let wall = Unix.gettimeofday () -. t0 in
@@ -768,9 +827,23 @@ let run ?(overrides = no_overrides) ?(fresh = false) ?max_sections
               (fun (a : Journal.entry) b -> compare a.e_index b.e_index)
               (Journal.entries journal)
           in
+          (* the last refine_summary record wins: the journal carries
+             one per completed refine section, and a replayed section
+             re-uses the record its original execution appended *)
+          let refine =
+            match
+              List.rev (Journal.extras ~type_:"refine_summary" journal)
+            with
+            | [] -> None
+            | Json.Object fields :: _ ->
+              Some
+                (Json.Object
+                   (List.filter (fun (k, _) -> k <> "type") fields))
+            | j :: _ -> Some j
+          in
           let summary =
             summary_json ~spec ~manifest_id ~experiment_id
-              ~journal_digest:digest engine ordered
+              ~journal_digest:digest ?refine engine ordered
           in
           Out_channel.with_open_text path (fun oc ->
               Out_channel.output_string oc (Json.to_string summary);

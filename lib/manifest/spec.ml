@@ -85,6 +85,13 @@ type kind =
       with_models : bool;
       schedule : bool;
     }
+  | Refine of {
+      uarch : string;
+      seed : int64;  (** perturbation seed ([Refine.Perturb]) *)
+      edits : int;  (** perturbed table entries to recover *)
+      target_error : float;  (** stop when mean error drops below this *)
+      max_evals : int;  (** candidate-evaluation budget *)
+    }
 
 type section = { label : string option; kind : kind }
 
@@ -166,6 +173,7 @@ let kind_name = function
   | Ablation_noise -> "ablation-noise"
   | Speed -> "speed"
   | Profile _ -> "profile"
+  | Refine { uarch; _ } -> "refine-" ^ uarch
 
 let section_name s =
   match s.label with Some l -> l | None -> kind_name s.kind
@@ -288,6 +296,13 @@ let add_kind buf = function
     Codec.str buf uarch;
     Codec.bool buf with_models;
     Codec.bool buf schedule
+  | Refine { uarch; seed; edits; target_error; max_evals } ->
+    Codec.u8 buf 21;
+    Codec.str buf uarch;
+    Codec.i64 buf seed;
+    Codec.int buf edits;
+    Codec.float buf target_error;
+    Codec.int buf max_evals
 
 let add_section buf s =
   Codec.option buf Codec.str s.label;
@@ -351,6 +366,7 @@ let kind_tag = function
   | Ablation_noise -> "ablation-noise"
   | Speed -> "speed"
   | Profile _ -> "profile"
+  | Refine _ -> "refine"
 
 let num i = Json.Number (float_of_int i)
 
@@ -373,6 +389,14 @@ let section_to_json s =
       [ ("uarch", Json.String uarch); ("asm", Json.String asm) ]
       @ (if with_models then [ ("models", Json.Bool true) ] else [])
       @ if schedule then [ ("schedule", Json.Bool true) ] else []
+    | Refine { uarch; seed; edits; target_error; max_evals } ->
+      [
+        ("uarch", Json.String uarch);
+        ("seed", Json.Number (Int64.to_float seed));
+        ("edits", num edits);
+        ("target_error", Json.Number target_error);
+        ("max_evals", num max_evals);
+      ]
     | _ -> []
   in
   Json.Object
@@ -486,6 +510,17 @@ let section_of_json j =
           uarch = uarch ();
           with_models = Option.value ~default:false (bool_field "models" j);
           schedule = Option.value ~default:false (bool_field "schedule" j);
+        }
+    | "refine" ->
+      Refine
+        {
+          uarch = uarch ();
+          seed =
+            Int64.of_float (require "section seed" (num_field "seed" j));
+          edits = Option.value ~default:2 (int_field "edits" j);
+          target_error =
+            Option.value ~default:0.05 (num_field "target_error" j);
+          max_evals = Option.value ~default:200 (int_field "max_evals" j);
         }
     | k -> fail "manifest: unknown section kind %S" k
   in
@@ -669,6 +704,22 @@ let validate t =
       | Error e -> err "section %s: parse error: %s" name e
       | Ok [] -> err "section %s: empty block" name
       | Ok _ -> Ok ())
+    | Refine { uarch; edits; target_error; max_evals; _ } ->
+      let* () = check_uarch ("section " ^ name) uarch in
+      let* () =
+        if List.mem uarch resolved_shorts then Ok ()
+        else err "section %s: uarch %s is not in the manifest's uarch set" name uarch
+      in
+      let* () =
+        if edits >= 1 then Ok ()
+        else err "section %s: edits must be >= 1" name
+      in
+      let* () =
+        if target_error > 0.0 then Ok ()
+        else err "section %s: target_error must be > 0" name
+      in
+      if max_evals >= 1 then Ok ()
+      else err "section %s: max_evals must be >= 1" name
     | _ -> Ok ()
   in
   let* () = all (List.map check_section t.sections) in

@@ -1,24 +1,34 @@
-(** Deterministic per-opcode table perturbation.
+(** Deterministic per-entry table perturbation.
 
     Every real analyzer carries idiosyncratic table errors — latencies
     scraped from the wrong manual row, stale entries for new
     microarchitectures, missed special cases. We reproduce this as a
-    deterministic perturbation keyed on (model seed, opcode form): a
-    fixed fraction of opcode forms get their latency scaled by a fixed,
-    reproducible factor. *)
+    deterministic perturbation keyed on (model seed, entry name): a
+    fixed fraction of entries get their value scaled by a fixed,
+    reproducible factor.
+
+    The core combinators are keyed by an arbitrary entry *name* so both
+    consumers share one noise source: the static models perturb
+    per-opcode-form tables (keyed by mnemonic), and [lib/refine]'s
+    [--perturb] breaks descriptor entries (keyed by overlay target
+    name). The opcode versions are thin wrappers and produce bit-equal
+    draws to the named versions on the mnemonic. *)
 
 open X86
 
-(* Stable hash of an opcode form under a model seed. *)
-let hash ~seed (op : Opcode.t) =
+(* Stable hash of a named table entry under a model seed. *)
+let hash_name ~seed name =
   Bstats.Rng.next_u64
-    (Bstats.Rng.create (Int64.add seed (Bstats.Rng.seed_of_string (Opcode.mnemonic op))))
+    (Bstats.Rng.create (Int64.add seed (Bstats.Rng.seed_of_string name)))
 
-(* Perturbed latency: a [fraction] of opcodes are off by up to
+let hash ~seed (op : Opcode.t) = hash_name ~seed (Opcode.mnemonic op)
+
+let u01 bits = Int64.to_float (Int64.logand bits 0xFFFFFFL) /. 16777216.0
+
+(* Perturbed latency: a [fraction] of entries are off by up to
    [amplitude] (relative), half of them low, half high. *)
-let latency ~seed ~fraction ~amplitude (op : Opcode.t) (latency : int) =
-  let h = hash ~seed op in
-  let u01 bits = Int64.to_float (Int64.logand bits 0xFFFFFFL) /. 16777216.0 in
+let latency_named ~seed ~fraction ~amplitude name (latency : int) =
+  let h = hash_name ~seed name in
   let select = u01 h in
   if select >= fraction then latency
   else begin
@@ -28,11 +38,13 @@ let latency ~seed ~fraction ~amplitude (op : Opcode.t) (latency : int) =
     max 1 (int_of_float (Float.round scaled))
   end
 
+let latency ~seed ~fraction ~amplitude (op : Opcode.t) lat =
+  latency_named ~seed ~fraction ~amplitude (Opcode.mnemonic op) lat
+
 (* Multiplicative float cost scale in [1-amplitude/2, 1+amplitude],
    for models whose costs are fractional reciprocal throughputs. *)
-let scale ~seed ~fraction ~amplitude (op : Opcode.t) =
-  let h = hash ~seed:(Int64.add seed 53L) op in
-  let u01 bits = Int64.to_float (Int64.logand bits 0xFFFFFFL) /. 16777216.0 in
+let scale_named ~seed ~fraction ~amplitude name =
+  let h = hash_name ~seed:(Int64.add seed 53L) name in
   if u01 h >= fraction then 1.0
   else begin
     let magnitude = u01 (Int64.shift_right_logical h 24) in
@@ -41,23 +53,30 @@ let scale ~seed ~fraction ~amplitude (op : Opcode.t) =
     else Float.max 0.2 (1.0 -. (magnitude *. amplitude /. 2.0))
   end
 
-(* Whether this model's table charges an extra micro-op for the opcode
+let scale ~seed ~fraction ~amplitude (op : Opcode.t) =
+  scale_named ~seed ~fraction ~amplitude (Opcode.mnemonic op)
+
+(* Whether this model's table charges an extra micro-op for the entry
    (a mis-split table entry): this perturbs pure throughput, which
    latency noise alone cannot. *)
-let extra_uop ~seed ~fraction (op : Opcode.t) =
-  let h = hash ~seed:(Int64.add seed 101L) op in
-  let u01 = Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777216.0 in
-  u01 < fraction
+let extra_uop_named ~seed ~fraction name =
+  let h = hash_name ~seed:(Int64.add seed 101L) name in
+  u01 h < fraction
 
-(* Whether this model's table drops one of the opcode's alternative ports
+let extra_uop ~seed ~fraction (op : Opcode.t) =
+  extra_uop_named ~seed ~fraction (Opcode.mnemonic op)
+
+(* Whether this model's table drops one of the entry's alternative ports
    (modelling an incomplete port mapping). *)
-let drop_port ~seed ~fraction (op : Opcode.t) (ports : Uarch.Port.set) =
-  let h = hash ~seed:(Int64.add seed 17L) op in
-  let u01 = Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777216.0 in
-  if u01 >= fraction then ports
+let drop_port_named ~seed ~fraction name (ports : Uarch.Port.set) =
+  let h = hash_name ~seed:(Int64.add seed 17L) name in
+  if u01 h >= fraction then ports
   else
     match Uarch.Port.to_list ports with
     | [] | [ _ ] -> ports
     | p :: rest ->
       ignore p;
       Uarch.Port.of_list rest
+
+let drop_port ~seed ~fraction (op : Opcode.t) ports =
+  drop_port_named ~seed ~fraction (Opcode.mnemonic op) ports

@@ -1,0 +1,150 @@
+(** Discrepancy localization: from per-block error and per-port counter
+    deltas to a ranked list of suspect table entries.
+
+    CounterPoint's observation, transplanted: when a candidate
+    descriptor disagrees with the reference measurement, the *shape* of
+    the disagreement — which blocks err, and which ports' busy-cycle
+    counters moved — points at the table entries responsible. For each
+    overlay target we know (a) which opcode classes its entry feeds
+    (flat-row probe diff for invariant classes, the {!Uarch.Overlay}
+    dependency map for variant ones) and (b) which execution ports it
+    steers uops to. A target's score accumulates, over every measured
+    block, the block's relative error weighted by how many of its
+    instructions the target can influence and by how much of the
+    block's port-counter delta lands on the target's ports. The ranking
+    is a heuristic — the search driver will happily reject a
+    mis-ranked suspect — but a good ranking is what keeps the eval
+    budget small. *)
+
+(* Per-target influence: affected opcode classes + whether the entry
+   sits in the load/store section every memory block reads. *)
+type effect_ = { eff_classes : bool array; eff_mem : bool }
+
+let probe_value (d : Uarch.Descriptor.t) (t : Uarch.Overlay.target) =
+  let cur = Uarch.Overlay.get d.profile t in
+  match t with
+  | Uarch.Overlay.Lat _ -> cur + 1
+  | Uarch.Overlay.Ports _ ->
+    let mask = (1 lsl d.n_ports) - 1 in
+    if cur = mask then 1 else mask
+  | Uarch.Overlay.Uops _ -> if cur = 1 then 2 else 1
+
+(* Which classes a target's entry can influence, computed against the
+   candidate profile by diffing flat table rows under a probe edit.
+   Variant classes have no precomputed row; they use the shared
+   dependency map (the same one block generations hash). *)
+let effect_of (d : Uarch.Descriptor.t) (t : Uarch.Overlay.target) : effect_ =
+  let p = d.profile in
+  let f = Uarch.Descriptor.flat d in
+  let p' = Uarch.Overlay.set p t (probe_value d t) in
+  let f' = Uarch.Flat.of_profile p' ~n_ports:d.n_ports in
+  let classes = Array.make Uarch.Flat.n_classes false in
+  for k = 0 to Uarch.Flat.n_classes - 1 do
+    if f.Uarch.Flat.variant.(k) then
+      classes.(k) <-
+        List.mem t (Uarch.Overlay.variant_reads Uarch.Flat.classes.(k))
+    else if
+      Uarch.Flat.encode_class f k <> Uarch.Flat.encode_class f' k
+    then classes.(k) <- true
+  done;
+  let eff_mem =
+    f.Uarch.Flat.load_code <> f'.Uarch.Flat.load_code
+    || f.Uarch.Flat.store_addr_code <> f'.Uarch.Flat.store_addr_code
+    || f.Uarch.Flat.store_data_code <> f'.Uarch.Flat.store_data_code
+    || f.Uarch.Flat.load_bytes <> f'.Uarch.Flat.load_bytes
+    || f.Uarch.Flat.store_bytes <> f'.Uarch.Flat.store_bytes
+  in
+  { eff_classes = classes; eff_mem }
+
+(** One measured block's disagreement between reference and candidate. *)
+type block_delta = {
+  bd_error : float;  (** relative throughput error, 1.0 if cand failed *)
+  bd_port_delta : float array;  (** |Δ busy cycles| per execution port *)
+}
+
+let targets (d : Uarch.Descriptor.t) =
+  List.filter (Perturb.applicable d) Uarch.Overlay.all
+
+(** Ranked suspects: positive-score targets, best first; ties broken by
+    target code so the order is total and deterministic. *)
+let rank ~(cand : Uarch.Descriptor.t) ~(corpus : X86.Inst.t list list)
+    ~(deltas : block_delta array) : (Uarch.Overlay.target * float) list =
+  let blocks = Array.of_list corpus in
+  let n_blocks = Array.length blocks in
+  if Array.length deltas <> n_blocks then
+    invalid_arg "Localize.rank: corpus / deltas length mismatch";
+  (* per block: class occurrence counts + memory-instruction count *)
+  let occ = Array.make n_blocks [||] in
+  let mem_insts = Array.make n_blocks 0 in
+  Array.iteri
+    (fun b insts ->
+      let counts = Array.make (Uarch.Flat.n_classes + 1) 0 in
+      List.iter
+        (fun (i : X86.Inst.t) ->
+          let k = Uarch.Flat.class_of i.opcode in
+          let k = if k < 0 then Uarch.Flat.n_classes else k in
+          counts.(k) <- counts.(k) + 1;
+          if X86.Inst.mem_accesses i <> [] then
+            mem_insts.(b) <- mem_insts.(b) + 1)
+        insts;
+      occ.(b) <- counts)
+    blocks;
+  let scored =
+    List.map
+      (fun t ->
+        let eff = effect_of cand t in
+        let fp = Uarch.Overlay.port_footprint cand.profile t in
+        (* Correlation between the error profile and the target's touch
+           profile, not raw error mass: a broad entry (plain ALU) feeds
+           every block including the many that agree perfectly, so
+           normalising by the touch vector's norm demotes it below a
+           narrow entry whose touched blocks are exactly the erring
+           ones. *)
+        let dot = ref 0.0 and norm2 = ref 0.0 in
+        for b = 0 to n_blocks - 1 do
+          let d = deltas.(b) in
+          let touched = ref 0 in
+          Array.iteri
+            (fun k c -> if k < Uarch.Flat.n_classes && eff.eff_classes.(k) then touched := !touched + c)
+            occ.(b);
+          (* unmodelled opcodes can depend on anything *)
+          touched := !touched + occ.(b).(Uarch.Flat.n_classes);
+          if eff.eff_mem then touched := !touched + mem_insts.(b);
+          if !touched > 0 then begin
+            (* port alignment: share of the block's busy-cycle delta
+               landing on this entry's ports, in [1, 2) *)
+            let on_fp = ref 0.0 and total = ref 0.0 in
+            Array.iteri
+              (fun q v ->
+                total := !total +. v;
+                if fp land (1 lsl q) <> 0 then on_fp := !on_fp +. v)
+              d.bd_port_delta;
+            let align = 1.0 +. (!on_fp /. (1.0 +. !total)) in
+            let feat = float_of_int !touched *. align in
+            dot := !dot +. (d.bd_error *. feat);
+            norm2 := !norm2 +. (feat *. feat)
+          end
+        done;
+        let score = if !norm2 > 0.0 then !dot /. sqrt !norm2 else 0.0 in
+        (t, score))
+      (targets cand)
+  in
+  scored
+  |> List.filter (fun (_, s) -> s > 0.0)
+  |> List.sort (fun (ta, sa) (tb, sb) ->
+         match compare sb sa with
+         | 0 -> compare (Uarch.Overlay.code ta) (Uarch.Overlay.code tb)
+         | c -> c)
+
+(** Localization precision: of the |truth| top-ranked suspects, the
+    fraction that are genuinely perturbed entries. 1.0 when there is
+    nothing to find. *)
+let precision ~(suspects : Uarch.Overlay.target list)
+    ~(truth : Uarch.Overlay.target list) =
+  let k = List.length truth in
+  if k = 0 then 1.0
+  else begin
+    let top = List.filteri (fun i _ -> i < k) suspects in
+    let hits = List.length (List.filter (fun t -> List.mem t truth) top) in
+    float_of_int hits /. float_of_int k
+  end

@@ -1,0 +1,71 @@
+(** Deterministic descriptor breakage: the refinement loop's starting
+    point.
+
+    [--perturb seed=S,edits=N] picks [N] distinct overlay targets and
+    perturbed values as a pure function of (seed, target name), through
+    the shared {!Models.Table_noise} source (the same noise the static
+    models use for their table errors). The result is the *truth*
+    overlay: applying it to a reference descriptor produces the broken
+    candidate, and the localizer's precision is scored against its
+    target set. *)
+
+let amplitude = 0.6
+
+(* The perturbed value for one target. Guaranteed to differ from the
+   current entry and to stay valid: latencies >= 1, port sets
+   non-empty within the machine's ports, uop counts toggled 1<->2. *)
+let value ~seed (d : Uarch.Descriptor.t) (t : Uarch.Overlay.target) =
+  let n = Uarch.Overlay.name t in
+  let cur = Uarch.Overlay.get d.profile t in
+  match t with
+  | Uarch.Overlay.Lat _ ->
+    let v =
+      Models.Table_noise.latency_named ~seed ~fraction:1.0 ~amplitude n cur
+    in
+    if v = cur then cur + 1 else v
+  | Uarch.Overlay.Ports _ ->
+    let v = Models.Table_noise.drop_port_named ~seed ~fraction:1.0 n cur in
+    if v <> cur then v
+    else begin
+      (* single-candidate-port entry: add the lowest absent port *)
+      let rec add q =
+        if q >= d.n_ports then cur lor 1
+        else if cur land (1 lsl q) = 0 then cur lor (1 lsl q)
+        else add (q + 1)
+      in
+      add 0
+    end
+  | Uarch.Overlay.Uops _ -> if cur = 1 then 2 else 1
+
+(* Applicability: perturbing an entry the descriptor never reads (Ivy
+   Bridge has no FMA unit) would be unrecoverable noise. *)
+let applicable (d : Uarch.Descriptor.t) = function
+  | Uarch.Overlay.Lat Uarch.Overlay.L_fp_fma -> d.profile.fp_fma <> None
+  | _ -> true
+
+(** The truth overlay for (seed, edits): targets ranked by their
+    per-name hash draw, the first [edits] applicable ones perturbed. *)
+let overlay ~seed ~edits (d : Uarch.Descriptor.t) : Uarch.Overlay.t =
+  let ranked =
+    Uarch.Overlay.all
+    |> List.filter (applicable d)
+    |> List.map (fun t ->
+           (Models.Table_noise.hash_name ~seed (Uarch.Overlay.name t), t))
+    |> List.sort (fun (a, ta) (b, tb) ->
+           match Int64.unsigned_compare a b with
+           | 0 -> compare (Uarch.Overlay.code ta) (Uarch.Overlay.code tb)
+           | c -> c)
+    |> List.map snd
+  in
+  let chosen = List.filteri (fun i _ -> i < edits) ranked in
+  Uarch.Overlay.canonical
+    (List.map
+       (fun t -> { Uarch.Overlay.target = t; value = value ~seed d t })
+       chosen)
+
+(** The broken descriptor: reference with the truth overlay applied.
+    Identity fields are untouched — callers rename [short] themselves
+    when they need disjoint store keys. *)
+let break ~seed ~edits (d : Uarch.Descriptor.t) : Uarch.Descriptor.t * Uarch.Overlay.t =
+  let truth = overlay ~seed ~edits d in
+  ({ d with profile = Uarch.Overlay.apply d.profile truth }, truth)

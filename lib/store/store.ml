@@ -927,6 +927,35 @@ let fold t ~init ~f =
   List.fold_left (fun acc (key, gen, payload) -> f acc ~key ~gen payload) init
     all
 
+type gen_stats = { g_gen : string; g_live : int; g_bytes : int }
+
+(* Live records grouped by generation fingerprint, heaviest first. With
+   block-sensitive generations (descriptor refinement) this is the
+   per-candidate invalidation footprint: how many records each
+   generation keeps warm and what they weigh. Payload bytes come from
+   the index entries — no payload reads. *)
+let gen_stats t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun sh ->
+      with_lock sh.lock (fun () ->
+          Hashtbl.iter
+            (fun _ e ->
+              let live, bytes =
+                Option.value (Hashtbl.find_opt tbl e.e_gen) ~default:(0, 0)
+              in
+              Hashtbl.replace tbl e.e_gen (live + 1, bytes + e.e_len))
+            sh.index))
+    t.shards;
+  Hashtbl.fold
+    (fun gen (live, bytes) acc ->
+      { g_gen = gen; g_live = live; g_bytes = bytes } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.g_live a.g_live with
+         | 0 -> compare a.g_gen b.g_gen
+         | c -> c)
+
 type shard_stats = {
   ss_shard : int;
   ss_live : int;

@@ -88,6 +88,17 @@ val put : t -> key:string -> gen:string -> string -> bool
 (** Iterate live records in deterministic (key-sorted) order. *)
 val fold : t -> init:'a -> f:('a -> key:string -> gen:string -> string -> 'a) -> 'a
 
+type gen_stats = {
+  g_gen : string;  (** generation fingerprint *)
+  g_live : int;  (** live records stored under it *)
+  g_bytes : int;  (** their summed payload bytes *)
+}
+
+(** Live records grouped by generation, heaviest (most live records)
+    first; ties broken by fingerprint. With block-sensitive generations
+    this is the per-candidate invalidation footprint. *)
+val gen_stats : t -> gen_stats list
+
 type shard_stats = {
   ss_shard : int;
   ss_live : int;

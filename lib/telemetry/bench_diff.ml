@@ -134,6 +134,27 @@ let rec strip_volatile (j : Json.t) : Json.t =
   | Json.List items -> Json.List (List.map strip_volatile items)
   | other -> other
 
+(* Identity at the top level is an allowlist, not a blocklist: exactly
+   the fields that define the experiment and its deterministic output.
+   Any other top-level object — the [refine] summary with its
+   resume-dependent store rates, or a future schema's addition an older
+   gate has never heard of — is volatile for the identity check; its
+   absolute invariants get explicit gates instead. (Below the top
+   level the blocklist above still applies: section objects mix
+   deterministic digests with volatile timings.) *)
+let identity_keys = [ "schema_version"; "scale"; "name"; "manifest"; "sections" ]
+
+let strip_top (j : Json.t) : Json.t =
+  match j with
+  | Json.Object kvs ->
+    Json.Object
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k identity_keys then Some (k, strip_volatile v)
+           else None)
+         kvs)
+  | other -> strip_volatile other
+
 (* Structural diff of the stripped trees; collects dotted paths of the
    first [limit] mismatches. *)
 let diff_paths ~limit a b =
@@ -187,7 +208,8 @@ let manifest_field doc name =
 
 let compare_summaries ?(thresholds = default_thresholds)
     ?(require_identical = false) ?min_store_hit_rate ?min_speedup
-    ?min_coalesce ?max_p99_ms ?min_rps ~baseline ~current () =
+    ?min_coalesce ?max_p99_ms ?min_rps ?max_refine_error
+    ?min_refine_hit_rate ~baseline ~current () =
   let t = thresholds in
   (* Same experiment? Two summaries with different experiment ids were
      produced by manifests that measure different things — comparing
@@ -516,10 +538,71 @@ let compare_summaries ?(thresholds = default_thresholds)
              gate tail latency";
         }
         :: !acc));
+  (* descriptor refinement (schema v9, the [refine] summary object):
+     absolute gates on the search outcome. The refine numbers only
+     exist from schema v9 on, so either flag on an older summary is a
+     clean failure — the same refusal the schema floor applies to
+     pre-v5 documents, just stated per-gate. *)
+  let refine_num doc name =
+    Option.bind (Json.path [ "refine"; name ] doc) Json.number
+  in
+  let refine_gate ~metric ~limit ~field ~violated ~detail =
+    match num_field "schema_version" current with
+    | Some v when v >= 9.0 -> (
+      match refine_num current field with
+      | Some c ->
+        acc :=
+          check ~severity:Regression ~metric ~baseline:limit ~current:c ~limit
+            ~violated:(violated c) ~detail !acc
+      | None ->
+        acc :=
+          {
+            severity = Regression;
+            metric;
+            baseline = limit;
+            current = 0.0;
+            limit;
+            detail =
+              "refine object missing from the current summary (manifest has \
+               no refine section?) — cannot gate refinement";
+          }
+          :: !acc)
+    | _ ->
+      acc :=
+        {
+          severity = Regression;
+          metric;
+          baseline = limit;
+          current = 0.0;
+          limit;
+          detail =
+            "refine gates require a schema v9 summary — regenerate it with \
+             the current harness";
+        }
+        :: !acc
+  in
+  (match max_refine_error with
+  | None -> ()
+  | Some ceiling ->
+    refine_gate ~metric:"refine.final_error" ~limit:ceiling
+      ~field:"final_error"
+      ~violated:(fun c -> c > ceiling)
+      ~detail:
+        "refinement final error above ceiling (the search failed to recover \
+         the descriptor)");
+  (match min_refine_hit_rate with
+  | None -> ()
+  | Some floor ->
+    refine_gate ~metric:"refine.store_hit_rate" ~limit:floor
+      ~field:"store_hit_rate"
+      ~violated:(fun c -> c < floor)
+      ~detail:
+        "candidate evaluations re-simulated too many blocks (incremental \
+         re-simulation through block generations regressed)");
   (* identical mode: after stripping volatile fields, the two summaries
      must be structurally equal — the warm-run byte-identity gate *)
   if require_identical then begin
-    let a = strip_volatile baseline and b = strip_volatile current in
+    let a = strip_top baseline and b = strip_top current in
     if a = b then
       acc :=
         check ~severity:Regression ~metric:"identical" ~baseline:0.0

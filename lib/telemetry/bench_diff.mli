@@ -70,6 +70,14 @@ type report = { findings : finding list; verdict : verdict }
     must be byte-identical between a cold and a warm run. *)
 val strip_volatile : Json.t -> Json.t
 
+(** What [?require_identical] actually compares: at the top level only
+    an allowlist of identity-defining fields survives ([schema_version],
+    [scale], [name], [manifest], [sections]) — an unknown extra
+    top-level object (the schema-v9 [refine] summary, or anything a
+    future schema adds) is volatile rather than a mismatch — and below
+    the top level {!strip_volatile} applies. *)
+val strip_top : Json.t -> Json.t
+
 (** [compare_summaries ?thresholds ?require_identical
     ?min_store_hit_rate ~baseline ~current ()].
 
@@ -110,7 +118,15 @@ val strip_volatile : Json.t -> Json.t
     baseline's. Like [?min_speedup], a baseline that cannot anchor the
     ratio — a zero value, a missing field, or no [serving] object at
     all in either summary — fails cleanly rather than passing
-    silently. *)
+    silently.
+
+    [?max_refine_error] and [?min_refine_hit_rate] gate the
+    descriptor-refinement summary (schema v9, the top-level [refine]
+    object): the search's [final_error] must not exceed the ceiling,
+    and its cross-eval [store_hit_rate] — the incremental
+    re-simulation measure — must reach the floor. Either flag against
+    a pre-v9 summary, or a v9 summary without a [refine] object, fails
+    cleanly. *)
 val compare_summaries :
   ?thresholds:thresholds ->
   ?require_identical:bool ->
@@ -119,6 +135,8 @@ val compare_summaries :
   ?min_coalesce:float ->
   ?max_p99_ms:float ->
   ?min_rps:float ->
+  ?max_refine_error:float ->
+  ?min_refine_hit_rate:float ->
   baseline:Json.t -> current:Json.t -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit

@@ -211,6 +211,35 @@ let is_int_div t (op : Opcode.t) =
 
 (* --- canonical encoding (for fingerprinting) --------------------------- *)
 
+(** One table row: packed uop codes of an invariant class (or its
+    [variant] marker) plus the divider flags. Shared between the full
+    {!encode} and the engine's block-sensitive generation fingerprints,
+    which hash exactly the rows a block's opcode classes use. *)
+let encode_class t k =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "%d:%s:" k (Opcode.mnemonic classes.(k)));
+  if t.variant.(k) then Buffer.add_string b "variant"
+  else begin
+    Buffer.add_string b (Printf.sprintf "n=%d" t.skel_n_uops.(k));
+    Array.iter
+      (fun c -> Buffer.add_string b (Printf.sprintf ",%x" c))
+      t.skel_codes.(k)
+  end;
+  if t.divider.(k) then Buffer.add_char b (if t.int_div.(k) then '!' else '/');
+  Buffer.contents b
+
+(** The load/store uop codes and split thresholds — the slice of the
+    tables every memory-touching block depends on. *)
+let encode_memory t =
+  Printf.sprintf "load=%x staddr=%x stdata=%x lb=%d sb=%d" t.load_code
+    t.store_addr_code t.store_data_code t.load_bytes t.store_bytes
+
+(** The effective integer-divider latencies, depended on only by blocks
+    containing div/idiv classes. *)
+let encode_int_div t =
+  Printf.sprintf "div32=%d div64=%d divq=%d" t.div32_latency t.div64_latency
+    t.divq_latency
+
 (** Deterministic byte encoding of every preprocessed table, consumed by
     the engine's fingerprinting layer. The flat tables are a pure
     function of (profile, n_ports), so this digest changing without the
@@ -220,24 +249,13 @@ let encode t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "bhive-flat-v1\n";
   Buffer.add_string b (Printf.sprintf "n_ports=%d mask=%x\n" t.n_ports t.port_mask);
-  Buffer.add_string b
-    (Printf.sprintf "load=%x staddr=%x stdata=%x lb=%d sb=%d\n" t.load_code
-       t.store_addr_code t.store_data_code t.load_bytes t.store_bytes);
-  Buffer.add_string b
-    (Printf.sprintf "div32=%d div64=%d divq=%d\n" t.div32_latency
-       t.div64_latency t.divq_latency);
+  Buffer.add_string b (encode_memory t);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (encode_int_div t);
+  Buffer.add_char b '\n';
   Array.iteri
-    (fun k op ->
-      Buffer.add_string b (Printf.sprintf "%d:%s:" k (Opcode.mnemonic op));
-      if t.variant.(k) then Buffer.add_string b "variant"
-      else begin
-        Buffer.add_string b (Printf.sprintf "n=%d" t.skel_n_uops.(k));
-        Array.iter
-          (fun c -> Buffer.add_string b (Printf.sprintf ",%x" c))
-          t.skel_codes.(k)
-      end;
-      if t.divider.(k) then
-        Buffer.add_char b (if t.int_div.(k) then '!' else '/');
+    (fun k _ ->
+      Buffer.add_string b (encode_class t k);
       Buffer.add_char b '\n')
     classes;
   Buffer.contents b

@@ -35,4 +35,5 @@ let () =
       ("store", Test_store.suite);
       ("manifest", Test_manifest.suite);
       ("serve", Test_serve.suite);
+      ("refine", Test_refine.suite);
     ]
